@@ -1,0 +1,20 @@
+// bench_fig10_breakdown_bb — reproduce Figure 10: average job wait time on
+// Theta-S4 broken down by burst-buffer request size.
+//
+// Expected shape: jobs with BB requests wait far longer than jobs without;
+// BBSched and the weighted methods cut the waits of BB-requesting jobs the
+// most, while Constrained_CPU helps only the no-BB class (the paper reports
+// it *increasing* waits of the 100-200 TB class).
+#include "bench_util.hpp"
+#include "policies/factory.hpp"
+
+int main() {
+  using namespace bbsched;
+  const auto config = ExperimentConfig::from_env();
+  const auto results = ensure_main_grid(config);
+  benchutil::print_breakdown(
+      results, standard_method_names(), "bb_request",
+      "Figure 10: Theta-S4 average wait time (hours) by burst-buffer"
+      " request");
+  return 0;
+}

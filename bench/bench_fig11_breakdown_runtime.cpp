@@ -1,0 +1,19 @@
+// bench_fig11_breakdown_runtime — reproduce Figure 11: average job wait time
+// on Theta-S4 broken down by job runtime.
+//
+// Expected shape: waits grow with runtime (WFP prioritizes short jobs and
+// EASY backfills them); the optimization methods reduce waits of long jobs
+// but can *increase* waits of short jobs, because higher resource usage
+// leaves fewer backfill holes.
+#include "bench_util.hpp"
+#include "policies/factory.hpp"
+
+int main() {
+  using namespace bbsched;
+  const auto config = ExperimentConfig::from_env();
+  const auto results = ensure_main_grid(config);
+  benchutil::print_breakdown(
+      results, standard_method_names(), "runtime",
+      "Figure 11: Theta-S4 average wait time (hours) by job runtime");
+  return 0;
+}

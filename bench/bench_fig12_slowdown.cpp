@@ -1,0 +1,29 @@
+// bench_fig12_slowdown — reproduce Figure 12: average (filtered) slowdown of
+// the eight methods on the ten §4 workloads; lower is better.
+//
+// Expected shape: trends track average wait time (Figure 8); slowdowns are
+// markedly higher on the BB-saturated S4 workloads; BBSched is best or
+// near-best everywhere.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "exp/grid.hpp"
+#include "policies/factory.hpp"
+
+int main() {
+  using namespace bbsched;
+  const auto config = ExperimentConfig::from_env();
+  const auto results = ensure_main_grid(config);
+  const auto slowdown = [](const GridCell& c) {
+    return c.metrics.avg_slowdown;
+  };
+  std::cout << "Figure 12: average slowdown by workload and method\n\n";
+  benchutil::print_matrix(results.cells, benchutil::main_workload_labels(),
+                          standard_method_names(), slowdown,
+                          /*percent=*/false);
+  std::cout << "\nReduction vs. Baseline (positive = better)\n\n";
+  benchutil::print_reduction_vs_baseline(
+      results.cells, benchutil::main_workload_labels(),
+      standard_method_names(), slowdown);
+  return 0;
+}

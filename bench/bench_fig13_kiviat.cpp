@@ -1,0 +1,55 @@
+// bench_fig13_kiviat — reproduce Figure 13: holistic Kiviat-graph comparison
+// per workload.
+//
+// Four axes per method — node usage, BB usage, reciprocal average wait,
+// reciprocal average slowdown — min-max normalized to [0, 1] across methods
+// (1 = best).  The polygon area summarizes overall performance ("the larger
+// the area is, the better").  Expected shape: BBSched has the largest and
+// most balanced area on every workload; the biased methods spike on their
+// favourite axis and collapse on others; areas of all methods except
+// BBSched shrink as BB intensity grows.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "exp/grid.hpp"
+#include "metrics/kiviat.hpp"
+#include "policies/factory.hpp"
+
+int main() {
+  using namespace bbsched;
+  const auto config = ExperimentConfig::from_env();
+  const auto results = ensure_main_grid(config);
+  const auto methods = standard_method_names();
+
+  std::cout << "Figure 13: Kiviat normalization (axes: node usage, BB usage,"
+               " 1/wait, 1/slowdown; 1 = best)\n";
+  for (const auto& workload : benchutil::main_workload_labels()) {
+    std::vector<KiviatSeries> series;
+    for (const auto& method : methods) {
+      const auto cell = find_cell(results.cells, workload, method);
+      if (!cell) continue;
+      KiviatSeries s;
+      s.method = method;
+      s.values = {kiviat_orient(cell->metrics.node_usage, true),
+                  kiviat_orient(cell->metrics.bb_usage, true),
+                  kiviat_orient(cell->metrics.avg_wait, false),
+                  kiviat_orient(cell->metrics.avg_slowdown, false)};
+      series.push_back(std::move(s));
+    }
+    const auto normalized = kiviat_normalize(std::move(series), 0.02);
+    std::cout << '\n' << workload << "\n";
+    ConsoleTable table(
+        {"method", "node", "bb", "1/wait", "1/slowdown", "area"},
+        {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+         Align::kRight, Align::kRight});
+    for (const auto& s : normalized) {
+      table.add_row({s.method, ConsoleTable::num(s.values[0], 2),
+                     ConsoleTable::num(s.values[1], 2),
+                     ConsoleTable::num(s.values[2], 2),
+                     ConsoleTable::num(s.values[3], 2),
+                     ConsoleTable::num(kiviat_area(s), 3)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

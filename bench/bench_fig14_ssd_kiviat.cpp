@@ -1,0 +1,56 @@
+// bench_fig14_ssd_kiviat — reproduce Figure 14 / §5: the four-objective
+// local-SSD case study on the S5-S7 workloads.
+//
+// Six Kiviat axes per method: node usage, BB usage, SSD usage, reciprocal
+// wasted SSD, reciprocal wait, reciprocal slowdown.  Expected shape: BBSched
+// has the best overall area on all six workloads; Constrained_CPU and
+// Constrained_SSD do well on node and SSD utilization (the two are
+// correlated) but waste SSD; Constrained_BB sacrifices node and SSD
+// utilization; Weighted is balanced but below BBSched.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "exp/grid.hpp"
+#include "metrics/kiviat.hpp"
+#include "policies/factory.hpp"
+
+int main() {
+  using namespace bbsched;
+  const auto config = ExperimentConfig::from_env();
+  const auto cells = ensure_ssd_grid(config);
+  const auto methods = ssd_method_names();
+
+  std::cout << "Figure 14: SSD case-study Kiviat normalization (axes: node,"
+               " BB, SSD usage, 1/wasted-SSD, 1/wait, 1/slowdown)\n";
+  for (const auto& workload : benchutil::ssd_workload_labels()) {
+    std::vector<KiviatSeries> series;
+    for (const auto& method : methods) {
+      const auto cell = find_cell(cells, workload, method);
+      if (!cell) continue;
+      KiviatSeries s;
+      s.method = method;
+      s.values = {kiviat_orient(cell->metrics.node_usage, true),
+                  kiviat_orient(cell->metrics.bb_usage, true),
+                  kiviat_orient(cell->metrics.ssd_usage, true),
+                  kiviat_orient(cell->metrics.ssd_waste, false),
+                  kiviat_orient(cell->metrics.avg_wait, false),
+                  kiviat_orient(cell->metrics.avg_slowdown, false)};
+      series.push_back(std::move(s));
+    }
+    const auto normalized = kiviat_normalize(std::move(series), 0.02);
+    std::cout << '\n' << workload << "\n";
+    ConsoleTable table({"method", "node", "bb", "ssd", "1/waste", "1/wait",
+                        "1/slowdown", "area"},
+                       {Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight});
+    for (const auto& s : normalized) {
+      std::vector<std::string> row{s.method};
+      for (double v : s.values) row.push_back(ConsoleTable::num(v, 2));
+      row.push_back(ConsoleTable::num(kiviat_area(s), 3));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

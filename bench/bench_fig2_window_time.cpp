@@ -1,0 +1,79 @@
+// bench_fig2_window_time — reproduce Figure 2: impact of window size on
+// average time-to-solution.
+//
+// The paper samples windows from the first 1000 jobs of a Theta workload and
+// compares exhaustive enumeration (2^w) against the genetic solver.
+// Expected shape: exhaustive time grows exponentially and crosses the
+// 15-second HPC scheduling requirement around w in the low-to-mid 20s, while
+// the GA stays orders of magnitude below it at every window size.
+//
+// Exhaustive enumeration is skipped (printed as "-") once the projected time
+// exceeds BBSCHED_FIG2_EXHAUSTIVE_BUDGET seconds (default 20) so the bench
+// finishes; the crossing of the requirement line is already visible.
+#include <cmath>
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/exhaustive.hpp"
+#include "core/ga.hpp"
+#include "window_problems.hpp"
+
+using namespace bbsched;
+
+int main() {
+  const double exhaustive_budget =
+      env_double("BBSCHED_FIG2_EXHAUSTIVE_BUDGET", 20.0);
+  const auto samples = static_cast<std::size_t>(
+      env_int("BBSCHED_FIG2_SAMPLES", 5));
+
+  std::cout << "Figure 2: average time-to-solution vs. window size\n"
+               "(HPC schedulers must respond within 15-30 s)\n\n";
+  ConsoleTable table({"window", "exhaustive (s)", "GA (s)", "exhaustive/GA"},
+                     {Align::kLeft, Align::kRight, Align::kRight,
+                      Align::kRight});
+
+  GaParams ga;  // paper defaults G=500, P=20
+  double last_exhaustive = 0;
+  bool exhaustive_alive = true;
+  for (std::size_t w : {4u, 8u, 12u, 16u, 20u, 22u, 24u, 26u, 28u, 30u}) {
+    const auto problems = benchutil::sample_window_problems(w, samples);
+
+    double ga_total = 0;
+    for (const auto& problem : problems) {
+      Stopwatch watch;
+      (void)MooGaSolver(ga).solve(problem);
+      ga_total += watch.elapsed_seconds();
+    }
+    const double ga_avg = ga_total / static_cast<double>(problems.size());
+
+    std::string exhaustive_repr = "-";
+    double ratio = 0;
+    if (exhaustive_alive) {
+      // Project the next runtime from the last: 2x per extra bit.
+      double exhaustive_total = 0;
+      for (const auto& problem : problems) {
+        Stopwatch watch;
+        (void)ExhaustiveSolver(31).solve(problem);
+        exhaustive_total += watch.elapsed_seconds();
+      }
+      last_exhaustive =
+          exhaustive_total / static_cast<double>(problems.size());
+      exhaustive_repr = ConsoleTable::num(last_exhaustive, 4);
+      ratio = ga_avg > 0 ? last_exhaustive / ga_avg : 0;
+      if (last_exhaustive * 4 > exhaustive_budget) {
+        exhaustive_alive = false;  // next sizes would blow the budget
+      }
+    }
+    table.add_row({std::to_string(w), exhaustive_repr,
+                   ConsoleTable::num(ga_avg, 4),
+                   ratio > 0 ? ConsoleTable::num(ratio, 1) : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\n(exhaustive column '-' = projected beyond the "
+            << exhaustive_budget
+            << "s budget; doubling per window slot implies it crosses the"
+               " 15 s line a few slots later)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// bench_fig4_gd_gp — reproduce Figure 4: impact of the G and P solver
+// parameters on approximation quality (generational distance against the
+// exhaustive true Pareto set) and time-to-solution.
+//
+// Expected shape (§3.2.3): GD falls steeply up to G ~ 500 and flattens
+// afterwards; larger P lowers GD and raises time; the G=500 / P=20 paper
+// default solves in well under 0.2 s.
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/exhaustive.hpp"
+#include "core/ga.hpp"
+#include "window_problems.hpp"
+
+namespace {
+
+using namespace bbsched;
+
+Front front_of(const std::vector<Chromosome>& chromosomes) {
+  Front front;
+  for (const auto& c : chromosomes) front.push_back(c.objectives);
+  return front;
+}
+
+}  // namespace
+
+int main() {
+  const auto samples =
+      static_cast<std::size_t>(env_int("BBSCHED_FIG4_SAMPLES", 4));
+  const std::size_t window = 20;  // paper default window
+
+  // Figure 2/4 setup: windows from the first 1000 jobs of a Theta workload.
+  const auto problems = benchutil::sample_window_problems(window, samples);
+
+  // Exhaustive ground truth per problem (2^20 enumeration each).
+  std::vector<Front> truths;
+  for (const auto& problem : problems) {
+    const auto truth = ExhaustiveSolver(24).solve(problem);
+    truths.push_back(front_of(truth.pareto_set));
+  }
+
+  std::cout << "Figure 4: generational distance and time-to-solution as G"
+               " and P vary (window = 20)\n\n";
+  ConsoleTable table({"G", "P", "GD", "time (s)"},
+                     {Align::kLeft, Align::kRight, Align::kRight,
+                      Align::kRight});
+  for (int population : {10, 20, 50}) {
+    for (int generations : {50, 100, 200, 500, 1000, 2000}) {
+      GaParams ga;
+      ga.generations = generations;
+      ga.population_size = population;
+      double gd_total = 0, time_total = 0;
+      for (std::size_t i = 0; i < problems.size(); ++i) {
+        Stopwatch watch;
+        const auto result = MooGaSolver(ga).solve(problems[i]);
+        time_total += watch.elapsed_seconds();
+        gd_total +=
+            generational_distance(front_of(result.pareto_set), truths[i]);
+      }
+      const auto n = static_cast<double>(problems.size());
+      table.add_row({std::to_string(generations), std::to_string(population),
+                     ConsoleTable::num(gd_total / n, 4),
+                     ConsoleTable::num(time_total / n, 4)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

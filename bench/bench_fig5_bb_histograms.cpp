@@ -1,0 +1,23 @@
+// bench_fig5_bb_histograms — reproduce Figure 5: burst-buffer request
+// histograms of the ten §4 workloads (10 TB bins, aggregate volume in the
+// title), for Cori (left column of the figure) and Theta (right column).
+//
+// Expected shape: the Original workloads have tiny aggregates; S1/S2 share a
+// distribution with more requesting jobs in S2; S3/S4 carry larger requests
+// than S1/S2 (their pools sample above 20 TB instead of 5 TB).
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "workload/wl_stats.hpp"
+
+int main() {
+  using namespace bbsched;
+  const ExperimentConfig config = ExperimentConfig::from_env();
+  const auto suite = build_main_workloads(config);
+  std::cout << "Figure 5: burst-buffer request distributions (10 TB bins)\n";
+  for (const auto& entry : suite) {
+    std::cout << '\n';
+    print_bb_histogram(entry.workload, std::cout, 10.0);
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// bench_fig6_node_usage — reproduce Figure 6: node usage of the eight
+// methods on the ten §4 workloads.
+//
+// Expected shape: BBSched yields the best node usage on most workloads, with
+// the largest margins on the BB-saturated S4 workloads; Constrained_CPU wins
+// narrowly when burst buffer is abundant but collapses under heavy BB
+// requests; Weighted_BB and Constrained_BB trade node usage away.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "exp/grid.hpp"
+#include "policies/factory.hpp"
+
+int main() {
+  using namespace bbsched;
+  const auto config = ExperimentConfig::from_env();
+  const auto results = ensure_main_grid(config);
+  std::cout << "Figure 6: node usage by workload and method\n\n";
+  benchutil::print_matrix(results.cells, benchutil::main_workload_labels(),
+                          standard_method_names(),
+                          [](const GridCell& c) { return c.metrics.node_usage; },
+                          /*percent=*/true);
+  return 0;
+}

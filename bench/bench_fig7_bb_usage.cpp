@@ -1,0 +1,23 @@
+// bench_fig7_bb_usage — reproduce Figure 7: burst-buffer usage of the eight
+// methods on the ten §4 workloads.
+//
+// Expected shape: every method except Constrained_CPU improves BB usage over
+// the baseline; BBSched is best (or tied) on all workloads; the BB-biased
+// methods gain BB usage at the cost of node usage (Figure 6).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "exp/grid.hpp"
+#include "policies/factory.hpp"
+
+int main() {
+  using namespace bbsched;
+  const auto config = ExperimentConfig::from_env();
+  const auto results = ensure_main_grid(config);
+  std::cout << "Figure 7: burst-buffer usage by workload and method\n\n";
+  benchutil::print_matrix(results.cells, benchutil::main_workload_labels(),
+                          standard_method_names(),
+                          [](const GridCell& c) { return c.metrics.bb_usage; },
+                          /*percent=*/true);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// bench_fig8_wait_time — reproduce Figure 8: average job wait time of the
+// eight methods on the ten §4 workloads (hours; lower is better), plus each
+// method's reduction over the baseline.
+//
+// Expected shape: all methods beat the baseline; BBSched achieves the
+// largest reductions (the paper reports up to 33 % on Cori and 41 % on
+// Theta), and the reductions grow as burst-buffer requests intensify
+// (Original -> S4).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "exp/grid.hpp"
+#include "policies/factory.hpp"
+
+int main() {
+  using namespace bbsched;
+  const auto config = ExperimentConfig::from_env();
+  const auto results = ensure_main_grid(config);
+  const auto wait_hours = [](const GridCell& c) {
+    return as_hours(c.metrics.avg_wait);
+  };
+  std::cout << "Figure 8: average job wait time (hours)\n\n";
+  benchutil::print_matrix(results.cells, benchutil::main_workload_labels(),
+                          standard_method_names(), wait_hours,
+                          /*percent=*/false);
+  std::cout << "\nReduction vs. Baseline (positive = faster)\n\n";
+  benchutil::print_reduction_vs_baseline(
+      results.cells, benchutil::main_workload_labels(),
+      standard_method_names(), wait_hours);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// bench_overhead — the §4.4 "Scheduling Overheads" measurements as
+// google-benchmark micro-benchmarks: wall-clock per scheduling decision for
+// each method, at the paper's default (w=20, G=500) and stress (w=50,
+// G=2000) settings.
+//
+// Expected shape: Baseline and Bin_Packing decide in microseconds-to-
+// milliseconds; the optimization methods take longer but stay far under the
+// 15-30 s HPC response requirement — the paper reports < 2 s average even at
+// G=2000, w=50 on a 2012-class desktop.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "policies/factory.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace bbsched;
+
+/// One representative window snapshot drawn from the Theta model.
+struct WindowFixture {
+  std::vector<JobRecord> jobs;
+  std::vector<const JobRecord*> window;
+  FreeState free;
+
+  WindowFixture(std::size_t window_size, std::uint64_t seed) {
+    const Workload workload =
+        generate_workload(theta_model(window_size * 4), seed);
+    jobs.assign(workload.jobs.begin(),
+                workload.jobs.begin() +
+                    static_cast<std::ptrdiff_t>(window_size));
+    for (const auto& job : jobs) window.push_back(&job);
+    free.nodes = static_cast<double>(workload.machine.nodes) * 0.5;
+    free.bb_gb = workload.machine.schedulable_bb_gb() * 0.5;
+  }
+};
+
+void run_policy(benchmark::State& state, const std::string& method,
+                std::size_t window_size, int generations) {
+  const WindowFixture fixture(window_size, 42);
+  GaParams ga;
+  ga.generations = generations;
+  const auto policy = make_policy(method, ga);
+  Rng rng(7);
+  for (auto _ : state) {
+    WindowContext context;
+    context.window = fixture.window;
+    context.free = fixture.free;
+    context.rng = &rng;
+    benchmark::DoNotOptimize(policy->select(context));
+  }
+}
+
+void register_all() {
+  for (const auto& method : standard_method_names()) {
+    benchmark::RegisterBenchmark(
+        (method + "/w=20/G=500").c_str(),
+        [method](benchmark::State& state) { run_policy(state, method, 20, 500); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  // The paper's stress point: G=2000, w=50 must stay under ~2 s.
+  for (const std::string method : {"BBSched", "Weighted", "Bin_Packing"}) {
+    benchmark::RegisterBenchmark(
+        (method + "/w=50/G=2000").c_str(),
+        [method](benchmark::State& state) {
+          run_policy(state, method, 50, 2000);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

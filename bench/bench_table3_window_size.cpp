@@ -1,0 +1,63 @@
+// bench_table3_window_size — reproduce Table 3: BBSched under window sizes
+// 10, 20 and 50 on Cori-S4 (top value per cell in the paper) and Theta-S4
+// (bottom value).
+//
+// Expected shape: the big improvement happens between window 10 and 20 on
+// every metric; 20 -> 50 is marginal — the basis for the paper's "a window
+// size of around 20 is an appropriate option".
+#include <iostream>
+
+#include "common/table.hpp"
+#include "exp/grid.hpp"
+#include "metrics/schedule_metrics.hpp"
+
+int main() {
+  using namespace bbsched;
+  ExperimentConfig config = ExperimentConfig::from_env();
+  const auto workloads = build_main_workloads(config);
+
+  const std::size_t window_sizes[] = {10, 20, 50};
+  std::cout << "Table 3: BBSched performance under different window sizes\n"
+               "(per cell: Cori-S4 / Theta-S4)\n\n";
+
+  // metrics[workload][window index]
+  ScheduleMetrics metrics[2][3];
+  int wl_index = 0;
+  for (const auto& entry : workloads) {
+    if (entry.label != "Cori-S4" && entry.label != "Theta-S4") continue;
+    const int row = entry.label == "Cori-S4" ? 0 : 1;
+    for (int w = 0; w < 3; ++w) {
+      ExperimentConfig run = config;
+      run.window_size = window_sizes[w];
+      std::fprintf(stderr, "[table3] %s window=%zu\n", entry.label.c_str(),
+                   window_sizes[w]);
+      const SimResult result = run_single(run, entry.workload, "BBSched");
+      metrics[row][w] = compute_metrics(result);
+    }
+    ++wl_index;
+  }
+  (void)wl_index;
+
+  ConsoleTable table({"metric", "w=10", "w=20", "w=50"},
+                     {Align::kLeft, Align::kRight, Align::kRight,
+                      Align::kRight});
+  auto row = [&](const char* name, auto get, auto fmt) {
+    std::vector<std::string> cells{name};
+    for (int w = 0; w < 3; ++w) {
+      cells.push_back(fmt(get(metrics[0][w])) + " / " +
+                      fmt(get(metrics[1][w])));
+    }
+    table.add_row(std::move(cells));
+  };
+  row("CPU usage", [](const ScheduleMetrics& m) { return m.node_usage; },
+      [](double v) { return ConsoleTable::pct(v, 2); });
+  row("BB usage", [](const ScheduleMetrics& m) { return m.bb_usage; },
+      [](double v) { return ConsoleTable::pct(v, 2); });
+  row("avg wait (s)", [](const ScheduleMetrics& m) { return m.avg_wait; },
+      [](double v) { return ConsoleTable::num(v, 0); });
+  row("avg slowdown",
+      [](const ScheduleMetrics& m) { return m.avg_slowdown; },
+      [](double v) { return ConsoleTable::num(v, 2); });
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// bench_util.hpp — shared table printing for the paper-reproduction benches.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "exp/grid.hpp"
+
+namespace bbsched::benchutil {
+
+/// Extracts the plotted value from one grid cell.
+using CellValue = std::function<double(const GridCell&)>;
+
+/// Print a (workload x method) matrix of `value`, one row per workload.
+/// `percent` renders values as percentages; otherwise `precision` digits.
+inline void print_matrix(const std::vector<GridCell>& cells,
+                         const std::vector<std::string>& workloads,
+                         const std::vector<std::string>& methods,
+                         const CellValue& value, bool percent,
+                         int precision = 2, std::ostream& out = std::cout) {
+  std::vector<std::string> header{"workload"};
+  header.insert(header.end(), methods.begin(), methods.end());
+  std::vector<Align> aligns(header.size(), Align::kRight);
+  aligns[0] = Align::kLeft;
+  ConsoleTable table(header, aligns);
+  for (const auto& workload : workloads) {
+    std::vector<std::string> row{workload};
+    for (const auto& method : methods) {
+      const auto cell = find_cell(cells, workload, method);
+      if (!cell) {
+        row.push_back("-");
+        continue;
+      }
+      const double v = value(*cell);
+      row.push_back(percent ? ConsoleTable::pct(v, precision)
+                            : ConsoleTable::num(v, precision));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+/// Print, per workload, each method's improvement over Baseline for a
+/// smaller-is-better metric (positive = reduction, as the paper reports
+/// "reduces average job wait time by up to 41%").
+inline void print_reduction_vs_baseline(
+    const std::vector<GridCell>& cells,
+    const std::vector<std::string>& workloads,
+    const std::vector<std::string>& methods, const CellValue& value,
+    std::ostream& out = std::cout) {
+  std::vector<std::string> header{"workload"};
+  for (const auto& m : methods) {
+    if (m != "Baseline") header.push_back(m);
+  }
+  std::vector<Align> aligns(header.size(), Align::kRight);
+  aligns[0] = Align::kLeft;
+  ConsoleTable table(header, aligns);
+  for (const auto& workload : workloads) {
+    const auto base = find_cell(cells, workload, "Baseline");
+    if (!base) continue;
+    const double base_value = value(*base);
+    std::vector<std::string> row{workload};
+    for (const auto& method : methods) {
+      if (method == "Baseline") continue;
+      const auto cell = find_cell(cells, workload, method);
+      if (!cell || base_value <= 0) {
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(
+          ConsoleTable::pct((base_value - value(*cell)) / base_value, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+/// Print one cached Theta-S4 breakdown dimension (Figures 9-11): one row per
+/// method, one column per bin, average wait in hours.
+inline void print_breakdown(const MainGridResults& results,
+                            const std::vector<std::string>& methods,
+                            const std::string& dimension, const char* title,
+                            std::ostream& out = std::cout) {
+  std::vector<std::string> labels;
+  for (const auto& cell : results.breakdowns) {
+    if (cell.dimension != dimension || cell.method != "Baseline") continue;
+    labels.push_back(cell.label);
+  }
+  std::vector<std::string> header{"method"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  std::vector<Align> aligns(header.size(), Align::kRight);
+  aligns[0] = Align::kLeft;
+  ConsoleTable table(header, aligns);
+  for (const auto& method : methods) {
+    std::vector<std::string> row{method};
+    for (const auto& label : labels) {
+      bool found = false;
+      for (const auto& cell : results.breakdowns) {
+        if (cell.dimension == dimension && cell.method == method &&
+            cell.label == label) {
+          row.push_back(cell.count
+                            ? ConsoleTable::num(as_hours(cell.avg_wait), 2)
+                            : "-");
+          found = true;
+          break;
+        }
+      }
+      if (!found) row.push_back("-");
+    }
+    table.add_row(std::move(row));
+  }
+  out << title << "\n\n";
+  table.print(out);
+}
+
+/// Workload labels of the §4 grid in presentation order.
+inline std::vector<std::string> main_workload_labels() {
+  return {"Cori-Original",  "Cori-S1",  "Cori-S2",  "Cori-S3",  "Cori-S4",
+          "Theta-Original", "Theta-S1", "Theta-S2", "Theta-S3", "Theta-S4"};
+}
+
+/// Workload labels of the §5 grid.
+inline std::vector<std::string> ssd_workload_labels() {
+  return {"Cori-S5",  "Cori-S6",  "Cori-S7",
+          "Theta-S5", "Theta-S6", "Theta-S7"};
+}
+
+}  // namespace bbsched::benchutil

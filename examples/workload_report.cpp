@@ -1,0 +1,61 @@
+// workload_report — inspect the reproduction's workload suites.
+//
+// Prints Table 2-style summaries and Figure 5-style burst-buffer histograms
+// for the ten §4 workloads (and, with --ssd, the six §5 workloads), plus the
+// offered node/BB load ratios that determine which resource binds.  Use this
+// to understand or re-calibrate the synthetic models before running the
+// expensive scheduling grids.
+#include <cstdio>
+#include <iostream>
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+#include "workload/wl_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bbsched;
+  bool ssd = false;
+  bool histograms = false;
+  std::int64_t jobs = 0;
+  ArgParser parser("bbsched workload_report: summarize the workload suites");
+  parser.add_bool("ssd", &ssd, "report the §5 SSD suite instead of §4");
+  parser.add_bool("histograms", &histograms,
+                  "also print Figure 5 BB histograms");
+  parser.add_int("jobs", &jobs, "override jobs per workload (0 = env/default)");
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  ExperimentConfig config = ExperimentConfig::from_env();
+  if (jobs > 0) config.jobs_per_workload = static_cast<std::size_t>(jobs);
+  const auto suite =
+      ssd ? build_ssd_workloads(config) : build_main_workloads(config);
+
+  ConsoleTable table(
+      {"workload", "jobs", "bb-jobs", "bb-frac", "bb-volume", "node-load",
+       "bb-load"},
+      {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+       Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& entry : suite) {
+    const WorkloadSummary s = summarize(entry.workload);
+    table.add_row({entry.label, std::to_string(s.num_jobs),
+                   std::to_string(s.jobs_with_bb),
+                   ConsoleTable::pct(s.bb_fraction, 1),
+                   format_capacity(s.bb_total),
+                   ConsoleTable::num(s.offered_load, 2),
+                   ConsoleTable::num(s.offered_bb_load, 2)});
+  }
+  table.print(std::cout);
+
+  if (histograms) {
+    for (const auto& entry : suite) {
+      std::cout << '\n';
+      print_bb_histogram(entry.workload, std::cout, 10);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "common/argparse.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace bbsched {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_int(const std::string& name, std::int64_t* out,
+                        const std::string& help) {
+  options_.push_back({name, Kind::kInt, out, help, std::to_string(*out)});
+}
+
+void ArgParser::add_double(const std::string& name, double* out,
+                           const std::string& help) {
+  std::ostringstream repr;
+  repr << *out;
+  options_.push_back({name, Kind::kDouble, out, help, repr.str()});
+}
+
+void ArgParser::add_string(const std::string& name, std::string* out,
+                           const std::string& help) {
+  options_.push_back({name, Kind::kString, out, help, "\"" + *out + "\""});
+}
+
+void ArgParser::add_bool(const std::string& name, bool* out,
+                         const std::string& help) {
+  options_.push_back({name, Kind::kBool, out, help, *out ? "true" : "false"});
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name) const {
+  for (const auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error("argparse: unexpected positional '" + arg + "'");
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    const Option* opt = find(name);
+    if (!opt) throw std::runtime_error("argparse: unknown flag --" + name);
+    if (opt->kind == Kind::kBool && !have_value) {
+      *static_cast<bool*>(opt->target) = true;
+      continue;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("argparse: --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    try {
+      switch (opt->kind) {
+        case Kind::kInt:
+          *static_cast<std::int64_t*>(opt->target) = std::stoll(value);
+          break;
+        case Kind::kDouble:
+          *static_cast<double*>(opt->target) = std::stod(value);
+          break;
+        case Kind::kString:
+          *static_cast<std::string*>(opt->target) = value;
+          break;
+        case Kind::kBool:
+          *static_cast<bool*>(opt->target) =
+              (value == "true" || value == "1" || value == "yes");
+          break;
+      }
+    } catch (const std::exception&) {
+      throw std::runtime_error("argparse: bad value '" + value + "' for --" +
+                               name);
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::usage(const std::string& program_name) const {
+  std::ostringstream out;
+  out << description_ << "\n\nusage: " << program_name << " [flags]\n";
+  for (const auto& opt : options_) {
+    out << "  --" << opt.name << "  " << opt.help
+        << " (default: " << opt.default_repr << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace bbsched

@@ -1,0 +1,50 @@
+// argparse.hpp — tiny declarative command-line parser for the examples and
+// bench binaries.  Supports `--flag value`, `--flag=value` and boolean
+// `--flag` switches, plus auto-generated `--help` text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bbsched {
+
+/// Declarative flag registry.  Register options, then parse(argc, argv).
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Register options; `out` must outlive parse().
+  void add_int(const std::string& name, std::int64_t* out,
+               const std::string& help);
+  void add_double(const std::string& name, double* out,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* out,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool* out, const std::string& help);
+
+  /// Parse the command line.  Returns false (after printing usage) if
+  /// --help was requested; throws std::runtime_error on unknown flags or
+  /// malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Render the usage text.
+  std::string usage(const std::string& program_name) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Option {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Option* find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,150 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bbsched {
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"") != std::string_view::npos ||
+      (!field.empty() && (field.front() == ' ' || field.back() == ' '));
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_csv_row(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out.push_back(',');
+    out += csv_escape(row[i]);
+  }
+  return out;
+}
+
+CsvTable CsvTable::read(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    CsvRow row = parse_csv_line(line);
+    if (!have_header) {
+      table.header_ = std::move(row);
+      have_header = true;
+      continue;
+    }
+    if (row.size() != table.header_.size()) {
+      throw std::runtime_error("csv: line " + std::to_string(line_no) +
+                               " has " + std::to_string(row.size()) +
+                               " fields, expected " +
+                               std::to_string(table.header_.size()));
+    }
+    table.rows_.push_back(std::move(row));
+  }
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  return read(in);
+}
+
+std::optional<std::size_t> CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+const std::string& CsvTable::at(std::size_t row, std::string_view col) const {
+  auto idx = column(col);
+  if (!idx) throw std::runtime_error("csv: no column named " + std::string(col));
+  return rows_.at(row).at(*idx);
+}
+
+void CsvTable::add_row(CsvRow row) {
+  if (row.size() != header_.size()) {
+    throw std::runtime_error("csv: add_row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CsvTable::write(std::ostream& out) const {
+  out << format_csv_row(header_) << '\n';
+  for (const auto& row : rows_) out << format_csv_row(row) << '\n';
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot write " + path);
+  write(out);
+}
+
+double parse_double_field(const std::string& value, std::string_view field) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("csv: bad numeric value '" + value +
+                             "' in field " + std::string(field));
+  }
+}
+
+std::int64_t parse_int_field(const std::string& value, std::string_view field) {
+  std::int64_t out = 0;
+  auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw std::runtime_error("csv: bad integer value '" + value +
+                             "' in field " + std::string(field));
+  }
+  return out;
+}
+
+}  // namespace bbsched

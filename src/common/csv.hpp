@@ -1,0 +1,69 @@
+// csv.hpp — minimal CSV reading/writing used for traces and result caches.
+//
+// The dialect is deliberately simple: comma separated, optional quoting with
+// double quotes, '#'-prefixed comment lines and blank lines ignored on read.
+// This is sufficient for the library's own trace format and the experiment
+// result cache; it is not a general RFC-4180 parser (embedded newlines inside
+// quoted fields are not supported).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bbsched {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Split a single CSV line into fields, honouring double-quote quoting.
+CsvRow parse_csv_line(std::string_view line);
+
+/// Quote a field if it contains a comma, quote or leading/trailing space.
+std::string csv_escape(std::string_view field);
+
+/// Serialize a row.
+std::string format_csv_row(const CsvRow& row);
+
+/// A fully-parsed CSV table with a header row and name-based column lookup.
+class CsvTable {
+ public:
+  /// Parse from a stream; the first non-comment row is the header.
+  /// Throws std::runtime_error on ragged rows (row width != header width).
+  static CsvTable read(std::istream& in);
+
+  /// Parse a file; throws std::runtime_error if the file cannot be opened.
+  static CsvTable read_file(const std::string& path);
+
+  CsvTable() = default;
+  explicit CsvTable(CsvRow header) : header_(std::move(header)) {}
+
+  const CsvRow& header() const { return header_; }
+  const std::vector<CsvRow>& rows() const { return rows_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Index of a header column, or nullopt if absent.
+  std::optional<std::size_t> column(std::string_view name) const;
+
+  /// Value at (row, named column); throws if the column does not exist.
+  const std::string& at(std::size_t row, std::string_view col) const;
+
+  void add_row(CsvRow row);
+
+  /// Write header + rows.
+  void write(std::ostream& out) const;
+  void write_file(const std::string& path) const;
+
+ private:
+  CsvRow header_;
+  std::vector<CsvRow> rows_;
+};
+
+/// Parse helpers with descriptive errors (field name included in the throw).
+double parse_double_field(const std::string& value, std::string_view field);
+std::int64_t parse_int_field(const std::string& value, std::string_view field);
+
+}  // namespace bbsched

@@ -1,0 +1,37 @@
+#include "common/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bbsched {
+
+std::int64_t env_int(const char* name, std::int64_t def) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "warning: ignoring malformed %s='%s'\n", name, value);
+    return def;
+  }
+  return parsed;
+}
+
+double env_double(const char* name, double def) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "warning: ignoring malformed %s='%s'\n", name, value);
+    return def;
+  }
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& def) {
+  const char* value = std::getenv(name);
+  return (value && *value) ? std::string(value) : def;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,23 @@
+// env.hpp — environment-variable overrides for bench scaling.
+//
+// Bench binaries default to sizes that finish on a laptop-class single core;
+// `BBSCHED_BENCH_JOBS`, `BBSCHED_SEED`, etc. let a user re-run closer to the
+// paper's production scale without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bbsched {
+
+/// Integer environment variable with a default; malformed values fall back to
+/// the default (and are reported on stderr once).
+std::int64_t env_int(const char* name, std::int64_t def);
+
+/// Floating-point environment variable with a default.
+double env_double(const char* name, double def);
+
+/// String environment variable with a default.
+std::string env_string(const char* name, const std::string& def);
+
+}  // namespace bbsched

@@ -1,0 +1,93 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bbsched {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double quantile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void RunningStats::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.size() < 2) {
+    throw std::invalid_argument("Histogram: need at least two edges");
+  }
+  if (!std::is_sorted(edges_.begin(), edges_.end())) {
+    throw std::invalid_argument("Histogram: edges must be sorted");
+  }
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+void Histogram::add(double value, double weight) {
+  if (value < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (value > edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  if (value == edges_.back()) {
+    counts_.back() += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const auto bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[bin] += weight;
+}
+
+double Histogram::total_weight() const {
+  double total = underflow_ + overflow_;
+  for (double c : counts_) total += c;
+  return total;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,63 @@
+// stats.hpp — small numeric helpers shared by metrics and the solver.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bbsched {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+/// p-quantile in [0,1] with linear interpolation; 0 for an empty span.
+/// The input does not need to be sorted.
+double quantile(std::span<const double> values, double p);
+
+/// Streaming accumulator for count/mean/min/max/sum without storing samples.
+class RunningStats {
+ public:
+  void add(double v);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Fixed-edge histogram: bin i covers [edges[i], edges[i+1]); the final bin
+/// additionally absorbs values == edges.back().  Values outside the range are
+/// counted in underflow/overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double value, double weight = 1.0);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  double bin_count(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const { return edges_.at(i); }
+  double bin_hi(std::size_t i) const { return edges_.at(i + 1); }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total_weight() const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double underflow_ = 0;
+  double overflow_ = 0;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,29 @@
+// stopwatch.hpp — wall-clock timing of scheduler decisions.
+//
+// The paper's feasibility argument hinges on time-to-solution (Figures 2 and
+// 4, the 15-30 s response requirement), so decision timing is a first-class
+// measurement, not an afterthought.
+#pragma once
+
+#include <chrono>
+
+namespace bbsched {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace bbsched {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header,
+                           std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  if (aligns_.empty()) {
+    aligns_.assign(header_.size(), Align::kRight);
+    if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+  }
+  if (aligns_.size() != header_.size()) {
+    throw std::invalid_argument("ConsoleTable: aligns/header width mismatch");
+  }
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("ConsoleTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string ConsoleTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string ConsoleTable::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void ConsoleTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 < row.size()) {
+        out << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace bbsched

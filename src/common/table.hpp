@@ -1,0 +1,39 @@
+// table.hpp — fixed-width console tables for the bench harness.
+//
+// Every bench binary reproduces a paper table/figure as rows on stdout; this
+// printer keeps those reproductions aligned and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bbsched {
+
+/// Column alignment for ConsoleTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and prints them with per-column widths.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header,
+                        std::vector<Align> aligns = {});
+
+  /// Add a row; must have the same width as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  /// Percentage with a trailing '%'.
+  static std::string pct(double fraction, int precision = 2);
+
+  /// Render with 2-space column gaps and a dashed rule under the header.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,35 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bbsched {
+
+namespace {
+
+std::string format_with_unit(double value, const char* unit) {
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_capacity(GigaBytes v) {
+  if (std::fabs(v) >= pb(1.0)) return format_with_unit(as_pb(v), "PB");
+  if (std::fabs(v) >= tb(1.0)) return format_with_unit(as_tb(v), "TB");
+  return format_with_unit(v, "GB");
+}
+
+std::string format_duration(Time t) {
+  if (std::fabs(t) >= days(1.0)) return format_with_unit(as_days(t), "d");
+  if (std::fabs(t) >= hours(1.0)) return format_with_unit(as_hours(t), "h");
+  if (std::fabs(t) >= minutes(1.0)) return format_with_unit(as_minutes(t), "m");
+  return format_with_unit(t, "s");
+}
+
+}  // namespace bbsched

@@ -1,0 +1,51 @@
+// units.hpp — typed capacity and time helpers shared by every module.
+//
+// The paper mixes GB, TB and PB for burst-buffer sizes and hours/seconds for
+// time.  Internally the library stores burst-buffer and SSD capacities in GB
+// (double) and time in seconds (double).  These helpers keep conversion sites
+// self-describing so that a "1.8" in machine configuration code is never an
+// ambiguous magic number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bbsched {
+
+/// Simulation time in seconds since trace start.
+using Time = double;
+
+/// Number of compute nodes; node counts on the modeled machines fit easily
+/// in 32 bits but we use 64 to keep arithmetic on node-hours exact.
+using NodeCount = std::int64_t;
+
+/// Capacity in gigabytes (burst buffer, local SSD).
+using GigaBytes = double;
+
+// --- capacity constructors -------------------------------------------------
+
+constexpr GigaBytes gb(double v) { return v; }
+constexpr GigaBytes tb(double v) { return v * 1024.0; }
+constexpr GigaBytes pb(double v) { return v * 1024.0 * 1024.0; }
+
+constexpr double as_tb(GigaBytes v) { return v / 1024.0; }
+constexpr double as_pb(GigaBytes v) { return v / (1024.0 * 1024.0); }
+
+// --- time constructors -----------------------------------------------------
+
+constexpr Time seconds(double v) { return v; }
+constexpr Time minutes(double v) { return v * 60.0; }
+constexpr Time hours(double v) { return v * 3600.0; }
+constexpr Time days(double v) { return v * 86400.0; }
+
+constexpr double as_minutes(Time t) { return t / 60.0; }
+constexpr double as_hours(Time t) { return t / 3600.0; }
+constexpr double as_days(Time t) { return t / 86400.0; }
+
+/// Render a capacity with a human unit (e.g. "85.0TB", "512GB").
+std::string format_capacity(GigaBytes v);
+
+/// Render a duration with a human unit (e.g. "2.5h", "90s").
+std::string format_duration(Time t);
+
+}  // namespace bbsched

@@ -1,0 +1,48 @@
+#include "core/adaptive_decision.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bbsched {
+
+AdaptiveTradeoffRule::AdaptiveTradeoffRule(Params params)
+    : params_(params), factor_(params.initial_factor) {
+  if (params_.min_factor <= 0 || params_.max_factor < params_.min_factor) {
+    throw std::invalid_argument("adaptive rule: bad factor bounds");
+  }
+  if (params_.ewma_alpha <= 0 || params_.ewma_alpha > 1) {
+    throw std::invalid_argument("adaptive rule: alpha must be in (0, 1]");
+  }
+  if (params_.adjust_step <= 1.0) {
+    throw std::invalid_argument("adaptive rule: adjust_step must be > 1");
+  }
+}
+
+std::size_t AdaptiveTradeoffRule::choose(
+    std::span<const Chromosome> pareto_set) const {
+  // Decide with the current factor (same structure as the static rule).
+  const NodeFirstTradeoffRule rule(factor_);
+  const std::size_t choice = rule.choose(pareto_set);
+
+  // Update the controller from the committed solution.
+  const double node = pareto_set[choice].objectives.at(0);
+  const double bb = pareto_set[choice].objectives.at(1);
+  if (!primed_) {
+    ewma_node_ = node;
+    ewma_bb_ = bb;
+    primed_ = true;
+  } else {
+    ewma_node_ += params_.ewma_alpha * (node - ewma_node_);
+    ewma_bb_ += params_.ewma_alpha * (bb - ewma_bb_);
+  }
+  const double gap = ewma_node_ - ewma_bb_;
+  if (gap > params_.gap_deadband) {
+    // BB utilization lags: make BB-favouring trades easier.
+    factor_ = std::max(params_.min_factor, factor_ / params_.adjust_step);
+  } else if (gap < -params_.gap_deadband) {
+    factor_ = std::min(params_.max_factor, factor_ * params_.adjust_step);
+  }
+  return choice;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,54 @@
+// adaptive_decision.hpp — the adaptive decision making the paper sketches
+// as future work (§3.2.4: "system managers dynamically adjust their
+// selection policy according to scheduling performance").
+//
+// The rule keeps an exponentially weighted moving average of the node and
+// burst-buffer utilization of the solutions it has committed.  When the
+// committed BB utilization persistently lags node utilization, the
+// trade-off factor is lowered (trades toward BB become easier); when BB
+// leads, it is raised.  The factor is clamped to [min_factor, max_factor]
+// around the paper's static 2x.
+#pragma once
+
+#include "core/decision.hpp"
+
+namespace bbsched {
+
+/// Self-tuning variant of NodeFirstTradeoffRule for two-objective windows.
+class AdaptiveTradeoffRule : public DecisionRule {
+ public:
+  struct Params {
+    double initial_factor = 2.0;  ///< the paper's static rule
+    double min_factor = 0.5;
+    double max_factor = 4.0;
+    /// EWMA smoothing of the committed utilizations (0 < alpha <= 1).
+    double ewma_alpha = 0.05;
+    /// Multiplicative step applied per decision when the utilization gap
+    /// exceeds `gap_deadband`.
+    double adjust_step = 1.05;
+    double gap_deadband = 0.05;
+  };
+
+  AdaptiveTradeoffRule() : AdaptiveTradeoffRule(Params{}) {}
+  explicit AdaptiveTradeoffRule(Params params);
+
+  std::size_t choose(std::span<const Chromosome> pareto_set) const override;
+  std::string name() const override { return "adaptive-tradeoff"; }
+
+  /// Current trade-off factor (observable for tests and telemetry).
+  double factor() const { return factor_; }
+  /// Smoothed utilizations of committed solutions.
+  double ewma_node() const { return ewma_node_; }
+  double ewma_bb() const { return ewma_bb_; }
+
+ private:
+  Params params_;
+  // choose() is conceptually const for callers (it picks a solution); the
+  // adaptation state is controller memory, not an observable result.
+  mutable double factor_;
+  mutable double ewma_node_ = 0;
+  mutable double ewma_bb_ = 0;
+  mutable bool primed_ = false;
+};
+
+}  // namespace bbsched

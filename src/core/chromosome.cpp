@@ -1,0 +1,15 @@
+#include "core/chromosome.hpp"
+
+namespace bbsched {
+
+std::vector<std::size_t> selected_indices(
+    std::span<const std::uint8_t> genes) {
+  std::vector<std::size_t> out;
+  out.reserve(genes.size());
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (genes[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace bbsched

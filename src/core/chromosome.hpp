@@ -1,0 +1,39 @@
+// chromosome.hpp — candidate solution representation for the MOO solver.
+//
+// A chromosome is a binary vector over the scheduling window (Figure 3 of the
+// paper): gene i == 1 means the job at window position i is selected to
+// execute.  The paper's selection operator prefers "newer" chromosomes, so
+// each chromosome also carries an age that is incremented on every
+// generation change (§3.2.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bbsched {
+
+using Genes = std::vector<std::uint8_t>;
+
+/// One member of the genetic population.
+struct Chromosome {
+  Genes genes;                     ///< 0/1 selection per window slot
+  std::vector<double> objectives;  ///< cached objective values
+  int age = 0;                     ///< generations survived (paper §3.2.2)
+
+  bool same_genes(const Chromosome& other) const {
+    return genes == other.genes;
+  }
+};
+
+/// Number of selected jobs in a gene vector.
+inline std::size_t selected_count(std::span<const std::uint8_t> genes) {
+  std::size_t n = 0;
+  for (auto g : genes) n += (g != 0);
+  return n;
+}
+
+/// Indices of selected jobs, in window order.
+std::vector<std::size_t> selected_indices(std::span<const std::uint8_t> genes);
+
+}  // namespace bbsched

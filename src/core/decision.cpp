@@ -1,0 +1,83 @@
+#include "core/decision.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bbsched {
+
+bool prefers_front_of_window(const Genes& a, const Genes& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return false;
+}
+
+std::size_t max_objective_index(std::span<const Chromosome> pareto_set,
+                                std::size_t k) {
+  if (pareto_set.empty()) {
+    throw std::invalid_argument("decision: empty Pareto set");
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pareto_set.size(); ++i) {
+    const double vi = pareto_set[i].objectives.at(k);
+    const double vb = pareto_set[best].objectives.at(k);
+    if (vi > vb ||
+        (vi == vb &&
+         prefers_front_of_window(pareto_set[i].genes, pareto_set[best].genes))) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t NodeFirstTradeoffRule::choose(
+    std::span<const Chromosome> pareto_set) const {
+  std::size_t preferred = max_objective_index(pareto_set, 0);
+  const double node0 = pareto_set[preferred].objectives.at(0);
+  const double bb0 = pareto_set[preferred].objectives.at(1);
+  // Replace if the BB-utilization gain is more than `factor_` times the
+  // node-utilization loss; among qualifying solutions pick the maximum gain.
+  std::size_t chosen = preferred;
+  double best_gain = 0;
+  for (std::size_t i = 0; i < pareto_set.size(); ++i) {
+    if (i == preferred) continue;
+    const double gain = pareto_set[i].objectives.at(1) - bb0;
+    const double loss = node0 - pareto_set[i].objectives.at(0);
+    if (gain > factor_ * loss && gain > best_gain) {
+      best_gain = gain;
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
+std::size_t SumTradeoffRule::choose(
+    std::span<const Chromosome> pareto_set) const {
+  std::size_t preferred = max_objective_index(pareto_set, 0);
+  const auto& base = pareto_set[preferred].objectives;
+  if (base.size() < 2) {
+    throw std::invalid_argument("SumTradeoffRule: needs >= 2 objectives");
+  }
+  std::size_t chosen = preferred;
+  double best_gain = 0;
+  for (std::size_t i = 0; i < pareto_set.size(); ++i) {
+    if (i == preferred) continue;
+    const auto& objs = pareto_set[i].objectives;
+    double gain = 0;
+    for (std::size_t k = 1; k < objs.size(); ++k) gain += objs[k] - base[k];
+    const double loss = base[0] - objs[0];
+    if (gain > factor_ * loss && gain > best_gain) {
+      best_gain = gain;
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
+std::size_t LexicographicRule::choose(
+    std::span<const Chromosome> pareto_set) const {
+  return max_objective_index(pareto_set, primary_);
+}
+
+}  // namespace bbsched

@@ -1,0 +1,94 @@
+// decision.hpp — picking one preferred solution out of the Pareto set
+// (§3.2.4 and the §5 extension).
+//
+// The solver returns a set of trade-offs; the "decision maker" applies a
+// site-specific rule to choose the one to commit.  The paper's rule:
+//   1. start from the solution with maximum node utilization; among ties
+//      prefer the one selecting jobs nearest the front of the window
+//      (preserving base-scheduler order),
+//   2. replace it by another Pareto solution if that solution's
+//      burst-buffer-utilization gain exceeds 2x its node-utilization loss;
+//      among several such solutions take the maximum gain.
+// The §5 four-objective variant compares the *summed* gain of the non-node
+// objectives against 4x the node-utilization loss.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/chromosome.hpp"
+
+namespace bbsched {
+
+/// Strategy interface: select one chromosome index from a Pareto set.
+/// The set is never empty (an all-zero selection is always feasible and
+/// appears on the front whenever nothing better exists).
+class DecisionRule {
+ public:
+  virtual ~DecisionRule() = default;
+
+  /// Index into `pareto_set` of the preferred solution.
+  virtual std::size_t choose(
+      std::span<const Chromosome> pareto_set) const = 0;
+
+  /// Human-readable rule name for logs and bench output.
+  virtual std::string name() const = 0;
+};
+
+/// The §3.2.4 rule for the two-objective problem (node util, BB util).
+/// `tradeoff_factor` is the paper's 2x.
+class NodeFirstTradeoffRule : public DecisionRule {
+ public:
+  explicit NodeFirstTradeoffRule(double tradeoff_factor = 2.0)
+      : factor_(tradeoff_factor) {}
+
+  std::size_t choose(std::span<const Chromosome> pareto_set) const override;
+  std::string name() const override { return "node-first-2x-tradeoff"; }
+
+ private:
+  double factor_;
+};
+
+/// The §5 rule for the four-objective problem: the summed improvement of
+/// objectives 1..3 (BB util, SSD util, -waste) must exceed
+/// `tradeoff_factor` (4x) times the node-utilization loss.
+class SumTradeoffRule : public DecisionRule {
+ public:
+  explicit SumTradeoffRule(double tradeoff_factor = 4.0)
+      : factor_(tradeoff_factor) {}
+
+  std::size_t choose(std::span<const Chromosome> pareto_set) const override;
+  std::string name() const override { return "node-first-4x-sum-tradeoff"; }
+
+ private:
+  double factor_;
+};
+
+/// Pure lexicographic rule: maximize objective `primary` only (front-of-
+/// window tiebreak).  Used by ablation benches to isolate the value of the
+/// trade-off step.
+class LexicographicRule : public DecisionRule {
+ public:
+  explicit LexicographicRule(std::size_t primary = 0) : primary_(primary) {}
+
+  std::size_t choose(std::span<const Chromosome> pareto_set) const override;
+  std::string name() const override { return "lexicographic"; }
+
+ private:
+  std::size_t primary_;
+};
+
+/// Index of the solution maximizing objective `k`; ties broken by the
+/// front-of-window preference (lexicographically smallest selected-index
+/// vector).  Shared helper for the rules above.
+std::size_t max_objective_index(std::span<const Chromosome> pareto_set,
+                                std::size_t k);
+
+/// True iff selection `a` prefers earlier window slots than `b` (its genes,
+/// read as a bit string from slot 0, are lexicographically greater — a set
+/// bit earlier in the window wins).
+bool prefers_front_of_window(const Genes& a, const Genes& b);
+
+}  // namespace bbsched

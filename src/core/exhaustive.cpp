@@ -1,0 +1,69 @@
+#include "core/exhaustive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bbsched {
+
+ExhaustiveResult ExhaustiveSolver::solve(const MooProblem& problem) const {
+  const std::size_t w = problem.num_vars();
+  if (w > max_vars_) {
+    throw std::invalid_argument(
+        "ExhaustiveSolver: window of " + std::to_string(w) +
+        " exceeds cap of " + std::to_string(max_vars_) +
+        " (2^w enumeration)");
+  }
+  ExhaustiveResult result;
+  result.total_count = std::size_t{1} << w;
+
+  // Pinned genes are fixed to 1; enumerate only the free positions.
+  std::vector<std::size_t> free_positions;
+  Genes genes(w, 0);
+  for (std::size_t idx : problem.pinned()) genes[idx] = 1;
+  for (std::size_t i = 0; i < w; ++i) {
+    if (!genes[i]) free_positions.push_back(i);
+  }
+  const std::size_t combos = std::size_t{1} << free_positions.size();
+  result.total_count = combos;
+
+  std::vector<Chromosome> candidates;
+  std::vector<double> objectives(problem.num_objectives());
+  // Gray-code walk: successive selections differ in exactly one bit, so
+  // linear problems could be evaluated incrementally; we keep evaluation
+  // generic (the SSD problem is not linear in the selection) and only use
+  // the walk for cheap bit bookkeeping.
+  for (std::size_t code = 0; code < combos; ++code) {
+    const std::size_t gray = code ^ (code >> 1);
+    for (std::size_t b = 0; b < free_positions.size(); ++b) {
+      genes[free_positions[b]] = (gray >> b) & 1u;
+    }
+    if (!problem.feasible(genes)) continue;
+    ++result.feasible_count;
+    problem.evaluate(genes, objectives);
+    // Incremental dominance filter: drop the candidate if dominated; drop
+    // stored candidates the new one dominates.  Keeps the working set equal
+    // to the running Pareto front instead of all feasible points.
+    bool dominated = false;
+    for (const auto& c : candidates) {
+      if (dominates(c.objectives, objectives)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    std::erase_if(candidates, [&](const Chromosome& c) {
+      return dominates(objectives, c.objectives);
+    });
+    // Skip exact duplicates in objective space with identical genes only;
+    // distinct selections with equal objectives are both kept (the decision
+    // rule's front-of-window tiebreak needs them).
+    Chromosome c;
+    c.genes = genes;
+    c.objectives = objectives;
+    candidates.push_back(std::move(c));
+  }
+  result.pareto_set = std::move(candidates);
+  return result;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,99 @@
+#include "core/ga.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bbsched {
+
+MooGaSolver::MooGaSolver(GaParams params) : params_(params) {
+  params_.validate();
+}
+
+std::vector<Chromosome> select_next_generation(std::vector<Chromosome> pool,
+                                               std::size_t target_size,
+                                               bool dedupe) {
+  // Split the pool into Set 1 (non-dominated) and Set 2 (dominated).
+  Front points;
+  points.reserve(pool.size());
+  for (const auto& c : pool) points.push_back(c.objectives);
+  const auto nd = non_dominated_indices(points);
+  std::vector<bool> in_set1(pool.size(), false);
+  for (std::size_t idx : nd) in_set1[idx] = true;
+
+  std::vector<Chromosome> set1, set2;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    (in_set1[i] ? set1 : set2).push_back(std::move(pool[i]));
+  }
+  // "Newer chromosomes have higher priorities": stable sort by age ascending
+  // preserves pool order among equal ages (children follow parents, so among
+  // age-0 chromosomes earlier creation wins, which is deterministic).
+  auto by_age = [](const Chromosome& a, const Chromosome& b) {
+    return a.age < b.age;
+  };
+  std::stable_sort(set1.begin(), set1.end(), by_age);
+  std::stable_sort(set2.begin(), set2.end(), by_age);
+
+  std::vector<Chromosome> next;
+  next.reserve(target_size);
+  auto push_unique = [&](Chromosome&& c) {
+    if (next.size() >= target_size) return;
+    if (dedupe) {
+      for (const auto& existing : next) {
+        if (existing.same_genes(c)) return;
+      }
+    }
+    next.push_back(std::move(c));
+  };
+  for (auto& c : set1) push_unique(std::move(c));
+  for (auto& c : set2) push_unique(std::move(c));
+  // If deduplication left the generation short (tiny windows have few
+  // distinct selections), refill with duplicates of the best members so the
+  // population size stays P as the paper assumes.
+  std::size_t refill = 0;
+  while (next.size() < target_size && !next.empty()) {
+    next.push_back(next[refill % next.size()]);
+    ++refill;
+  }
+  return next;
+}
+
+MooResult MooGaSolver::solve(const MooProblem& problem) const {
+  Rng rng(params_.seed);
+  return solve(problem, rng);
+}
+
+MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
+  MooResult result;
+  const auto population_size =
+      static_cast<std::size_t>(params_.population_size);
+  auto population = random_population(problem, population_size, rng);
+  result.evaluations += population.size();
+
+  for (int g = 0; g < params_.generations; ++g) {
+    auto children = make_children(problem, population, population_size,
+                                  params_.mutation_rate, rng);
+    result.evaluations += children.size();
+    std::vector<Chromosome> pool = std::move(population);
+    pool.insert(pool.end(), std::make_move_iterator(children.begin()),
+                std::make_move_iterator(children.end()));
+    population = select_next_generation(std::move(pool), population_size,
+                                        params_.dedupe_survivors);
+    for (auto& c : population) ++c.age;
+    ++result.generations;
+  }
+
+  // Final Pareto set: non-dominated members of the last generation,
+  // deduplicated by genes.
+  auto front = pareto_front(population);
+  std::vector<Chromosome> unique;
+  for (auto& c : front) {
+    const bool seen = std::any_of(
+        unique.begin(), unique.end(),
+        [&](const Chromosome& u) { return u.same_genes(c); });
+    if (!seen) unique.push_back(std::move(c));
+  }
+  result.pareto_set = std::move(unique);
+  return result;
+}
+
+}  // namespace bbsched

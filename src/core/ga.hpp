@@ -1,0 +1,69 @@
+// ga.hpp — the multi-objective genetic solver of §3.2.2.
+//
+// The solver maintains a population of P feasible chromosomes and evolves it
+// for G generations.  Each generation:
+//   1. P children are produced by crossover of random parent pairs and
+//      per-gene mutation with probability p_m,
+//   2. parents and children are pooled and split into Set 1 (the pool's
+//      non-dominated solutions) and Set 2 (the rest),
+//   3. the next generation carries over Set 1 first, then Set 2, truncating
+//      to P; "newer chromosomes have higher priorities", i.e. lower age wins
+//      ties,
+//   4. the survivors' ages are incremented.
+// After G generations the non-dominated members of the final population form
+// the returned (approximate) Pareto set.
+//
+// Duplicate gene vectors are collapsed when building the next generation; the
+// paper does not discuss duplicates, and collapsing prevents a single strong
+// chromosome from flooding the fixed-size population (see DESIGN.md §5 and
+// the ablation bench).
+#pragma once
+
+#include <vector>
+
+#include "core/ga_ops.hpp"
+#include "core/pareto.hpp"
+#include "core/problem.hpp"
+
+namespace bbsched {
+
+/// Result of one multi-objective solve.
+struct MooResult {
+  /// Non-dominated chromosomes of the final generation, deduplicated by gene
+  /// vector, in no particular order.
+  std::vector<Chromosome> pareto_set;
+  /// Generations actually run.
+  int generations = 0;
+  /// Total chromosome evaluations performed (population init + children).
+  std::size_t evaluations = 0;
+};
+
+/// Multi-objective genetic solver.  Stateless apart from parameters: each
+/// solve() call owns its RNG stream, seeded from params.seed, so repeated
+/// calls with the same problem and seed are identical.
+class MooGaSolver {
+ public:
+  explicit MooGaSolver(GaParams params);
+
+  /// Approximate the Pareto set of `problem`.
+  MooResult solve(const MooProblem& problem) const;
+
+  /// As solve(), but use an externally managed RNG (the simulator advances
+  /// one stream across many scheduling invocations).
+  MooResult solve(const MooProblem& problem, Rng& rng) const;
+
+  const GaParams& params() const { return params_; }
+
+ private:
+  GaParams params_;
+};
+
+/// Build the next generation from the pooled parents+children per §3.2.2:
+/// Pareto members first, then the rest, newest (lowest age) first within each
+/// set, optionally deduplicated by genes, truncated to `target_size`.
+/// Exposed for unit testing.
+std::vector<Chromosome> select_next_generation(std::vector<Chromosome> pool,
+                                               std::size_t target_size,
+                                               bool dedupe = true);
+
+}  // namespace bbsched

@@ -1,0 +1,88 @@
+#include "core/ga_ops.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bbsched {
+
+void GaParams::validate() const {
+  if (generations < 1) throw std::invalid_argument("GaParams: G must be >= 1");
+  if (population_size < 2) {
+    throw std::invalid_argument("GaParams: P must be >= 2");
+  }
+  if (mutation_rate < 0.0 || mutation_rate > 1.0) {
+    throw std::invalid_argument("GaParams: p_m must be in [0, 1]");
+  }
+}
+
+Chromosome random_chromosome(const MooProblem& problem, Rng& rng) {
+  Chromosome c;
+  c.genes.resize(problem.num_vars());
+  for (auto& g : c.genes) g = rng.bernoulli(0.5) ? 1 : 0;
+  problem.repair(c.genes, rng);
+  problem.evaluate_into(c);
+  return c;
+}
+
+std::vector<Chromosome> random_population(const MooProblem& problem,
+                                          std::size_t size, Rng& rng) {
+  std::vector<Chromosome> population;
+  population.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    population.push_back(random_chromosome(problem, rng));
+  }
+  return population;
+}
+
+std::pair<Genes, Genes> crossover(const Genes& a, const Genes& b, Rng& rng) {
+  assert(a.size() == b.size());
+  Genes child_a = a;
+  Genes child_b = b;
+  if (a.size() >= 2) {
+    // Cut position in [1, w-1] so both sides are non-empty.
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(a.size()) - 1));
+    for (std::size_t i = cut; i < a.size(); ++i) {
+      std::swap(child_a[i], child_b[i]);
+    }
+  }
+  return {std::move(child_a), std::move(child_b)};
+}
+
+void mutate(Genes& genes, const MooProblem& problem, double rate, Rng& rng) {
+  if (rate <= 0.0) return;
+  for (auto& g : genes) {
+    if (rng.bernoulli(rate)) g = g ? 0 : 1;
+  }
+  problem.apply_pins(genes);
+}
+
+std::vector<Chromosome> make_children(const MooProblem& problem,
+                                      const std::vector<Chromosome>& parents,
+                                      std::size_t count, double mutation_rate,
+                                      Rng& rng) {
+  assert(!parents.empty());
+  std::vector<Chromosome> children;
+  children.reserve(count + 1);
+  const auto pick = [&]() -> const Genes& {
+    const auto idx = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(parents.size()) - 1));
+    return parents[idx].genes;
+  };
+  while (children.size() < count) {
+    auto [a, b] = crossover(pick(), pick(), rng);
+    for (Genes* genes : {&a, &b}) {
+      if (children.size() >= count) break;
+      mutate(*genes, problem, mutation_rate, rng);
+      problem.repair(*genes, rng);
+      Chromosome c;
+      c.genes = std::move(*genes);
+      c.age = 0;
+      problem.evaluate_into(c);
+      children.push_back(std::move(c));
+    }
+  }
+  return children;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,56 @@
+// ga_ops.hpp — genetic operators shared by the multi-objective solver
+// (ga.hpp) and the scalarized single-objective solver (scalar_ga.hpp).
+//
+// The operators implement §3.2.2 verbatim: single-point crossover of two
+// randomly chosen parents, per-gene bit-flip mutation with a low probability
+// p_m, random population initialization.  Feasibility is restored through
+// MooProblem::repair after every operator, and pinned genes (starvation
+// forcing) are re-applied.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/chromosome.hpp"
+#include "core/problem.hpp"
+
+namespace bbsched {
+
+/// Shared solver parameters (§3.2.3 defaults: G=500, P=20, p_m=0.05%).
+struct GaParams {
+  int generations = 500;        ///< G
+  int population_size = 20;     ///< P
+  double mutation_rate = 0.0005;///< p_m, probability of flipping each gene
+  std::uint64_t seed = 1;       ///< RNG seed for reproducible runs
+  /// Collapse duplicate gene vectors when forming the next generation.  The
+  /// paper does not discuss duplicates; collapsing prevents one strong
+  /// chromosome from flooding the fixed-size population (DESIGN.md §5,
+  /// ablated by bench_ablation_solver).
+  bool dedupe_survivors = true;
+
+  void validate() const;
+};
+
+/// A random feasible chromosome: each gene set with probability 1/2, then
+/// repaired against the problem's constraints.
+Chromosome random_chromosome(const MooProblem& problem, Rng& rng);
+
+/// Initialize a population of `size` random feasible, evaluated chromosomes.
+std::vector<Chromosome> random_population(const MooProblem& problem,
+                                          std::size_t size, Rng& rng);
+
+/// Single-point crossover (Figure 3): swap the tails of two parents at a
+/// random cut position.  Children are *not* yet mutated/repaired/evaluated.
+std::pair<Genes, Genes> crossover(const Genes& a, const Genes& b, Rng& rng);
+
+/// Flip each non-pinned gene with probability `rate`.
+void mutate(Genes& genes, const MooProblem& problem, double rate, Rng& rng);
+
+/// Produce `count` children from `parents` via crossover + mutation, then
+/// repair and evaluate each child (age 0).
+std::vector<Chromosome> make_children(const MooProblem& problem,
+                                      const std::vector<Chromosome>& parents,
+                                      std::size_t count, double mutation_rate,
+                                      Rng& rng);
+
+}  // namespace bbsched

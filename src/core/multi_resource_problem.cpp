@@ -1,0 +1,86 @@
+#include "core/multi_resource_problem.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bbsched {
+
+MultiResourceProblem::MultiResourceProblem(
+    std::vector<std::vector<double>> demands, std::vector<double> free)
+    : demands_(std::move(demands)), free_(std::move(free)) {
+  if (demands_.empty()) {
+    throw std::invalid_argument("MultiResourceProblem: need >= 1 resource");
+  }
+  if (demands_.size() != free_.size()) {
+    throw std::invalid_argument(
+        "MultiResourceProblem: demands/free dimension mismatch");
+  }
+  num_vars_ = demands_.front().size();
+  for (const auto& row : demands_) {
+    if (row.size() != num_vars_) {
+      throw std::invalid_argument(
+          "MultiResourceProblem: ragged demand matrix");
+    }
+    for (double d : row) {
+      if (d < 0) {
+        throw std::invalid_argument(
+            "MultiResourceProblem: negative demand");
+      }
+    }
+  }
+  for (double f : free_) {
+    if (f < 0) {
+      throw std::invalid_argument("MultiResourceProblem: negative capacity");
+    }
+  }
+}
+
+MultiResourceProblem MultiResourceProblem::cpu_bb(
+    std::span<const double> node_demand, std::span<const double> bb_demand,
+    double free_nodes, double free_bb) {
+  std::vector<std::vector<double>> demands{
+      {node_demand.begin(), node_demand.end()},
+      {bb_demand.begin(), bb_demand.end()}};
+  return MultiResourceProblem(std::move(demands), {free_nodes, free_bb});
+}
+
+void MultiResourceProblem::evaluate(std::span<const std::uint8_t> genes,
+                                    std::span<double> objectives) const {
+  assert(genes.size() == num_vars_);
+  assert(objectives.size() == demands_.size());
+  for (std::size_t r = 0; r < demands_.size(); ++r) {
+    double used = 0;
+    const auto& row = demands_[r];
+    for (std::size_t i = 0; i < num_vars_; ++i) {
+      if (genes[i]) used += row[i];
+    }
+    objectives[r] = free_[r] > 0 ? used / free_[r] : 0.0;
+  }
+}
+
+bool MultiResourceProblem::feasible(
+    std::span<const std::uint8_t> genes) const {
+  assert(genes.size() == num_vars_);
+  for (std::size_t r = 0; r < demands_.size(); ++r) {
+    double used = 0;
+    const auto& row = demands_[r];
+    for (std::size_t i = 0; i < num_vars_; ++i) {
+      if (genes[i]) used += row[i];
+    }
+    if (used > free_[r]) return false;
+  }
+  return true;
+}
+
+std::vector<double> MultiResourceProblem::consumption(
+    std::span<const std::uint8_t> genes) const {
+  std::vector<double> used(demands_.size(), 0.0);
+  for (std::size_t r = 0; r < demands_.size(); ++r) {
+    for (std::size_t i = 0; i < num_vars_; ++i) {
+      if (genes[i]) used[r] += demands_[r][i];
+    }
+  }
+  return used;
+}
+
+}  // namespace bbsched

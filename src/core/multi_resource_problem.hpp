@@ -1,0 +1,62 @@
+// multi_resource_problem.hpp — the paper's core MOO formulation (§3.2.1),
+// generalized from {nodes, burst buffer} to R independent resources.
+//
+//   maximize  f_r(x) = sum_i demand[r][i] * x_i   for every resource r
+//   s.t.      f_r(x) <= free capacity of r
+//
+// The two-resource instance used throughout §4 is R = 2 with
+// r0 = compute nodes and r1 = shared burst-buffer GB.  The class is generic
+// because §5 argues BBSched extends to further resources; tests exercise
+// R = 3 (e.g. nodes + BB + power budget) against the same solver.
+//
+// Objectives are reported as fractions of the *free* capacity (see
+// problem.hpp); a resource with zero free capacity contributes a constant 0
+// so that windows hitting full saturation of one resource still optimize the
+// others.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace bbsched {
+
+/// Linear multi-resource selection problem with one objective per resource.
+class MultiResourceProblem : public MooProblem {
+ public:
+  /// `demands[r][i]` is job i's demand for resource r; `free[r]` is the free
+  /// capacity of resource r.  All demand rows must have equal length.
+  MultiResourceProblem(std::vector<std::vector<double>> demands,
+                       std::vector<double> free);
+
+  /// Convenience constructor for the canonical CPU + burst-buffer instance.
+  static MultiResourceProblem cpu_bb(std::span<const double> node_demand,
+                                     std::span<const double> bb_demand,
+                                     double free_nodes, double free_bb);
+
+  std::size_t num_vars() const override { return num_vars_; }
+  std::size_t num_objectives() const override { return demands_.size(); }
+
+  void evaluate(std::span<const std::uint8_t> genes,
+                std::span<double> objectives) const override;
+  bool feasible(std::span<const std::uint8_t> genes) const override;
+
+  /// Raw (unnormalized) resource consumption of a selection.
+  std::vector<double> consumption(std::span<const std::uint8_t> genes) const;
+
+  double free_capacity(std::size_t resource) const {
+    return free_.at(resource);
+  }
+  double demand(std::size_t resource, std::size_t job) const {
+    return demands_.at(resource).at(job);
+  }
+
+ private:
+  std::vector<std::vector<double>> demands_;  // [resource][job]
+  std::vector<double> free_;                  // [resource]
+  std::size_t num_vars_;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,185 @@
+#include "core/nsga2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace bbsched {
+
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const Front& points) {
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);  // i dominates these
+  std::vector<std::size_t> domination_count(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dominates(points[i], points[j])) {
+        dominated_by[i].push_back(j);
+      } else if (dominates(points[j], points[i])) {
+        ++domination_count[i];
+      }
+    }
+  }
+  std::vector<std::vector<std::size_t>> fronts;
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (domination_count[i] == 0) current.push_back(i);
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      for (std::size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) next.push_back(j);
+      }
+    }
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> crowding_distances(const Front& front) {
+  const std::size_t n = front.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> distance(n, 0.0);
+  if (n <= 2) {
+    std::fill(distance.begin(), distance.end(), kInf);
+    return distance;
+  }
+  const std::size_t objectives = front.front().size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t k = 0; k < objectives; ++k) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return front[a][k] < front[b][k];
+    });
+    distance[order.front()] = kInf;
+    distance[order.back()] = kInf;
+    const double range = front[order.back()][k] - front[order.front()][k];
+    if (range <= 0) continue;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      distance[order[i]] +=
+          (front[order[i + 1]][k] - front[order[i - 1]][k]) / range;
+    }
+  }
+  return distance;
+}
+
+Nsga2Solver::Nsga2Solver(GaParams params) : params_(params) {
+  params_.validate();
+}
+
+MooResult Nsga2Solver::solve(const MooProblem& problem) const {
+  Rng rng(params_.seed);
+  return solve(problem, rng);
+}
+
+MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
+  MooResult result;
+  const auto population_size =
+      static_cast<std::size_t>(params_.population_size);
+  auto population = random_population(problem, population_size, rng);
+  result.evaluations += population.size();
+
+  // Per-chromosome (rank, crowding) metadata, parallel to `population`.
+  std::vector<std::size_t> rank(population.size(), 0);
+  std::vector<double> crowding(population.size(), 0.0);
+  auto recompute_metadata = [&](const std::vector<Chromosome>& pop) {
+    Front points;
+    points.reserve(pop.size());
+    for (const auto& c : pop) points.push_back(c.objectives);
+    const auto fronts = non_dominated_sort(points);
+    rank.assign(pop.size(), 0);
+    crowding.assign(pop.size(), 0.0);
+    for (std::size_t f = 0; f < fronts.size(); ++f) {
+      Front sub;
+      sub.reserve(fronts[f].size());
+      for (std::size_t idx : fronts[f]) sub.push_back(points[idx]);
+      const auto dist = crowding_distances(sub);
+      for (std::size_t m = 0; m < fronts[f].size(); ++m) {
+        rank[fronts[f][m]] = f;
+        crowding[fronts[f][m]] = dist[m];
+      }
+    }
+  };
+  recompute_metadata(population);
+
+  auto tournament_pick = [&]() -> const Genes& {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(population.size()) - 1));
+    const auto b = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(population.size()) - 1));
+    const bool a_wins =
+        rank[a] != rank[b] ? rank[a] < rank[b] : crowding[a] > crowding[b];
+    return population[a_wins ? a : b].genes;
+  };
+
+  for (int g = 0; g < params_.generations; ++g) {
+    // Offspring via binary-tournament parents.
+    std::vector<Chromosome> children;
+    children.reserve(population_size);
+    while (children.size() < population_size) {
+      auto [x, y] = crossover(tournament_pick(), tournament_pick(), rng);
+      for (Genes* genes : {&x, &y}) {
+        if (children.size() >= population_size) break;
+        mutate(*genes, problem, params_.mutation_rate, rng);
+        problem.repair(*genes, rng);
+        Chromosome c;
+        c.genes = std::move(*genes);
+        problem.evaluate_into(c);
+        children.push_back(std::move(c));
+      }
+    }
+    result.evaluations += children.size();
+
+    // Environmental selection: fill by front, truncate the splitting front
+    // by crowding distance.
+    std::vector<Chromosome> pool = std::move(population);
+    pool.insert(pool.end(), std::make_move_iterator(children.begin()),
+                std::make_move_iterator(children.end()));
+    Front points;
+    points.reserve(pool.size());
+    for (const auto& c : pool) points.push_back(c.objectives);
+    const auto fronts = non_dominated_sort(points);
+    std::vector<Chromosome> next;
+    next.reserve(population_size);
+    for (const auto& front : fronts) {
+      if (next.size() >= population_size) break;
+      if (next.size() + front.size() <= population_size) {
+        for (std::size_t idx : front) next.push_back(std::move(pool[idx]));
+        continue;
+      }
+      Front sub;
+      sub.reserve(front.size());
+      for (std::size_t idx : front) sub.push_back(points[idx]);
+      const auto dist = crowding_distances(sub);
+      std::vector<std::size_t> order(front.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return dist[a] > dist[b];
+                });
+      for (std::size_t i = 0; i < order.size() && next.size() < population_size;
+           ++i) {
+        next.push_back(std::move(pool[front[order[i]]]));
+      }
+    }
+    population = std::move(next);
+    recompute_metadata(population);
+    ++result.generations;
+  }
+
+  auto front = pareto_front(population);
+  std::vector<Chromosome> unique;
+  for (auto& c : front) {
+    const bool seen =
+        std::any_of(unique.begin(), unique.end(),
+                    [&](const Chromosome& u) { return u.same_genes(c); });
+    if (!seen) unique.push_back(std::move(c));
+  }
+  result.pareto_set = std::move(unique);
+  return result;
+}
+
+}  // namespace bbsched

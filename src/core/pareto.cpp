@@ -1,0 +1,96 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bbsched {
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] < b[k]) return false;
+    if (a[k] > b[k]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> non_dominated_indices(const Front& points) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Chromosome> pareto_front(std::span<const Chromosome> population) {
+  Front points;
+  points.reserve(population.size());
+  for (const auto& c : population) points.push_back(c.objectives);
+  std::vector<Chromosome> out;
+  for (std::size_t idx : non_dominated_indices(points)) {
+    out.push_back(population[idx]);
+  }
+  return out;
+}
+
+double generational_distance(const Front& solutions, const Front& truth) {
+  if (truth.empty()) {
+    throw std::invalid_argument("generational_distance: empty truth set");
+  }
+  if (solutions.empty()) return 0.0;
+  double total = 0;
+  for (const auto& u : solutions) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& v : truth) {
+      assert(u.size() == v.size());
+      double d2 = 0;
+      for (std::size_t k = 0; k < u.size(); ++k) {
+        const double diff = u[k] - v[k];
+        d2 += diff * diff;
+      }
+      best = std::min(best, d2);
+    }
+    total += std::sqrt(best);
+  }
+  return total / static_cast<double>(solutions.size());
+}
+
+Front sorted_by_first_objective(Front front) {
+  std::sort(front.begin(), front.end(),
+            [](const auto& a, const auto& b) {
+              return a[0] != b[0] ? a[0] < b[0] : a[1] < b[1];
+            });
+  return front;
+}
+
+double hypervolume_2d(const Front& front, std::span<const double> reference) {
+  if (front.empty()) return 0.0;
+  if (reference.size() != 2) {
+    throw std::invalid_argument("hypervolume_2d: reference must be 2-d");
+  }
+  // Keep only the non-dominated points, sorted by f0 ascending.  On a
+  // non-dominated 2-d front sorted this way, f1 is strictly decreasing, so
+  // each point i dominates exactly the strip between the previous point's f0
+  // and its own f0, at height (f1_i - ref1).
+  Front nd;
+  for (std::size_t idx : non_dominated_indices(front)) nd.push_back(front[idx]);
+  nd = sorted_by_first_objective(std::move(nd));
+  double volume = 0;
+  for (std::size_t i = nd.size(); i-- > 0;) {
+    const double x_hi = std::max(nd[i][0], reference[0]);
+    const double x_lo = (i == 0) ? reference[0]
+                                 : std::max(nd[i - 1][0], reference[0]);
+    const double height = nd[i][1] - reference[1];
+    if (height > 0 && x_hi > x_lo) volume += (x_hi - x_lo) * height;
+  }
+  return volume;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,45 @@
+// pareto.hpp — dominance relations, non-dominated filtering and Pareto-front
+// quality metrics (generational distance, hypervolume).
+//
+// All objectives are maximized.  "u dominates v" means u is at least as good
+// in every objective and strictly better in at least one (footnote 1 of the
+// paper).  Generational distance (§3.2.3) measures the average Euclidean
+// distance from each solver solution to its nearest true-Pareto point.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/chromosome.hpp"
+
+namespace bbsched {
+
+/// Objective vectors of a set of solutions.
+using Front = std::vector<std::vector<double>>;
+
+/// True iff `a` dominates `b` (maximization).  Spans must be equal length.
+bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// Indices of the non-dominated members of `points`.  Duplicated objective
+/// vectors are all retained (none dominates the other).  O(n^2 * d).
+std::vector<std::size_t> non_dominated_indices(const Front& points);
+
+/// The non-dominated subset of a population, in input order.  Chromosomes
+/// must carry evaluated objectives.
+std::vector<Chromosome> pareto_front(std::span<const Chromosome> population);
+
+/// Generational distance of `solutions` against `truth` (§3.2.3):
+///   GD(S) = avg_{u in S} min_{v in S*} dist(u, v).
+/// Returns 0 for an empty solution set; truth must be non-empty.
+double generational_distance(const Front& solutions, const Front& truth);
+
+/// Hypervolume dominated by `front` relative to `reference` (which must be
+/// dominated by every front point), for 2-objective fronts.  Used by the
+/// ablation benches as a second solver-quality metric.
+double hypervolume_2d(const Front& front, std::span<const double> reference);
+
+/// Sort a 2-objective front by the first objective ascending (helper for
+/// printing Pareto sets and for hypervolume).
+Front sorted_by_first_objective(Front front);
+
+}  // namespace bbsched

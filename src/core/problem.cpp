@@ -1,0 +1,51 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bbsched {
+
+void MooProblem::pin(std::size_t index) {
+  assert(index < num_vars());
+  if (!is_pinned(index)) pinned_.push_back(index);
+}
+
+bool MooProblem::is_pinned(std::size_t index) const {
+  return std::find(pinned_.begin(), pinned_.end(), index) != pinned_.end();
+}
+
+void MooProblem::apply_pins(Genes& genes) const {
+  for (std::size_t idx : pinned_) genes[idx] = 1;
+}
+
+void MooProblem::repair(Genes& genes, Rng& rng) const {
+  apply_pins(genes);
+  if (feasible(genes)) return;
+  // Collect clearable (set, non-pinned) positions and clear them in random
+  // order until the selection fits.
+  std::vector<std::size_t> clearable;
+  clearable.reserve(genes.size());
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (genes[i] && !is_pinned(i)) clearable.push_back(i);
+  }
+  // Fisher-Yates shuffle driven by the solver's RNG for determinism.
+  for (std::size_t i = clearable.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(clearable[i - 1], clearable[j]);
+  }
+  for (std::size_t idx : clearable) {
+    genes[idx] = 0;
+    if (feasible(genes)) return;
+  }
+  // With all non-pinned genes cleared the selection is the pinned set, which
+  // the caller guarantees feasible (or empty, which is trivially feasible).
+  assert(feasible(genes));
+}
+
+void MooProblem::evaluate_into(Chromosome& c) const {
+  c.objectives.resize(num_objectives());
+  evaluate(c.genes, c.objectives);
+}
+
+}  // namespace bbsched

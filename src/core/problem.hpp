@@ -1,0 +1,76 @@
+// problem.hpp — the multi-objective optimization problem interface (§3.2.1).
+//
+// A MooProblem maps a binary selection vector over the scheduling window to a
+// vector of objective values (all maximized) and a feasibility verdict
+// against the machine's free-capacity constraints.  The solver layer (ga.hpp,
+// exhaustive.hpp, scalar_ga.hpp) is written purely against this interface,
+// which is what makes BBSched "extensible to embrace emerging resources":
+// adding a resource means adding a problem subclass, not touching the solver.
+//
+// Objective convention: every objective is a *utilization fraction* of the
+// currently free capacity, in [0, 1] for feasible selections (the wasted-SSD
+// objective of §5 is a negated fraction, hence <= 0).  Utilization fractions
+// rather than raw sums keep the weighted methods' scalarization and the
+// decision rules' "2x the loss" comparisons dimensionless, exactly as the
+// paper compares node-utilization percentages against burst-buffer
+// utilization percentages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/chromosome.hpp"
+
+namespace bbsched {
+
+/// Abstract MOO problem over a fixed-size binary decision vector.
+class MooProblem {
+ public:
+  virtual ~MooProblem() = default;
+
+  /// Window size w: length of the decision vector.
+  virtual std::size_t num_vars() const = 0;
+
+  /// Number of objectives (2 for the CPU+BB problem, 4 with local SSD).
+  virtual std::size_t num_objectives() const = 0;
+
+  /// Compute the objective vector of a selection.  `objectives` must have
+  /// num_objectives() entries.  Defined for feasible selections; callers keep
+  /// populations feasible via repair().
+  virtual void evaluate(std::span<const std::uint8_t> genes,
+                        std::span<double> objectives) const = 0;
+
+  /// Whether a selection satisfies every capacity constraint.
+  virtual bool feasible(std::span<const std::uint8_t> genes) const = 0;
+
+  /// Indices of genes pinned to 1 (jobs force-included by the starvation
+  /// bound, §3.1).  Pinned genes survive repair and mutation.
+  std::span<const std::size_t> pinned() const { return pinned_; }
+
+  /// Pin a gene to 1.  Callers must ensure the pinned set by itself is
+  /// feasible; pin() ignores duplicates.
+  void pin(std::size_t index);
+
+  /// Make a selection feasible by clearing randomly chosen non-pinned set
+  /// bits until every constraint holds.  The paper does not specify the
+  /// handling of capacity-violating chromosomes; repair keeps the whole
+  /// population feasible so the Pareto bookkeeping of §3.2.2 applies
+  /// unchanged (see DESIGN.md §5).
+  virtual void repair(Genes& genes, Rng& rng) const;
+
+  /// Force pinned genes to 1 (used after random initialization / mutation).
+  void apply_pins(Genes& genes) const;
+
+  /// Evaluate into a Chromosome's cached objective storage.
+  void evaluate_into(Chromosome& c) const;
+
+ protected:
+  bool is_pinned(std::size_t index) const;
+
+ private:
+  std::vector<std::size_t> pinned_;
+};
+
+}  // namespace bbsched

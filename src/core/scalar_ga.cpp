@@ -1,0 +1,64 @@
+#include "core/scalar_ga.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bbsched {
+
+ScalarGaSolver::ScalarGaSolver(GaParams params, std::vector<double> weights)
+    : params_(params), weights_(std::move(weights)) {
+  params_.validate();
+  if (weights_.empty()) {
+    throw std::invalid_argument("ScalarGaSolver: empty weight vector");
+  }
+}
+
+double ScalarGaSolver::fitness(const Chromosome& c) const {
+  assert(c.objectives.size() == weights_.size());
+  double f = 0;
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    f += weights_[k] * c.objectives[k];
+  }
+  return f;
+}
+
+ScalarResult ScalarGaSolver::solve(const MooProblem& problem) const {
+  Rng rng(params_.seed);
+  return solve(problem, rng);
+}
+
+ScalarResult ScalarGaSolver::solve(const MooProblem& problem, Rng& rng) const {
+  if (problem.num_objectives() != weights_.size()) {
+    throw std::invalid_argument(
+        "ScalarGaSolver: weight count != problem objectives");
+  }
+  ScalarResult result;
+  const auto population_size =
+      static_cast<std::size_t>(params_.population_size);
+  auto population = random_population(problem, population_size, rng);
+  result.evaluations += population.size();
+
+  auto by_fitness_desc = [this](const Chromosome& a, const Chromosome& b) {
+    return fitness(a) > fitness(b);
+  };
+
+  for (int g = 0; g < params_.generations; ++g) {
+    auto children = make_children(problem, population, population_size,
+                                  params_.mutation_rate, rng);
+    result.evaluations += children.size();
+    population.insert(population.end(),
+                      std::make_move_iterator(children.begin()),
+                      std::make_move_iterator(children.end()));
+    // Elitist truncation: keep the best P by scalar fitness.  stable_sort
+    // keeps parents ahead of equal-fitness children for determinism.
+    std::stable_sort(population.begin(), population.end(), by_fitness_desc);
+    population.resize(population_size);
+  }
+
+  result.best = population.front();
+  result.fitness = fitness(result.best);
+  return result;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,48 @@
+// scalar_ga.hpp — scalarized single-objective solver for the weighted and
+// constrained comparison methods (§4.3).
+//
+// Weighted methods maximize a weighted sum of utilizations; constrained
+// methods maximize a single resource's utilization (the other capacities act
+// only as constraints, which every MooProblem enforces anyway).  Both are
+// single-objective selections over the same window, so they reuse the same
+// crossover/mutation/repair operators as BBSched with an elitist
+// keep-the-best-P survivor rule.  Using the identical solver machinery keeps
+// the §4 comparisons about the *formulation* (Pareto set vs. scalarization),
+// not about solver quality — matching how the paper frames the methods.
+#pragma once
+
+#include <vector>
+
+#include "core/ga_ops.hpp"
+#include "core/problem.hpp"
+
+namespace bbsched {
+
+/// Result of one scalarized solve.
+struct ScalarResult {
+  Chromosome best;          ///< highest-fitness chromosome found
+  double fitness = 0;       ///< its scalar fitness
+  std::size_t evaluations = 0;
+};
+
+/// Elitist genetic maximizer of  sum_k weights[k] * objectives[k].
+class ScalarGaSolver {
+ public:
+  /// `weights` has one entry per problem objective.  A constrained method is
+  /// a weight vector with a single 1 (e.g. {1, 0} for Constrained_CPU).
+  ScalarGaSolver(GaParams params, std::vector<double> weights);
+
+  ScalarResult solve(const MooProblem& problem) const;
+  ScalarResult solve(const MooProblem& problem, Rng& rng) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  const GaParams& params() const { return params_; }
+
+ private:
+  double fitness(const Chromosome& c) const;
+
+  GaParams params_;
+  std::vector<double> weights_;
+};
+
+}  // namespace bbsched

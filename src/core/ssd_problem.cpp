@@ -1,0 +1,96 @@
+#include "core/ssd_problem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bbsched {
+
+SsdSchedulingProblem::SsdSchedulingProblem(std::vector<SsdJobDemand> jobs,
+                                           SsdFreeState free)
+    : jobs_(std::move(jobs)), free_(free) {
+  if (free_.small_ssd_gb <= 0 || free_.large_ssd_gb < free_.small_ssd_gb) {
+    throw std::invalid_argument("SsdSchedulingProblem: bad SSD tier sizes");
+  }
+  for (const auto& j : jobs_) {
+    if (j.nodes < 0 || j.bb_gb < 0 || j.ssd_per_node < 0) {
+      throw std::invalid_argument("SsdSchedulingProblem: negative demand");
+    }
+  }
+}
+
+bool SsdSchedulingProblem::feasible(
+    std::span<const std::uint8_t> genes) const {
+  assert(genes.size() == jobs_.size());
+  double total_nodes = 0, large_only_nodes = 0, bb = 0;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (!genes[i]) continue;
+    const auto& j = jobs_[i];
+    if (j.ssd_per_node > free_.large_ssd_gb) return false;  // unservable
+    total_nodes += j.nodes;
+    if (j.ssd_per_node > free_.small_ssd_gb) large_only_nodes += j.nodes;
+    bb += j.bb_gb;
+  }
+  return large_only_nodes <= free_.large_nodes &&
+         total_nodes <= free_.small_nodes + free_.large_nodes &&
+         bb <= free_.bb_gb;
+}
+
+std::vector<SsdNodeSplit> SsdSchedulingProblem::assign(
+    std::span<const std::uint8_t> genes) const {
+  assert(feasible(genes));
+  std::vector<SsdNodeSplit> split(jobs_.size());
+  double small_left = free_.small_nodes;
+  double large_left = free_.large_nodes;
+  // Pass 1: jobs that can only run on the large tier.
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (!genes[i] || jobs_[i].ssd_per_node <= free_.small_ssd_gb) continue;
+    split[i].large_nodes = jobs_[i].nodes;
+    large_left -= jobs_[i].nodes;
+  }
+  // Pass 2: small-tier-capable jobs prefer small-tier nodes (§5) and spill
+  // onto the large tier only when the small tier is exhausted.
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (!genes[i] || jobs_[i].ssd_per_node > free_.small_ssd_gb) continue;
+    const double take_small = std::min(jobs_[i].nodes, small_left);
+    split[i].small_nodes = take_small;
+    split[i].large_nodes = jobs_[i].nodes - take_small;
+    small_left -= take_small;
+    large_left -= split[i].large_nodes;
+  }
+  assert(small_left >= -1e-9 && large_left >= -1e-9);
+  return split;
+}
+
+double SsdSchedulingProblem::wasted_ssd(
+    std::span<const std::uint8_t> genes) const {
+  const auto split = assign(genes);
+  double waste = 0;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (!genes[i]) continue;
+    const double s = jobs_[i].ssd_per_node;
+    waste += split[i].small_nodes * (free_.small_ssd_gb - s) +
+             split[i].large_nodes * (free_.large_ssd_gb - s);
+  }
+  return waste;
+}
+
+void SsdSchedulingProblem::evaluate(std::span<const std::uint8_t> genes,
+                                    std::span<double> objectives) const {
+  assert(objectives.size() == 4);
+  double nodes = 0, bb = 0, ssd = 0;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (!genes[i]) continue;
+    nodes += jobs_[i].nodes;
+    bb += jobs_[i].bb_gb;
+    ssd += jobs_[i].ssd_per_node * jobs_[i].nodes;
+  }
+  const double free_nodes = free_.small_nodes + free_.large_nodes;
+  const double free_ssd = free_ssd_capacity();
+  objectives[0] = free_nodes > 0 ? nodes / free_nodes : 0.0;
+  objectives[1] = free_.bb_gb > 0 ? bb / free_.bb_gb : 0.0;
+  objectives[2] = free_ssd > 0 ? ssd / free_ssd : 0.0;
+  objectives[3] = free_ssd > 0 ? -wasted_ssd(genes) / free_ssd : 0.0;
+}
+
+}  // namespace bbsched

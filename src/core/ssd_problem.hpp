@@ -1,0 +1,83 @@
+// ssd_problem.hpp — the four-objective case-study formulation of §5.
+//
+// On a machine whose nodes carry heterogeneous local SSDs (a "small" tier,
+// 128 GB on Theta, and a "large" tier, 256 GB), a job J_i demands n_i nodes,
+// b_i GB of shared burst buffer and s_i GB of local SSD *per node*.  Nodes
+// assigned to the job must each have at least s_i GB of SSD.  On top of the
+// §3.2.1 objectives the formulation adds:
+//
+//   f3: maximize local-SSD utilization   sum_i s_i * n_i * x_i
+//   f4: minimize wasted local SSD        sum_i sum_j (l_ij - s_i) * x_i
+//
+// where l_ij is the SSD volume of the j-th node assigned to J_i.  Jobs with
+// s_i greater than the small tier must run entirely on large-tier nodes;
+// jobs that fit the small tier are preferentially placed on small-tier nodes
+// "to mitigate wastage in local SSD" (§5, Workload Traces).  The class also
+// exposes that node-tier assignment so the simulator can commit it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace bbsched {
+
+/// Per-job demands for the SSD case study.
+struct SsdJobDemand {
+  double nodes = 0;        ///< n_i
+  double bb_gb = 0;        ///< b_i
+  double ssd_per_node = 0; ///< s_i
+};
+
+/// Free machine state visible to one scheduling decision.
+struct SsdFreeState {
+  double small_nodes = 0;  ///< idle nodes of the small SSD tier
+  double large_nodes = 0;  ///< idle nodes of the large SSD tier
+  double bb_gb = 0;        ///< free shared burst buffer
+  double small_ssd_gb = 128.0;
+  double large_ssd_gb = 256.0;
+};
+
+/// Node-tier split chosen for one selected job.
+struct SsdNodeSplit {
+  double small_nodes = 0;
+  double large_nodes = 0;
+};
+
+/// Four-objective MOO problem of §5: {node util, BB util, SSD util,
+/// -wasted SSD}, all normalized by the corresponding free capacity.
+class SsdSchedulingProblem : public MooProblem {
+ public:
+  SsdSchedulingProblem(std::vector<SsdJobDemand> jobs, SsdFreeState free);
+
+  std::size_t num_vars() const override { return jobs_.size(); }
+  std::size_t num_objectives() const override { return 4; }
+
+  void evaluate(std::span<const std::uint8_t> genes,
+                std::span<double> objectives) const override;
+  bool feasible(std::span<const std::uint8_t> genes) const override;
+
+  /// Deterministic node-tier assignment for a feasible selection: large-SSD
+  /// jobs take large-tier nodes; small-SSD jobs take small-tier nodes first
+  /// and overflow onto large-tier nodes, in window order.  Index j of the
+  /// result corresponds to gene j (zero split for unselected jobs).
+  std::vector<SsdNodeSplit> assign(std::span<const std::uint8_t> genes) const;
+
+  /// Total wasted SSD GB of a feasible selection under assign().
+  double wasted_ssd(std::span<const std::uint8_t> genes) const;
+
+  const SsdFreeState& free_state() const { return free_; }
+  const SsdJobDemand& job(std::size_t i) const { return jobs_.at(i); }
+
+ private:
+  double free_ssd_capacity() const {
+    return free_.small_nodes * free_.small_ssd_gb +
+           free_.large_nodes * free_.large_ssd_gb;
+  }
+
+  std::vector<SsdJobDemand> jobs_;
+  SsdFreeState free_;
+};
+
+}  // namespace bbsched

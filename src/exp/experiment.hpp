@@ -1,0 +1,65 @@
+// experiment.hpp — shared configuration of the paper-reproduction benches.
+//
+// Figures 6, 7, 8, 12 and 13 all read off the same 10-workload x 8-method
+// simulation grid; Figures 9-11 read per-category breakdowns of the same
+// Theta-S4 runs; Figure 14 reads the §5 SSD grid.  Running ~120 simulations
+// once per figure binary would be wasteful, so the grid runner caches its
+// results as CSV keyed by a digest of the configuration: the first bench
+// binary that needs a grid computes and caches it, the rest load it.
+//
+// Environment overrides (see DESIGN.md §3, scaled-trace substitution):
+//   BBSCHED_BENCH_JOBS   jobs per workload            (default 1200)
+//   BBSCHED_BENCH_G      GA generations               (default 500, paper)
+//   BBSCHED_BENCH_P      GA population size           (default 20, paper)
+//   BBSCHED_BENCH_WINDOW scheduling window            (default 20, paper)
+//   BBSCHED_SEED         master seed                  (default 42)
+//   BBSCHED_CACHE_DIR    cache directory              (default "bench_cache")
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ga_ops.hpp"
+#include "sim/simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bbsched {
+
+/// Configuration of one reproduction campaign.
+struct ExperimentConfig {
+  std::size_t jobs_per_workload = 1200;
+  std::size_t window_size = 20;   ///< §4.3 default
+  GaParams ga;                    ///< §3.2.3 defaults
+  /// Machine scale factors (nodes, burst buffer and request sizes shrink
+  /// together, preserving contention ratios).  The paper replays millions of
+  /// jobs against the full machines; at bench-sized job counts a full-size
+  /// Cori never fills, so the machines are scaled so that each workload
+  /// cycles its machine many times (BBSCHED_CORI_SCALE / BBSCHED_THETA_SCALE).
+  double cori_scale = 0.25;
+  double theta_scale = 0.5;
+  std::uint64_t seed = 42;        ///< workload generation master seed
+  double warmup_fraction = 0.1;
+  double cooldown_fraction = 0.1;
+  std::string cache_dir = "bench_cache";
+
+  /// Defaults overridden by the BBSCHED_* environment variables.
+  static ExperimentConfig from_env();
+
+  /// Stable digest used as the cache key.
+  std::string digest() const;
+
+  /// SimConfig for one run under this campaign.
+  SimConfig sim_config() const;
+};
+
+/// The ten §4 workloads: Cori-{Original,S1..S4} then Theta-{...}.
+std::vector<SuiteEntry> build_main_workloads(const ExperimentConfig& config);
+
+/// The six §5 workloads: Cori-{S5..S7} then Theta-{S5..S7}.
+std::vector<SuiteEntry> build_ssd_workloads(const ExperimentConfig& config);
+
+/// Base scheduler used for a workload (§4.3): FCFS on Cori, WFP on Theta.
+std::string base_scheduler_for(const std::string& workload_label);
+
+}  // namespace bbsched

@@ -1,0 +1,251 @@
+#include "exp/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/stopwatch.hpp"
+#include "policies/factory.hpp"
+
+namespace bbsched {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string grid_cache_path(const ExperimentConfig& config,
+                            const std::string& tag) {
+  return (fs::path(config.cache_dir) /
+          (tag + "_" + config.digest() + ".csv"))
+      .string();
+}
+
+/// Lossless double -> string for the cache (std::to_string truncates to six
+/// decimals, which breaks exact reload comparisons).
+std::string num_repr(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+CsvRow cell_to_row(const GridCell& cell) {
+  const auto& m = cell.metrics;
+  return {cell.workload,
+          cell.method,
+          num_repr(m.node_usage),
+          num_repr(m.bb_usage),
+          num_repr(m.ssd_usage),
+          num_repr(m.ssd_waste),
+          num_repr(m.avg_wait),
+          num_repr(m.avg_slowdown),
+          num_repr(m.p95_wait),
+          num_repr(m.max_wait),
+          std::to_string(m.jobs_measured),
+          std::to_string(m.jobs_backfilled),
+          num_repr(cell.mean_solve_seconds),
+          num_repr(cell.max_solve_seconds),
+          num_repr(cell.mean_pareto_size),
+          std::to_string(cell.forced_starts)};
+}
+
+const CsvRow kGridHeader = {
+    "workload",     "method",        "node_usage",   "bb_usage",
+    "ssd_usage",    "ssd_waste",     "avg_wait",     "avg_slowdown",
+    "p95_wait",     "max_wait",      "jobs",         "backfilled",
+    "mean_solve_s", "max_solve_s",   "mean_pareto",  "forced_starts"};
+
+GridCell row_to_cell(const CsvTable& table, std::size_t r) {
+  GridCell cell;
+  cell.workload = table.at(r, "workload");
+  cell.method = table.at(r, "method");
+  auto num = [&](const char* col) {
+    return parse_double_field(table.at(r, col), col);
+  };
+  cell.metrics.node_usage = num("node_usage");
+  cell.metrics.bb_usage = num("bb_usage");
+  cell.metrics.ssd_usage = num("ssd_usage");
+  cell.metrics.ssd_waste = num("ssd_waste");
+  cell.metrics.avg_wait = num("avg_wait");
+  cell.metrics.avg_slowdown = num("avg_slowdown");
+  cell.metrics.p95_wait = num("p95_wait");
+  cell.metrics.max_wait = num("max_wait");
+  cell.metrics.jobs_measured =
+      static_cast<std::size_t>(parse_int_field(table.at(r, "jobs"), "jobs"));
+  cell.metrics.jobs_backfilled = static_cast<std::size_t>(
+      parse_int_field(table.at(r, "backfilled"), "backfilled"));
+  cell.mean_solve_seconds = num("mean_solve_s");
+  cell.max_solve_seconds = num("max_solve_s");
+  cell.mean_pareto_size = num("mean_pareto");
+  cell.forced_starts = static_cast<std::size_t>(
+      parse_int_field(table.at(r, "forced_starts"), "forced_starts"));
+  return cell;
+}
+
+GridCell cell_from_result(const SimResult& result) {
+  GridCell cell;
+  cell.workload = result.workload_name;
+  cell.method = result.policy_name;
+  cell.metrics = compute_metrics(result);
+  cell.mean_solve_seconds = result.decisions.mean_solve_seconds();
+  cell.max_solve_seconds = result.decisions.solve_seconds_max;
+  cell.mean_pareto_size = result.decisions.mean_pareto_size();
+  cell.forced_starts = result.decisions.forced_starts;
+  return cell;
+}
+
+void append_breakdowns(const SimResult& result, double machine_scale,
+                       std::vector<BreakdownCell>& out) {
+  // Bin edges follow the machine scale so each bin keeps its position
+  // relative to machine size and request range (runtimes do not scale).
+  auto scaled_nodes = [&](double v) {
+    return std::max<NodeCount>(
+        1, static_cast<NodeCount>(std::llround(v * machine_scale)));
+  };
+  const std::vector<NodeCount> size_edges{scaled_nodes(8), scaled_nodes(128),
+                                          scaled_nodes(1024)};
+  const std::vector<double> bb_edges_tb{1 * machine_scale,
+                                        100 * machine_scale,
+                                        200 * machine_scale};
+  const struct {
+    const char* dimension;
+    std::vector<BreakdownBin> bins;
+  } groups[] = {
+      {"job_size", breakdown_by_job_size(result, size_edges)},
+      {"bb_request", breakdown_by_bb_request(result, bb_edges_tb)},
+      {"runtime", breakdown_by_runtime(result)},
+  };
+  for (const auto& group : groups) {
+    for (const auto& bin : group.bins) {
+      BreakdownCell cell;
+      cell.workload = result.workload_name;
+      cell.method = result.policy_name;
+      cell.dimension = group.dimension;
+      cell.label = bin.label;
+      cell.avg_wait = bin.avg_wait;
+      cell.count = bin.count;
+      out.push_back(std::move(cell));
+    }
+  }
+}
+
+const CsvRow kBreakdownHeader = {"workload", "method",   "dimension",
+                                 "label",    "avg_wait", "count"};
+
+}  // namespace
+
+std::optional<GridCell> find_cell(const std::vector<GridCell>& cells,
+                                  const std::string& workload,
+                                  const std::string& method) {
+  for (const auto& cell : cells) {
+    if (cell.workload == workload && cell.method == method) return cell;
+  }
+  return std::nullopt;
+}
+
+SimResult run_single(const ExperimentConfig& config, const Workload& workload,
+                     const std::string& method) {
+  const auto base = make_base_scheduler(base_scheduler_for(workload.name));
+  const auto policy = make_policy(method, config.ga);
+  return simulate(workload, config.sim_config(), *base, *policy);
+}
+
+MainGridResults ensure_main_grid(const ExperimentConfig& config) {
+  const std::string grid_path = grid_cache_path(config, "main_grid");
+  const std::string breakdown_path =
+      grid_cache_path(config, "main_breakdowns");
+  MainGridResults results;
+  if (fs::exists(grid_path) && fs::exists(breakdown_path)) {
+    const CsvTable grid = CsvTable::read_file(grid_path);
+    for (std::size_t r = 0; r < grid.num_rows(); ++r) {
+      results.cells.push_back(row_to_cell(grid, r));
+    }
+    const CsvTable breakdowns = CsvTable::read_file(breakdown_path);
+    for (std::size_t r = 0; r < breakdowns.num_rows(); ++r) {
+      BreakdownCell cell;
+      cell.workload = breakdowns.at(r, "workload");
+      cell.method = breakdowns.at(r, "method");
+      cell.dimension = breakdowns.at(r, "dimension");
+      cell.label = breakdowns.at(r, "label");
+      cell.avg_wait =
+          parse_double_field(breakdowns.at(r, "avg_wait"), "avg_wait");
+      cell.count = static_cast<std::size_t>(
+          parse_int_field(breakdowns.at(r, "count"), "count"));
+      results.breakdowns.push_back(std::move(cell));
+    }
+    std::fprintf(stderr, "[grid] loaded cached main grid (%zu cells)\n",
+                 results.cells.size());
+    return results;
+  }
+
+  const auto workloads = build_main_workloads(config);
+  const auto methods = standard_method_names();
+  const std::size_t total = workloads.size() * methods.size();
+  std::size_t done = 0;
+  Stopwatch watch;
+  for (const auto& entry : workloads) {
+    for (const auto& method : methods) {
+      const SimResult result = run_single(config, entry.workload, method);
+      results.cells.push_back(cell_from_result(result));
+      // Figures 9-11 break down the Theta-S4 runs.
+      if (entry.label == "Theta-S4") {
+        append_breakdowns(result, config.theta_scale, results.breakdowns);
+      }
+      ++done;
+      std::fprintf(stderr, "[grid] %zu/%zu %s x %s (%.1fs elapsed)\n", done,
+                   total, entry.label.c_str(), method.c_str(),
+                   watch.elapsed_seconds());
+    }
+  }
+
+  fs::create_directories(config.cache_dir);
+  CsvTable grid(kGridHeader);
+  for (const auto& cell : results.cells) grid.add_row(cell_to_row(cell));
+  grid.write_file(grid_path);
+  CsvTable breakdowns(kBreakdownHeader);
+  for (const auto& cell : results.breakdowns) {
+    breakdowns.add_row({cell.workload, cell.method, cell.dimension,
+                        cell.label, num_repr(cell.avg_wait),
+                        std::to_string(cell.count)});
+  }
+  breakdowns.write_file(breakdown_path);
+  return results;
+}
+
+std::vector<GridCell> ensure_ssd_grid(const ExperimentConfig& config) {
+  const std::string path = grid_cache_path(config, "ssd_grid");
+  std::vector<GridCell> cells;
+  if (fs::exists(path)) {
+    const CsvTable grid = CsvTable::read_file(path);
+    for (std::size_t r = 0; r < grid.num_rows(); ++r) {
+      cells.push_back(row_to_cell(grid, r));
+    }
+    std::fprintf(stderr, "[grid] loaded cached SSD grid (%zu cells)\n",
+                 cells.size());
+    return cells;
+  }
+  const auto workloads = build_ssd_workloads(config);
+  const auto methods = ssd_method_names();
+  const std::size_t total = workloads.size() * methods.size();
+  std::size_t done = 0;
+  Stopwatch watch;
+  for (const auto& entry : workloads) {
+    for (const auto& method : methods) {
+      const SimResult result = run_single(config, entry.workload, method);
+      cells.push_back(cell_from_result(result));
+      ++done;
+      std::fprintf(stderr, "[grid] %zu/%zu %s x %s (%.1fs elapsed)\n", done,
+                   total, entry.label.c_str(), method.c_str(),
+                   watch.elapsed_seconds());
+    }
+  }
+  fs::create_directories(config.cache_dir);
+  CsvTable grid(kGridHeader);
+  for (const auto& cell : cells) grid.add_row(cell_to_row(cell));
+  grid.write_file(path);
+  return cells;
+}
+
+}  // namespace bbsched

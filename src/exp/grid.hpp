@@ -1,0 +1,63 @@
+// grid.hpp — the cached (workload x method) simulation grid.
+//
+// ensure_*() either loads a previously cached grid matching the
+// configuration digest or runs the simulations and caches them, printing
+// progress to stderr.  Each cell carries the §4.2 metrics plus decision
+// statistics; the Theta-S4 breakdown rows needed by Figures 9-11 are cached
+// alongside the main grid so no bench re-simulates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "metrics/breakdown.hpp"
+#include "metrics/schedule_metrics.hpp"
+
+namespace bbsched {
+
+/// One (workload, method) result.
+struct GridCell {
+  std::string workload;  ///< e.g. "Cori-S3"
+  std::string method;    ///< e.g. "BBSched"
+  ScheduleMetrics metrics;
+  double mean_solve_seconds = 0;
+  double max_solve_seconds = 0;
+  double mean_pareto_size = 0;
+  std::size_t forced_starts = 0;
+};
+
+/// One bin of a cached Figure 9/10/11 breakdown.
+struct BreakdownCell {
+  std::string workload;
+  std::string method;
+  std::string dimension;  ///< "job_size" | "bb_request" | "runtime"
+  std::string label;      ///< bin label, e.g. "1-8"
+  double avg_wait = 0;
+  std::size_t count = 0;
+};
+
+/// Results of the §4 campaign.
+struct MainGridResults {
+  std::vector<GridCell> cells;             ///< 10 workloads x 8 methods
+  std::vector<BreakdownCell> breakdowns;   ///< Theta-S4, all methods
+};
+
+/// Compute-or-load the §4 grid.
+MainGridResults ensure_main_grid(const ExperimentConfig& config);
+
+/// Compute-or-load the §5 SSD grid (6 workloads x 7 methods).
+std::vector<GridCell> ensure_ssd_grid(const ExperimentConfig& config);
+
+/// Look up a cell (nullopt when missing).
+std::optional<GridCell> find_cell(const std::vector<GridCell>& cells,
+                                  const std::string& workload,
+                                  const std::string& method);
+
+/// Run a single (workload, method) simulation under the campaign config —
+/// used by benches that need full outcomes (e.g. Table 3's window sweep).
+SimResult run_single(const ExperimentConfig& config, const Workload& workload,
+                     const std::string& method);
+
+}  // namespace bbsched

@@ -1,0 +1,107 @@
+#include "metrics/breakdown.hpp"
+
+#include <sstream>
+
+namespace bbsched {
+
+std::vector<BreakdownBin> breakdown_wait(const SimResult& result,
+                                         std::vector<std::string> labels,
+                                         const BinAssigner& assign) {
+  std::vector<BreakdownBin> bins(labels.size());
+  std::vector<double> slowdown_sum(labels.size(), 0.0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    bins[i].label = std::move(labels[i]);
+  }
+  for (const auto& o : result.outcomes) {
+    if (o.submit < result.measure_begin || o.submit > result.measure_end) {
+      continue;
+    }
+    const std::size_t bin = assign(o);
+    if (bin >= bins.size()) continue;
+    bins[bin].avg_wait += o.wait();
+    slowdown_sum[bin] += o.slowdown();
+    ++bins[bin].count;
+  }
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i].count > 0) {
+      bins[i].avg_wait /= static_cast<double>(bins[i].count);
+      bins[i].avg_slowdown =
+          slowdown_sum[i] / static_cast<double>(bins[i].count);
+    }
+  }
+  return bins;
+}
+
+namespace {
+
+std::string range_label(const std::string& lo, const std::string& hi) {
+  return lo + "-" + hi;
+}
+
+}  // namespace
+
+std::vector<BreakdownBin> breakdown_by_job_size(
+    const SimResult& result, std::vector<NodeCount> upper_bounds) {
+  std::vector<std::string> labels;
+  NodeCount prev = 1;
+  for (NodeCount ub : upper_bounds) {
+    labels.push_back(range_label(std::to_string(prev), std::to_string(ub)));
+    prev = ub + 1;
+  }
+  labels.push_back(std::to_string(prev) + "+");
+  return breakdown_wait(result, labels, [&](const JobOutcome& o) {
+    for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+      if (o.nodes <= upper_bounds[i]) return i;
+    }
+    return upper_bounds.size();
+  });
+}
+
+std::vector<BreakdownBin> breakdown_by_bb_request(
+    const SimResult& result, std::vector<double> upper_bounds_tb) {
+  std::vector<std::string> labels;
+  labels.push_back("no-BB");
+  std::ostringstream first;
+  double prev = 0;
+  for (double ub : upper_bounds_tb) {
+    std::ostringstream label;
+    label << prev << "-" << ub << "TB";
+    labels.push_back(label.str());
+    prev = ub;
+  }
+  std::ostringstream last;
+  last << prev << "TB+";
+  labels.push_back(last.str());
+  return breakdown_wait(result, labels, [&](const JobOutcome& o) {
+    if (o.bb_gb <= 0) return std::size_t{0};
+    const double request_tb = as_tb(o.bb_gb);
+    for (std::size_t i = 0; i < upper_bounds_tb.size(); ++i) {
+      if (request_tb <= upper_bounds_tb[i]) return i + 1;
+    }
+    return upper_bounds_tb.size() + 1;
+  });
+}
+
+std::vector<BreakdownBin> breakdown_by_runtime(
+    const SimResult& result, std::vector<double> upper_bounds_h) {
+  std::vector<std::string> labels;
+  double prev = 0;
+  for (double ub : upper_bounds_h) {
+    std::ostringstream label;
+    label << prev << "-" << ub << "h";
+    labels.push_back(label.str());
+    prev = ub;
+  }
+  std::ostringstream last;
+  last << prev << "h+";
+  labels.push_back(last.str());
+  return breakdown_wait(result, labels, [&](const JobOutcome& o) {
+    const double runtime_h = as_hours(o.runtime);
+    for (std::size_t i = 0; i < upper_bounds_h.size(); ++i) {
+      if (runtime_h <= upper_bounds_h[i]) return i;
+    }
+    return upper_bounds_h.size();
+  });
+}
+
+}  // namespace bbsched

@@ -1,0 +1,50 @@
+// breakdown.hpp — per-category wait-time breakdowns (Figures 9, 10, 11).
+//
+// The paper explains *where* BBSched's gains come from by splitting average
+// wait time by job size, by burst-buffer request and by runtime.  A
+// Breakdown is a labelled partition of the measured jobs; bins with no jobs
+// report a zero average and a zero count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_result.hpp"
+
+namespace bbsched {
+
+/// One labelled bin of a breakdown.
+struct BreakdownBin {
+  std::string label;
+  double avg_wait = 0;       ///< seconds
+  double avg_slowdown = 0;
+  std::size_t count = 0;
+};
+
+/// Assigns a measured job to a bin index (or size() for "unbinned").
+using BinAssigner = std::function<std::size_t(const JobOutcome&)>;
+
+/// Generic breakdown over jobs submitted inside the measurement interval.
+std::vector<BreakdownBin> breakdown_wait(const SimResult& result,
+                                         std::vector<std::string> labels,
+                                         const BinAssigner& assign);
+
+/// Figure 9 bins: job size in nodes — 1-8, 9-128, 129-1024, 1024+ by
+/// default; custom edges supported (edges are inclusive upper bounds).
+std::vector<BreakdownBin> breakdown_by_job_size(
+    const SimResult& result,
+    std::vector<NodeCount> upper_bounds = {8, 128, 1024});
+
+/// Figure 10 bins: burst-buffer request — none, then (0, edge1], ... with
+/// TB-valued inclusive upper bounds, final bin unbounded.
+std::vector<BreakdownBin> breakdown_by_bb_request(
+    const SimResult& result,
+    std::vector<double> upper_bounds_tb = {1, 100, 200});
+
+/// Figure 11 bins: runtime with inclusive hour-valued upper bounds, final
+/// bin unbounded.
+std::vector<BreakdownBin> breakdown_by_runtime(
+    const SimResult& result, std::vector<double> upper_bounds_h = {1, 4, 12});
+
+}  // namespace bbsched

@@ -1,0 +1,62 @@
+#include "metrics/kiviat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bbsched {
+
+std::vector<KiviatSeries> kiviat_normalize(std::vector<KiviatSeries> series,
+                                           double rel_tie_tolerance) {
+  if (series.empty()) return series;
+  const std::size_t axes = series.front().values.size();
+  for (const auto& s : series) {
+    if (s.values.size() != axes) {
+      throw std::invalid_argument("kiviat: ragged series");
+    }
+  }
+  for (std::size_t a = 0; a < axes; ++a) {
+    double lo = series.front().values[a];
+    double hi = lo;
+    for (const auto& s : series) {
+      lo = std::min(lo, s.values[a]);
+      hi = std::max(hi, s.values[a]);
+    }
+    const double spread_floor =
+        rel_tie_tolerance * std::max(std::abs(hi), std::abs(lo));
+    const bool tie = hi - lo <= spread_floor;
+    for (auto& s : series) {
+      s.values[a] = (!tie && hi > lo) ? (s.values[a] - lo) / (hi - lo) : 1.0;
+    }
+  }
+  return series;
+}
+
+double kiviat_area(const KiviatSeries& normalized) {
+  const std::size_t n = normalized.values.size();
+  if (n < 3) {
+    throw std::invalid_argument("kiviat: need >= 3 axes for an area");
+  }
+  // Polygon area with spokes at angles 2*pi*k/n:
+  //   A = 1/2 * sum_k r_k * r_{k+1} * sin(2*pi/n),
+  // normalized by the all-ones polygon's area.
+  const double sin_step = std::sin(2.0 * std::numbers::pi /
+                                   static_cast<double>(n));
+  double area = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    area += normalized.values[k] * normalized.values[(k + 1) % n];
+  }
+  area *= 0.5 * sin_step;
+  const double max_area = 0.5 * sin_step * static_cast<double>(n);
+  return area / max_area;
+}
+
+double kiviat_orient(double value, bool larger_is_better) {
+  if (larger_is_better) return value;
+  // Reciprocal for smaller-is-better metrics; a zero (perfect) value clamps
+  // to a large finite reciprocal so normalization stays well-defined.
+  return 1.0 / std::max(value, 1e-9);
+}
+
+}  // namespace bbsched

@@ -1,0 +1,42 @@
+// kiviat.hpp — the holistic Kiviat-graph comparison (Figures 13 and 14).
+//
+// The paper plots, per workload, each method's performance on every metric
+// normalized to [0, 1] across the compared methods: 1 is the best method on
+// that metric, 0 the worst.  Wait time and slowdown enter as reciprocals
+// (smaller is better) — the same transformation the figures apply.  The
+// polygon area (with metrics as evenly spaced spokes) summarizes a method:
+// "the larger the area is, the better the overall performance is", which is
+// also how the abstract's "improves scheduling performance by up to 41 %"
+// style overall numbers are compared.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bbsched {
+
+/// One method's raw metric values, all oriented so larger is better (the
+/// caller applies reciprocals to wait/slowdown before construction or uses
+/// kiviat_from_metrics below).
+struct KiviatSeries {
+  std::string method;
+  std::vector<double> values;  ///< one per axis, larger = better
+};
+
+/// Min-max normalize each axis across methods to [0, 1].  Axes where every
+/// method ties normalize to 1 for all.  `rel_tie_tolerance` treats an axis
+/// whose spread is below that fraction of its magnitude as a tie, so that
+/// simulation noise is not amplified into a full 0..1 ranking.  All series
+/// must have equal length.
+std::vector<KiviatSeries> kiviat_normalize(std::vector<KiviatSeries> series,
+                                           double rel_tie_tolerance = 0.0);
+
+/// Area of the Kiviat polygon of one normalized series (unit: fraction of
+/// the regular-polygon maximum; 1.0 = best on every axis).
+double kiviat_area(const KiviatSeries& normalized);
+
+/// Convenience: orient a raw metric for the Kiviat graph — pass through for
+/// larger-is-better metrics, reciprocal (guarding zero) otherwise.
+double kiviat_orient(double value, bool larger_is_better);
+
+}  // namespace bbsched

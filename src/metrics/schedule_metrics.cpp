@@ -1,0 +1,70 @@
+#include "metrics/schedule_metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace bbsched {
+
+Time interval_overlap(Time lo1, Time hi1, Time lo2, Time hi2) {
+  return std::max(0.0, std::min(hi1, hi2) - std::max(lo1, lo2));
+}
+
+GigaBytes wasted_ssd_gb(const JobOutcome& outcome, const MachineConfig& m) {
+  if (!m.has_local_ssd()) return 0;
+  const double s = outcome.ssd_per_node_gb;
+  return static_cast<double>(outcome.small_tier_nodes) *
+             (m.small_ssd_gb - s) +
+         static_cast<double>(outcome.large_tier_nodes) * (m.large_ssd_gb - s);
+}
+
+ScheduleMetrics compute_metrics(const SimResult& result,
+                                const MetricsConfig& config) {
+  ScheduleMetrics metrics;
+  const Time mb = result.measure_begin;
+  const Time me = result.measure_end;
+  const Time elapsed = std::max(0.0, me - mb);
+  if (elapsed <= 0) return metrics;
+
+  const MachineConfig& machine = result.machine;
+  const double node_hours = static_cast<double>(machine.nodes) * elapsed;
+  const double bb_hours = machine.schedulable_bb_gb() * elapsed;
+  const double ssd_capacity =
+      static_cast<double>(machine.small_ssd_nodes) * machine.small_ssd_gb +
+      static_cast<double>(machine.large_ssd_nodes) * machine.large_ssd_gb;
+  const double ssd_hours = ssd_capacity * elapsed;
+
+  double used_node = 0, used_bb = 0, used_ssd = 0, wasted_ssd = 0;
+  std::vector<double> waits, slowdowns;
+  for (const auto& o : result.outcomes) {
+    const Time overlap = interval_overlap(o.start, o.end, mb, me);
+    if (overlap > 0) {
+      used_node += static_cast<double>(o.nodes) * overlap;
+      used_bb += o.bb_gb * overlap;
+      used_ssd +=
+          o.ssd_per_node_gb * static_cast<double>(o.nodes) * overlap;
+      wasted_ssd += wasted_ssd_gb(o, machine) * overlap;
+    }
+    if (o.submit >= mb && o.submit <= me) {
+      ++metrics.jobs_measured;
+      metrics.jobs_backfilled += o.backfilled;
+      waits.push_back(o.wait());
+      if (o.runtime >= config.slowdown_min_runtime) {
+        slowdowns.push_back(o.slowdown());
+      }
+    }
+  }
+
+  metrics.node_usage = node_hours > 0 ? used_node / node_hours : 0;
+  metrics.bb_usage = bb_hours > 0 ? used_bb / bb_hours : 0;
+  metrics.ssd_usage = ssd_hours > 0 ? used_ssd / ssd_hours : 0;
+  metrics.ssd_waste = ssd_hours > 0 ? wasted_ssd / ssd_hours : 0;
+  metrics.avg_wait = mean(waits);
+  metrics.avg_slowdown = mean(slowdowns);
+  metrics.p95_wait = quantile(waits, 0.95);
+  for (double w : waits) metrics.max_wait = std::max(metrics.max_wait, w);
+  return metrics;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,49 @@
+// schedule_metrics.hpp — the §4.2 evaluation metrics.
+//
+// System-level: node usage and burst-buffer usage — used resource-hours over
+// elapsed resource-hours, integrated over the measurement interval (the
+// paper trims a warm-up and cool-down period; SimResult carries the trimmed
+// interval).  User-level: average job wait time and average slowdown, over
+// jobs *submitted* inside the interval.  Slowdown filters "abnormal jobs
+// [that] end abruptly at beginning of execution": jobs shorter than
+// `slowdown_min_runtime` are excluded.
+//
+// §5 adds local-SSD usage and the wasted-SSD fraction, integrated the same
+// way from the committed node-tier splits.
+#pragma once
+
+#include "sim/sim_result.hpp"
+
+namespace bbsched {
+
+/// Metric knobs.
+struct MetricsConfig {
+  Time slowdown_min_runtime = seconds(60);  ///< abnormal-job filter
+};
+
+/// Aggregate metrics of one simulation.
+struct ScheduleMetrics {
+  double node_usage = 0;    ///< used node-hours / elapsed node-hours
+  double bb_usage = 0;      ///< used BB-hours / elapsed (schedulable) BB-hours
+  double ssd_usage = 0;     ///< requested-SSD-hours / elapsed SSD-hours (§5)
+  double ssd_waste = 0;     ///< wasted-SSD-hours / elapsed SSD-hours (§5)
+  double avg_wait = 0;      ///< seconds
+  double avg_slowdown = 0;  ///< filtered per MetricsConfig
+  double p95_wait = 0;      ///< seconds, 95th percentile
+  double max_wait = 0;      ///< seconds
+  std::size_t jobs_measured = 0;   ///< jobs submitted inside the interval
+  std::size_t jobs_backfilled = 0; ///< of those, started via EASY
+};
+
+/// Compute metrics from a finished simulation.
+ScheduleMetrics compute_metrics(const SimResult& result,
+                                const MetricsConfig& config = {});
+
+/// Overlap of [lo1, hi1] with [lo2, hi2]; 0 when disjoint.
+Time interval_overlap(Time lo1, Time hi1, Time lo2, Time hi2);
+
+/// Per-job wasted local SSD GB under the committed tier split (0 on non-SSD
+/// machines).
+GigaBytes wasted_ssd_gb(const JobOutcome& outcome, const MachineConfig& m);
+
+}  // namespace bbsched

@@ -1,0 +1,30 @@
+#include "policies/bbsched_policy.hpp"
+
+#include <stdexcept>
+
+#include "policies/problem_builder.hpp"
+
+namespace bbsched {
+
+const DecisionRule& BBSchedPolicy::rule_for(std::size_t num_objectives) const {
+  if (override_rule_) return *override_rule_;
+  if (num_objectives == 2) return *rule2_;
+  if (num_objectives == 4) return *rule4_;
+  throw std::logic_error("BBSchedPolicy: no decision rule for " +
+                         std::to_string(num_objectives) + " objectives");
+}
+
+WindowDecision BBSchedPolicy::select(const WindowContext& context) const {
+  const auto problem = build_window_problem(context);
+  const MooGaSolver solver(params_);
+  const MooResult result = solver.solve(*problem, *context.rng);
+  const DecisionRule& rule = rule_for(problem->num_objectives());
+  const std::size_t choice = rule.choose(result.pareto_set);
+  WindowDecision decision = decision_from_genes(
+      context, *problem, result.pareto_set[choice].genes);
+  decision.pareto_size = result.pareto_set.size();
+  decision.evaluations = result.evaluations;
+  return decision;
+}
+
+}  // namespace bbsched

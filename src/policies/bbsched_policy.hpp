@@ -1,0 +1,49 @@
+// bbsched_policy.hpp — the paper's contribution as a window-selection
+// policy.
+//
+// One select() call is one full BBSched decision (Figure 1): build the MOO
+// problem from the window snapshot, approximate its Pareto set with the
+// multi-objective genetic solver, and commit the solution the decision rule
+// prefers.  The rule defaults to the paper's: §3.2.4's 2x trade-off for
+// two-objective windows, §5's 4x summed trade-off for four-objective (SSD)
+// windows; a custom rule can be injected for ablation studies.
+#pragma once
+
+#include <memory>
+
+#include "core/decision.hpp"
+#include "core/ga.hpp"
+#include "sim/selection_policy.hpp"
+
+namespace bbsched {
+
+class BBSchedPolicy : public SelectionPolicy {
+ public:
+  explicit BBSchedPolicy(GaParams params)
+      : params_(params),
+        rule2_(std::make_unique<NodeFirstTradeoffRule>()),
+        rule4_(std::make_unique<SumTradeoffRule>()) {
+    params_.validate();
+  }
+
+  /// Use `rule` for every window regardless of objective count (ablations).
+  BBSchedPolicy(GaParams params, std::unique_ptr<DecisionRule> rule)
+      : params_(params), override_rule_(std::move(rule)) {
+    params_.validate();
+  }
+
+  WindowDecision select(const WindowContext& context) const override;
+  std::string name() const override { return "BBSched"; }
+
+  const GaParams& params() const { return params_; }
+
+ private:
+  const DecisionRule& rule_for(std::size_t num_objectives) const;
+
+  GaParams params_;
+  std::unique_ptr<DecisionRule> rule2_;
+  std::unique_ptr<DecisionRule> rule4_;
+  std::unique_ptr<DecisionRule> override_rule_;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,76 @@
+#include "policies/bin_packing.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "policies/problem_builder.hpp"
+
+namespace bbsched {
+
+WindowDecision BinPackingPolicy::select(const WindowContext& context) const {
+  const auto problem = build_window_problem(context);
+  const std::size_t w = context.window.size();
+  Genes genes(w, 0);
+  problem->apply_pins(genes);
+
+  // Normalizers: free capacity at cycle start (avoid division by zero for a
+  // fully depleted resource — demand there is effectively unschedulable and
+  // the feasibility check handles it).
+  const double node_cap = std::max(1.0, context.free.nodes);
+  const double bb_cap = std::max(1.0, context.free.bb_gb);
+  const double ssd_cap = std::max(
+      1.0, context.free.small_nodes * context.free.small_ssd_gb +
+               context.free.large_nodes * context.free.large_ssd_gb);
+  const bool ssd = context.free.ssd_enabled;
+
+  // Remaining-resource vector, normalized; starts at 1 per dimension minus
+  // what the pinned jobs already consume.
+  auto demand_of = [&](std::size_t pos) {
+    const JobRecord* job = context.window[pos];
+    std::vector<double> d;
+    d.push_back(static_cast<double>(job->nodes) / node_cap);
+    d.push_back(job->bb_gb / bb_cap);
+    if (ssd) {
+      d.push_back(job->ssd_per_node_gb * static_cast<double>(job->nodes) /
+                  ssd_cap);
+    }
+    return d;
+  };
+  std::vector<double> remaining(ssd ? 3 : 2, 1.0);
+  for (std::size_t pos = 0; pos < w; ++pos) {
+    if (!genes[pos]) continue;
+    const auto d = demand_of(pos);
+    for (std::size_t k = 0; k < remaining.size(); ++k) remaining[k] -= d[k];
+  }
+
+  // Greedy scan: admit the feasible job with the highest alignment score.
+  while (true) {
+    double best_score = -1.0;
+    std::size_t best_pos = w;
+    for (std::size_t pos = 0; pos < w; ++pos) {
+      if (genes[pos]) continue;
+      genes[pos] = 1;
+      const bool fits = problem->feasible(genes);
+      genes[pos] = 0;
+      if (!fits) continue;
+      const auto d = demand_of(pos);
+      double score = 0;
+      for (std::size_t k = 0; k < remaining.size(); ++k) {
+        score += d[k] * std::max(0.0, remaining[k]);
+      }
+      // Ties: prefer the front of the window (base-scheduler order).
+      if (score > best_score) {
+        best_score = score;
+        best_pos = pos;
+      }
+    }
+    if (best_pos == w) break;
+    genes[best_pos] = 1;
+    const auto d = demand_of(best_pos);
+    for (std::size_t k = 0; k < remaining.size(); ++k) remaining[k] -= d[k];
+  }
+
+  return decision_from_genes(context, *problem, genes);
+}
+
+}  // namespace bbsched

@@ -1,0 +1,22 @@
+// bin_packing.hpp — the Bin_Packing method of §4.3, after Tetris
+// (Grandl et al., SIGCOMM'14).
+//
+// Jobs are picked greedily by *alignment score*: the dot product between the
+// job's demand vector and the machine's remaining-resource vector, both
+// normalized by the machine's free capacity at cycle start so that nodes and
+// gigabytes are comparable.  The highest-scoring fitting job is admitted,
+// the remaining vector shrinks, and the scan repeats until nothing fits.
+// On §5 machines the vectors gain a local-SSD dimension (s_i * n_i).
+#pragma once
+
+#include "sim/selection_policy.hpp"
+
+namespace bbsched {
+
+class BinPackingPolicy : public SelectionPolicy {
+ public:
+  WindowDecision select(const WindowContext& context) const override;
+  std::string name() const override { return "Bin_Packing"; }
+};
+
+}  // namespace bbsched

@@ -1,0 +1,57 @@
+#include "policies/factory.hpp"
+
+#include <stdexcept>
+
+#include "policies/bbsched_policy.hpp"
+#include "policies/bin_packing.hpp"
+#include "policies/naive.hpp"
+#include "policies/scalarized.hpp"
+
+namespace bbsched {
+
+std::vector<std::string> standard_method_names() {
+  return {"Baseline",        "Weighted",       "Weighted_CPU",
+          "Weighted_BB",     "Constrained_CPU", "Constrained_BB",
+          "Bin_Packing",     "BBSched"};
+}
+
+std::vector<std::string> ssd_method_names() {
+  return {"Baseline",        "Weighted",        "Constrained_CPU",
+          "Constrained_BB",  "Constrained_SSD", "Bin_Packing",
+          "BBSched"};
+}
+
+std::unique_ptr<SelectionPolicy> make_policy(const std::string& name,
+                                             const GaParams& params) {
+  if (name == "Baseline") return std::make_unique<NaivePolicy>();
+  if (name == "Bin_Packing") return std::make_unique<BinPackingPolicy>();
+  if (name == "BBSched") return std::make_unique<BBSchedPolicy>(params);
+  if (name == "Weighted") {
+    return std::make_unique<ScalarizedPolicy>(name, WeightSpec::equal(),
+                                              params);
+  }
+  if (name == "Weighted_CPU") {
+    // §4.3: node utilization 80 %, burst-buffer utilization 20 %.
+    return std::make_unique<ScalarizedPolicy>(
+        name, WeightSpec::fixed_weights({0.8, 0.2}), params);
+  }
+  if (name == "Weighted_BB") {
+    return std::make_unique<ScalarizedPolicy>(
+        name, WeightSpec::fixed_weights({0.2, 0.8}), params);
+  }
+  if (name == "Constrained_CPU") {
+    return std::make_unique<ScalarizedPolicy>(name, WeightSpec::only(0),
+                                              params);
+  }
+  if (name == "Constrained_BB") {
+    return std::make_unique<ScalarizedPolicy>(name, WeightSpec::only(1),
+                                              params);
+  }
+  if (name == "Constrained_SSD") {
+    return std::make_unique<ScalarizedPolicy>(name, WeightSpec::only(2),
+                                              params);
+  }
+  throw std::invalid_argument("unknown scheduling method: " + name);
+}
+
+}  // namespace bbsched

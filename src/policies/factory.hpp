@@ -1,0 +1,28 @@
+// factory.hpp — construct the §4.3 / §5 method roster by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ga_ops.hpp"
+#include "sim/selection_policy.hpp"
+
+namespace bbsched {
+
+/// Method names of the §4 comparison, in the paper's presentation order.
+std::vector<std::string> standard_method_names();
+
+/// Method names of the §5 SSD case study (drops the CPU/BB-biased weighted
+/// variants, adds Constrained_SSD).
+std::vector<std::string> ssd_method_names();
+
+/// Instantiate a method by its paper name: "Baseline", "Weighted",
+/// "Weighted_CPU", "Weighted_BB", "Constrained_CPU", "Constrained_BB",
+/// "Constrained_SSD", "Bin_Packing", "BBSched".  `params` configures the
+/// genetic machinery of the optimization-based methods (ignored by Baseline
+/// and Bin_Packing).  Throws std::invalid_argument for unknown names.
+std::unique_ptr<SelectionPolicy> make_policy(const std::string& name,
+                                             const GaParams& params);
+
+}  // namespace bbsched

@@ -1,0 +1,92 @@
+#include "policies/naive.hpp"
+
+#include <algorithm>
+
+namespace bbsched {
+
+namespace {
+
+/// Working free counters for in-order admission.
+struct Free {
+  double small = 0, large = 0, bb = 0;
+};
+
+/// Plan a job against the counters with the §5 tier preference; returns
+/// false when it does not fit.
+bool admit(const JobRecord& job, const FreeState& machine, Free& free,
+           Allocation& alloc) {
+  alloc = Allocation{};
+  alloc.bb_gb = job.bb_gb;
+  if (job.bb_gb > free.bb) return false;
+  if (!machine.ssd_enabled) {
+    if (static_cast<double>(job.nodes) > free.small) return false;
+    alloc.small_nodes = job.nodes;
+  } else {
+    if (job.ssd_per_node_gb > machine.large_ssd_gb) return false;
+    if (job.ssd_per_node_gb > machine.small_ssd_gb) {
+      if (static_cast<double>(job.nodes) > free.large) return false;
+      alloc.large_nodes = job.nodes;
+    } else {
+      if (static_cast<double>(job.nodes) > free.small + free.large) {
+        return false;
+      }
+      alloc.small_nodes = static_cast<NodeCount>(
+          std::min(static_cast<double>(job.nodes), free.small));
+      alloc.large_nodes = job.nodes - alloc.small_nodes;
+    }
+  }
+  free.small -= static_cast<double>(alloc.small_nodes);
+  free.large -= static_cast<double>(alloc.large_nodes);
+  free.bb -= alloc.bb_gb;
+  return true;
+}
+
+}  // namespace
+
+WindowDecision NaivePolicy::select(const WindowContext& context) const {
+  WindowDecision decision;
+  Free free{context.free.ssd_enabled ? context.free.small_nodes
+                                     : context.free.nodes,
+            context.free.ssd_enabled ? context.free.large_nodes : 0.0,
+            context.free.bb_gb};
+  const bool ssd = context.free.ssd_enabled;
+
+  // Starvation-pinned jobs are admitted first regardless of queue position.
+  auto is_pinned = [&](std::size_t pos) {
+    return std::find(context.pinned.begin(), context.pinned.end(), pos) !=
+           context.pinned.end();
+  };
+  for (std::size_t pos : context.pinned) {
+    Allocation alloc;
+    if (admit(*context.window[pos], context.free, free, alloc)) {
+      decision.selected.push_back(pos);
+      if (ssd) decision.allocations.push_back(alloc);
+    }
+  }
+
+  // Strict in-order admission: the first non-fitting job blocks the queue.
+  for (std::size_t pos = 0; pos < context.window.size(); ++pos) {
+    if (is_pinned(pos)) continue;
+    Allocation alloc;
+    if (!admit(*context.window[pos], context.free, free, alloc)) break;
+    decision.selected.push_back(pos);
+    if (ssd) decision.allocations.push_back(alloc);
+  }
+  std::sort(decision.selected.begin(), decision.selected.end());
+  if (ssd) {
+    // Re-derive allocations in selected order (sort above may have permuted
+    // the pairing).  Re-admission against fresh counters is deterministic.
+    decision.allocations.clear();
+    Free redo{context.free.small_nodes, context.free.large_nodes,
+              context.free.bb_gb};
+    for (std::size_t pos : decision.selected) {
+      Allocation alloc;
+      const bool ok = admit(*context.window[pos], context.free, redo, alloc);
+      (void)ok;
+      decision.allocations.push_back(alloc);
+    }
+  }
+  return decision;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,21 @@
+// naive.hpp — the Baseline method of §4.3.
+//
+// Mirrors Slurm's burst-buffer co-scheduling ("naive method", §1): allocate
+// jobs strictly in queue order until the next job fails to fit *any*
+// resource, then stop.  The depleted resource blocks the queue even when
+// later jobs would fit — exactly the behaviour Table 1 illustrates (J1
+// admitted, J2's burst-buffer demand blocks, J4 reaches the machine only via
+// EASY backfilling, which the simulator runs after every method).
+#pragma once
+
+#include "sim/selection_policy.hpp"
+
+namespace bbsched {
+
+class NaivePolicy : public SelectionPolicy {
+ public:
+  WindowDecision select(const WindowContext& context) const override;
+  std::string name() const override { return "Baseline"; }
+};
+
+}  // namespace bbsched

@@ -1,0 +1,68 @@
+#include "policies/problem_builder.hpp"
+
+#include <cmath>
+
+#include "core/multi_resource_problem.hpp"
+#include "core/ssd_problem.hpp"
+
+namespace bbsched {
+
+std::unique_ptr<MooProblem> build_window_problem(
+    const WindowContext& context) {
+  std::unique_ptr<MooProblem> problem;
+  if (context.free.ssd_enabled) {
+    std::vector<SsdJobDemand> demands;
+    demands.reserve(context.window.size());
+    for (const JobRecord* job : context.window) {
+      SsdJobDemand d;
+      d.nodes = static_cast<double>(job->nodes);
+      d.bb_gb = job->bb_gb;
+      d.ssd_per_node = job->ssd_per_node_gb;
+      demands.push_back(d);
+    }
+    SsdFreeState free;
+    free.small_nodes = context.free.small_nodes;
+    free.large_nodes = context.free.large_nodes;
+    free.bb_gb = context.free.bb_gb;
+    free.small_ssd_gb = context.free.small_ssd_gb;
+    free.large_ssd_gb = context.free.large_ssd_gb;
+    problem = std::make_unique<SsdSchedulingProblem>(std::move(demands), free);
+  } else {
+    std::vector<double> nodes, bb;
+    nodes.reserve(context.window.size());
+    bb.reserve(context.window.size());
+    for (const JobRecord* job : context.window) {
+      nodes.push_back(static_cast<double>(job->nodes));
+      bb.push_back(job->bb_gb);
+    }
+    problem = std::make_unique<MultiResourceProblem>(
+        MultiResourceProblem::cpu_bb(nodes, bb, context.free.nodes,
+                                     context.free.bb_gb));
+  }
+  for (std::size_t pos : context.pinned) problem->pin(pos);
+  return problem;
+}
+
+WindowDecision decision_from_genes(const WindowContext& context,
+                                   const MooProblem& problem,
+                                   const Genes& genes) {
+  WindowDecision decision;
+  decision.selected = selected_indices(genes);
+  if (context.free.ssd_enabled) {
+    const auto& ssd = static_cast<const SsdSchedulingProblem&>(problem);
+    const auto splits = ssd.assign(genes);
+    decision.allocations.reserve(decision.selected.size());
+    for (std::size_t pos : decision.selected) {
+      Allocation alloc;
+      alloc.small_nodes =
+          static_cast<NodeCount>(std::llround(splits[pos].small_nodes));
+      alloc.large_nodes =
+          static_cast<NodeCount>(std::llround(splits[pos].large_nodes));
+      alloc.bb_gb = context.window[pos]->bb_gb;
+      decision.allocations.push_back(alloc);
+    }
+  }
+  return decision;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,27 @@
+// problem_builder.hpp — turn one scheduling-window snapshot into the MOO
+// problem the optimizing policies solve.
+//
+// Non-SSD machines yield the two-objective §3.2.1 formulation (node and
+// burst-buffer utilization); machines with SSD tiers yield the §5
+// four-objective formulation.  Starvation-pinned window positions are pinned
+// in the problem so every solver keeps them selected.
+#pragma once
+
+#include <memory>
+
+#include "core/problem.hpp"
+#include "sim/selection_policy.hpp"
+
+namespace bbsched {
+
+/// Build the window problem for `context`.  The returned problem's decision
+/// variables index window positions.
+std::unique_ptr<MooProblem> build_window_problem(const WindowContext& context);
+
+/// Translate a feasible gene vector into a WindowDecision: selected
+/// positions plus — on SSD machines — committed node-tier allocations.
+WindowDecision decision_from_genes(const WindowContext& context,
+                                   const MooProblem& problem,
+                                   const Genes& genes);
+
+}  // namespace bbsched

@@ -1,0 +1,41 @@
+#include "policies/scalarized.hpp"
+
+#include <stdexcept>
+
+#include "core/scalar_ga.hpp"
+#include "policies/problem_builder.hpp"
+
+namespace bbsched {
+
+std::vector<double> WeightSpec::resolve(std::size_t num_objectives) const {
+  if (num_objectives == 0) {
+    throw std::invalid_argument("WeightSpec: zero objectives");
+  }
+  if (kind == Kind::kEqual) {
+    return std::vector<double>(num_objectives,
+                               1.0 / static_cast<double>(num_objectives));
+  }
+  std::vector<double> weights = fixed;
+  weights.resize(num_objectives, 0.0);  // pad extra objectives with zero
+  return weights;
+}
+
+WeightSpec WeightSpec::only(std::size_t objective) {
+  std::vector<double> w(objective + 1, 0.0);
+  w[objective] = 1.0;
+  return fixed_weights(std::move(w));
+}
+
+WindowDecision ScalarizedPolicy::select(const WindowContext& context) const {
+  const auto problem = build_window_problem(context);
+  const ScalarGaSolver solver(params_,
+                              spec_.resolve(problem->num_objectives()));
+  const ScalarResult result = solver.solve(*problem, *context.rng);
+  WindowDecision decision =
+      decision_from_genes(context, *problem, result.best.genes);
+  decision.evaluations = result.evaluations;
+  decision.pareto_size = 1;
+  return decision;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,55 @@
+// scalarized.hpp — the Weighted_* and Constrained_* methods of §4.3 and §5.
+//
+// Both families convert the multi-resource problem into a single objective:
+// weighted methods maximize a weighted sum of the utilizations; constrained
+// methods maximize one utilization (the other capacities remain constraints,
+// which every window problem enforces anyway).  The scalar objective is
+// maximized with the same genetic machinery as BBSched (see scalar_ga.hpp).
+#pragma once
+
+#include <vector>
+
+#include "core/ga_ops.hpp"
+#include "sim/selection_policy.hpp"
+
+namespace bbsched {
+
+/// How to derive the weight vector once the objective count is known.
+/// The same policy object works on two-objective (CPU+BB) and
+/// four-objective (§5 SSD) windows.
+struct WeightSpec {
+  enum class Kind {
+    kEqual,  ///< 1/k on every objective ("Weighted")
+    kFixed,  ///< explicit weights, zero-padded to the objective count
+  };
+  Kind kind = Kind::kEqual;
+  std::vector<double> fixed;  ///< used when kind == kFixed
+
+  std::vector<double> resolve(std::size_t num_objectives) const;
+
+  static WeightSpec equal() { return {Kind::kEqual, {}}; }
+  static WeightSpec fixed_weights(std::vector<double> w) {
+    return {Kind::kFixed, std::move(w)};
+  }
+  /// A single 1 at `objective` — the constrained methods.
+  static WeightSpec only(std::size_t objective);
+};
+
+/// Weighted / constrained window selection via the scalarized GA.
+class ScalarizedPolicy : public SelectionPolicy {
+ public:
+  ScalarizedPolicy(std::string name, WeightSpec spec, GaParams params)
+      : name_(std::move(name)), spec_(std::move(spec)), params_(params) {
+    params_.validate();
+  }
+
+  WindowDecision select(const WindowContext& context) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  WeightSpec spec_;
+  GaParams params_;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,43 @@
+#include "sim/base_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bbsched {
+
+void BaseScheduler::sort_queue(std::vector<QueuedJobView>& queue,
+                               Time now) const {
+  std::stable_sort(queue.begin(), queue.end(),
+                   [&](const QueuedJobView& a, const QueuedJobView& b) {
+                     const double pa = priority(a, now);
+                     const double pb = priority(b, now);
+                     if (pa != pb) return pa > pb;
+                     if (a.job->submit_time != b.job->submit_time) {
+                       return a.job->submit_time < b.job->submit_time;
+                     }
+                     return a.job->id < b.job->id;
+                   });
+}
+
+double FcfsScheduler::priority(const QueuedJobView& view, Time /*now*/) const {
+  // Earlier submission -> larger score.
+  return -view.job->submit_time;
+}
+
+double WfpScheduler::priority(const QueuedJobView& view, Time now) const {
+  const double wait = std::max(0.0, now - view.queued_since);
+  const double walltime = std::max(1.0, view.job->walltime);
+  return static_cast<double>(view.job->nodes) *
+         std::pow(wait / walltime, exponent_);
+}
+
+std::unique_ptr<BaseScheduler> make_base_scheduler(const std::string& name) {
+  if (name == "FCFS" || name == "fcfs") {
+    return std::make_unique<FcfsScheduler>();
+  }
+  if (name == "WFP" || name == "wfp") return std::make_unique<WfpScheduler>();
+  throw std::invalid_argument("unknown base scheduler: " + name);
+}
+
+}  // namespace bbsched

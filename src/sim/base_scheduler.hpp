@@ -1,0 +1,65 @@
+// base_scheduler.hpp — queue-ordering policies ("base schedulers", §2.1).
+//
+// BBSched and every compared method run *on top of* a base scheduler that
+// enforces the site's job-priority policy.  The paper uses FCFS for the Cori
+// workloads and ALCF's utility-based WFP policy for the Theta workloads.
+// A base scheduler only orders the waiting queue; selection and backfilling
+// happen downstream.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace bbsched {
+
+/// Everything a priority function may look at for one waiting job.
+struct QueuedJobView {
+  const JobRecord* job = nullptr;
+  Time queued_since = 0;  ///< submit time (or dependency-release time)
+};
+
+/// Orders the waiting queue according to the site policy.
+class BaseScheduler {
+ public:
+  virtual ~BaseScheduler() = default;
+
+  /// Priority score of one waiting job at time `now`; larger runs earlier.
+  virtual double priority(const QueuedJobView& view, Time now) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Sort `queue` by descending priority; ties broken by earlier submission
+  /// then lower id, so the order is total and deterministic.
+  void sort_queue(std::vector<QueuedJobView>& queue, Time now) const;
+};
+
+/// First come, first served: earlier submission means higher priority.
+class FcfsScheduler : public BaseScheduler {
+ public:
+  double priority(const QueuedJobView& view, Time now) const override;
+  std::string name() const override { return "FCFS"; }
+};
+
+/// ALCF's WFP utility policy (§2.1): each cycle the score grows with queue
+/// wait and job size and shrinks with the requested walltime —
+///   score = nodes * (wait / walltime)^3,
+// so large jobs and long-waiting jobs rise while long requested walltimes
+// sink (short jobs get higher priority, as §4.4 observes).
+class WfpScheduler : public BaseScheduler {
+ public:
+  explicit WfpScheduler(double exponent = 3.0) : exponent_(exponent) {}
+
+  double priority(const QueuedJobView& view, Time now) const override;
+  std::string name() const override { return "WFP"; }
+
+ private:
+  double exponent_;
+};
+
+std::unique_ptr<BaseScheduler> make_base_scheduler(const std::string& name);
+
+}  // namespace bbsched

@@ -1,0 +1,139 @@
+#include "sim/easy_backfill.hpp"
+
+#include <algorithm>
+
+namespace bbsched {
+
+namespace {
+
+/// Raw free counters the planner advances hypothetically.
+struct Free {
+  NodeCount small = 0;
+  NodeCount large = 0;
+  GigaBytes bb = 0;
+};
+
+/// Mirror of MachineState::plan_single against hypothetical counters:
+/// large-only jobs take the large tier; others prefer the small tier and
+/// spill.  Returns false when the job does not fit `free`.
+bool plan_against(const JobRecord& job, const MachineConfig& config,
+                  const Free& free, Allocation& out) {
+  out = Allocation{};
+  out.bb_gb = job.bb_gb;
+  if (out.bb_gb > free.bb) return false;
+  if (!config.has_local_ssd()) {
+    if (job.nodes > free.small) return false;
+    out.small_nodes = job.nodes;
+    return true;
+  }
+  if (job.ssd_per_node_gb > config.large_ssd_gb) return false;
+  if (job.ssd_per_node_gb > config.small_ssd_gb) {
+    if (job.nodes > free.large) return false;
+    out.large_nodes = job.nodes;
+    return true;
+  }
+  if (job.nodes > free.small + free.large) return false;
+  out.small_nodes = std::min(job.nodes, free.small);
+  out.large_nodes = job.nodes - out.small_nodes;
+  return true;
+}
+
+void take(Free& free, const Allocation& alloc) {
+  free.small -= alloc.small_nodes;
+  free.large -= alloc.large_nodes;
+  free.bb -= alloc.bb_gb;
+}
+
+void give(Free& free, const Allocation& alloc) {
+  free.small += alloc.small_nodes;
+  free.large += alloc.large_nodes;
+  free.bb += alloc.bb_gb;
+}
+
+}  // namespace
+
+BackfillResult plan_easy_backfill(
+    const MachineState& machine, const JobRecord* head,
+    std::span<const RunningJobInfo> running,
+    std::span<const BackfillCandidate> candidates, Time now) {
+  BackfillResult result;
+  const MachineConfig& config = machine.config();
+  const FreeState fs = machine.free_state();
+  Free free{static_cast<NodeCount>(fs.ssd_enabled ? fs.small_nodes : fs.nodes),
+            static_cast<NodeCount>(fs.ssd_enabled ? fs.large_nodes : 0.0),
+            fs.bb_gb};
+
+  // --- 1. shadow time: earliest moment the head fits -----------------------
+  Free extra{};
+  bool have_reservation = false;
+  if (head != nullptr) {
+    Allocation head_alloc;
+    if (plan_against(*head, config, free, head_alloc)) {
+      // The head fits right now (the window policy skipped it as a
+      // trade-off); its reservation is "now", so backfill may only consume
+      // what the head leaves over.
+      result.shadow_time = now;
+      Free at_shadow = free;
+      take(at_shadow, head_alloc);
+      extra = at_shadow;
+      have_reservation = true;
+    } else {
+      // Walk future releases in expected-end order until the head fits.
+      std::vector<const RunningJobInfo*> by_end;
+      by_end.reserve(running.size());
+      for (const auto& r : running) by_end.push_back(&r);
+      std::sort(by_end.begin(), by_end.end(),
+                [](const RunningJobInfo* a, const RunningJobInfo* b) {
+                  return a->expected_end != b->expected_end
+                             ? a->expected_end < b->expected_end
+                             : a->id < b->id;
+                });
+      Free projected = free;
+      for (const RunningJobInfo* r : by_end) {
+        give(projected, r->alloc);
+        Allocation alloc;
+        if (plan_against(*head, config, projected, alloc)) {
+          result.shadow_time = r->expected_end;
+          Free at_shadow = projected;
+          take(at_shadow, alloc);
+          extra = at_shadow;
+          have_reservation = true;
+          break;
+        }
+      }
+      if (!have_reservation) {
+        // The head cannot run even on an empty machine (oversized request);
+        // no reservation constrains backfill.
+        result.shadow_time = kNeverFits;
+      }
+    }
+  } else {
+    result.shadow_time = kNeverFits;  // nothing to protect
+  }
+
+  // --- 2. scan candidates in priority order --------------------------------
+  for (const auto& candidate : candidates) {
+    Allocation alloc;
+    if (!plan_against(*candidate.job, config, free, alloc)) continue;
+    const bool finishes_before_shadow =
+        now + candidate.job->walltime <= result.shadow_time;
+    bool fits_extra = false;
+    if (have_reservation) {
+      fits_extra = alloc.small_nodes <= extra.small &&
+                   alloc.large_nodes <= extra.large && alloc.bb_gb <= extra.bb;
+    }
+    if (!finishes_before_shadow && have_reservation && !fits_extra) continue;
+    // Start the candidate: consume current capacity, and if it may still be
+    // running at the shadow time, the reservation surplus as well.
+    take(free, alloc);
+    if (have_reservation && !finishes_before_shadow) {
+      extra.small -= alloc.small_nodes;
+      extra.large -= alloc.large_nodes;
+      extra.bb -= alloc.bb_gb;
+    }
+    result.started.push_back({candidate.key, alloc});
+  }
+  return result;
+}
+
+}  // namespace bbsched

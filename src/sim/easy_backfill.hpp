@@ -1,0 +1,72 @@
+// easy_backfill.hpp — EASY backfilling generalized to multiple resources.
+//
+// All §4.3 methods run EASY backfilling after window selection "to mitigate
+// resource fragmentation".  The classic single-resource algorithm (Mu'alem &
+// Feitelson) reserves the earliest start for the highest-priority waiting
+// job (the *head*) and lets lower-priority jobs jump ahead only if they do
+// not delay that reservation.  The multi-resource generalization used here:
+//
+//  * the head's shadow time is the earliest moment at which *all* of its
+//    resource demands (nodes, burst buffer and — on §5 machines — SSD-tier
+//    feasibility) are simultaneously available, assuming running jobs end at
+//    their walltime;
+//  * the surplus ("extra") at the shadow time is the per-resource free
+//    capacity at that moment minus the head's planned allocation;
+//  * a candidate may backfill if it fits the current free capacity and
+//    either completes (by walltime) before the shadow time or fits inside
+//    the remaining surplus of every resource.
+//
+// Expected completions use the *user walltime*, exactly like production EASY:
+// jobs ending early only make the reservation conservative, never violated.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sim/machine_state.hpp"
+
+namespace bbsched {
+
+/// A running job as the backfill planner sees it.
+struct RunningJobInfo {
+  JobId id = 0;
+  Time expected_end = 0;  ///< start time + user walltime
+  Allocation alloc;
+};
+
+/// A waiting job eligible for backfill, tagged with a caller-side key.
+struct BackfillCandidate {
+  const JobRecord* job = nullptr;
+  std::size_t key = 0;  ///< opaque; returned for started candidates
+};
+
+/// One backfill start decision.
+struct BackfillStart {
+  std::size_t key = 0;
+  Allocation alloc;
+};
+
+/// Result of one backfill pass.
+struct BackfillResult {
+  std::vector<BackfillStart> started;  ///< in candidate order
+  Time shadow_time = 0;                ///< head's reserved start time
+};
+
+inline constexpr Time kNeverFits = std::numeric_limits<Time>::infinity();
+
+/// Plan a backfill pass at time `now`.
+///
+/// `machine` supplies the current free capacity (after the window policy's
+/// starts were committed); `running` must list every running job including
+/// those just started.  `head` is the highest-priority job still waiting
+/// (nullptr when the queue beyond the started jobs is empty, in which case
+/// every fitting candidate starts).  Candidates are scanned in the given
+/// (priority) order.  The function does not mutate the machine; the caller
+/// commits the returned starts.
+BackfillResult plan_easy_backfill(
+    const MachineState& machine, const JobRecord* head,
+    std::span<const RunningJobInfo> running,
+    std::span<const BackfillCandidate> candidates, Time now);
+
+}  // namespace bbsched

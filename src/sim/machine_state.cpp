@@ -1,0 +1,105 @@
+#include "sim/machine_state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace bbsched {
+
+MachineState::MachineState(const MachineConfig& config) : config_(config) {
+  config_.validate();
+  if (config_.has_local_ssd()) {
+    free_small_ = config_.small_ssd_nodes;
+    free_large_ = config_.large_ssd_nodes;
+  } else {
+    free_small_ = config_.nodes;
+    free_large_ = 0;
+  }
+  free_bb_ = config_.schedulable_bb_gb();
+}
+
+FreeState MachineState::free_state() const {
+  FreeState s;
+  s.nodes = static_cast<double>(free_nodes());
+  s.bb_gb = free_bb_;
+  s.ssd_enabled = config_.has_local_ssd();
+  if (s.ssd_enabled) {
+    s.small_nodes = static_cast<double>(free_small_);
+    s.large_nodes = static_cast<double>(free_large_);
+    s.small_ssd_gb = config_.small_ssd_gb;
+    s.large_ssd_gb = config_.large_ssd_gb;
+  } else {
+    s.small_nodes = static_cast<double>(free_small_);
+  }
+  return s;
+}
+
+bool MachineState::fits(const Allocation& alloc) const {
+  return alloc.small_nodes <= free_small_ && alloc.large_nodes <= free_large_ &&
+         alloc.bb_gb <= free_bb_;
+}
+
+bool MachineState::fits_job(const JobRecord& job) const {
+  Allocation alloc;
+  return plan_single(job, alloc);
+}
+
+bool MachineState::plan_single(const JobRecord& job, Allocation& out) const {
+  out = Allocation{};
+  out.bb_gb = job.bb_gb;
+  if (out.bb_gb > free_bb_) return false;
+  if (!config_.has_local_ssd()) {
+    if (job.nodes > free_small_) return false;
+    out.small_nodes = job.nodes;
+    return true;
+  }
+  if (job.ssd_per_node_gb > config_.large_ssd_gb) return false;
+  if (job.ssd_per_node_gb > config_.small_ssd_gb) {
+    if (job.nodes > free_large_) return false;
+    out.large_nodes = job.nodes;
+    return true;
+  }
+  if (job.nodes > free_small_ + free_large_) return false;
+  out.small_nodes = std::min(job.nodes, free_small_);
+  out.large_nodes = job.nodes - out.small_nodes;
+  return true;
+}
+
+void MachineState::allocate(JobId job_id, const Allocation& alloc) {
+  if (allocations_.contains(job_id)) {
+    throw std::logic_error("machine: job " + std::to_string(job_id) +
+                           " already allocated");
+  }
+  if (!fits(alloc)) {
+    throw std::logic_error("machine: allocation for job " +
+                           std::to_string(job_id) +
+                           " exceeds free capacity");
+  }
+  free_small_ -= alloc.small_nodes;
+  free_large_ -= alloc.large_nodes;
+  free_bb_ -= alloc.bb_gb;
+  allocations_.emplace(job_id, alloc);
+}
+
+void MachineState::release(JobId job_id) {
+  const auto it = allocations_.find(job_id);
+  if (it == allocations_.end()) {
+    throw std::logic_error("machine: job " + std::to_string(job_id) +
+                           " has no allocation to release");
+  }
+  free_small_ += it->second.small_nodes;
+  free_large_ += it->second.large_nodes;
+  free_bb_ += it->second.bb_gb;
+  allocations_.erase(it);
+}
+
+const Allocation& MachineState::allocation_of(JobId job_id) const {
+  const auto it = allocations_.find(job_id);
+  if (it == allocations_.end()) {
+    throw std::logic_error("machine: job " + std::to_string(job_id) +
+                           " has no allocation");
+  }
+  return it->second;
+}
+
+}  // namespace bbsched

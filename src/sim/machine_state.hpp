@@ -1,0 +1,86 @@
+// machine_state.hpp — runtime free-resource accounting for one simulated
+// machine.
+//
+// The paper's model treats compute nodes as fungible (no topology) and the
+// shared burst buffer as a single capacity, so allocation is counter
+// arithmetic.  The §5 case study splits nodes into two SSD tiers; an
+// allocation then carries a per-tier node split chosen by the scheduling
+// policy (SsdSchedulingProblem::assign) and the state tracks each tier's
+// free count.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/ssd_problem.hpp"
+#include "workload/workload.hpp"
+
+namespace bbsched {
+
+/// Snapshot of free capacity visible to one scheduling decision.
+struct FreeState {
+  double nodes = 0;        ///< total free nodes (sum of tiers when SSD on)
+  double bb_gb = 0;        ///< free schedulable burst buffer
+  bool ssd_enabled = false;
+  double small_nodes = 0;  ///< free nodes of the small SSD tier
+  double large_nodes = 0;  ///< free nodes of the large SSD tier
+  double small_ssd_gb = 0; ///< per-node SSD volume of the small tier
+  double large_ssd_gb = 0;
+};
+
+/// Per-job node-tier allocation; for non-SSD machines everything is
+/// accounted in `small_nodes` ("the only tier").
+struct Allocation {
+  NodeCount small_nodes = 0;
+  NodeCount large_nodes = 0;
+  GigaBytes bb_gb = 0;
+
+  NodeCount total_nodes() const { return small_nodes + large_nodes; }
+};
+
+/// Mutable free-capacity tracker.  allocate/release must balance; the class
+/// asserts capacity invariants on every transition.
+class MachineState {
+ public:
+  explicit MachineState(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  FreeState free_state() const;
+
+  NodeCount free_nodes() const { return free_small_ + free_large_; }
+  GigaBytes free_bb() const { return free_bb_; }
+
+  /// Whether an allocation fits the current free capacity.
+  bool fits(const Allocation& alloc) const;
+
+  /// Whether a plain (tier-agnostic) demand fits; for SSD machines the
+  /// per-node SSD request decides which tiers are usable.
+  bool fits_job(const JobRecord& job) const;
+
+  /// Build the tier split for a job the way the §5 policy assigns single
+  /// jobs: large-only jobs take large-tier nodes; others prefer the small
+  /// tier and spill onto the large tier.  Returns false if the job does not
+  /// fit.  For non-SSD machines all nodes land in small_nodes.
+  bool plan_single(const JobRecord& job, Allocation& out) const;
+
+  /// Commit an allocation for `job_id`.  Throws std::logic_error if it does
+  /// not fit or the id is already allocated.
+  void allocate(JobId job_id, const Allocation& alloc);
+
+  /// Release the allocation of `job_id`.  Throws std::logic_error when the
+  /// id has no allocation.
+  void release(JobId job_id);
+
+  /// The allocation currently held by a job (must exist).
+  const Allocation& allocation_of(JobId job_id) const;
+
+  std::size_t num_running() const { return allocations_.size(); }
+
+ private:
+  MachineConfig config_;
+  NodeCount free_small_ = 0;  ///< on non-SSD machines: all nodes
+  NodeCount free_large_ = 0;
+  GigaBytes free_bb_ = 0;
+  std::unordered_map<JobId, Allocation> allocations_;
+};
+
+}  // namespace bbsched

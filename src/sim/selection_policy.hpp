@@ -1,0 +1,57 @@
+// selection_policy.hpp — the window-selection strategy interface.
+//
+// Once the base scheduler has ordered the waiting queue and the simulator
+// has formed the scheduling window (§3.1), a SelectionPolicy decides which
+// window jobs start *now*.  All eight methods of §4.3 (plus §5's
+// Constrained_SSD) implement this interface; the simulator is agnostic to
+// how the subset was chosen.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/machine_state.hpp"
+#include "workload/job.hpp"
+
+namespace bbsched {
+
+/// Inputs of one window-selection decision.
+struct WindowContext {
+  std::span<const JobRecord* const> window;  ///< priority order, front first
+  FreeState free;                            ///< free capacity snapshot
+  /// Window positions of jobs force-included by the starvation bound (§3.1).
+  /// Each pinned job is individually feasible against `free`.
+  std::span<const std::size_t> pinned;
+  Rng* rng = nullptr;                        ///< solver randomness stream
+};
+
+/// Output of one window-selection decision.
+struct WindowDecision {
+  /// Window positions selected to start now; the combined selection is
+  /// feasible against the context's free capacity.
+  std::vector<std::size_t> selected;
+  /// Node-tier split per selected position (parallel to `selected`); empty
+  /// for non-SSD machines, in which case the simulator plans single-job
+  /// splits itself.
+  std::vector<Allocation> allocations;
+  /// Size of the Pareto set considered (1 for single-solution methods).
+  std::size_t pareto_size = 1;
+  /// Chromosome evaluations spent by the optimizer (0 for greedy methods).
+  std::size_t evaluations = 0;
+};
+
+/// Strategy interface for the §4.3 methods.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  virtual WindowDecision select(const WindowContext& context) const = 0;
+
+  /// Method label used in result tables ("BBSched", "Weighted_CPU", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,74 @@
+// sim_result.hpp — what one simulation run produces.
+//
+// Outcomes carry everything the §4.2 metrics need: per-job timing for wait
+// time and slowdown, per-job demands and allocation splits for node / burst
+// buffer / SSD usage integrals, and decision statistics for the scheduling
+// overhead discussion of §4.4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/workload.hpp"
+
+namespace bbsched {
+
+/// Final record of one completed job.
+struct JobOutcome {
+  JobId id = 0;
+  Time submit = 0;
+  Time start = 0;
+  Time end = 0;           ///< actual completion (start + runtime)
+  Time runtime = 0;
+  Time walltime = 0;
+  NodeCount nodes = 0;
+  GigaBytes bb_gb = 0;
+  GigaBytes ssd_per_node_gb = 0;
+  NodeCount small_tier_nodes = 0;  ///< allocation split (§5 machines)
+  NodeCount large_tier_nodes = 0;
+  bool backfilled = false;  ///< started by EASY rather than window selection
+
+  Time wait() const { return start - submit; }
+  /// Response time over runtime; the §4.2 responsiveness metric.
+  double slowdown() const {
+    return runtime > 0 ? (wait() + runtime) / runtime : 1.0;
+  }
+};
+
+/// Aggregate statistics over all scheduling decisions of a run.
+struct DecisionStats {
+  std::size_t cycles = 0;              ///< scheduling invocations
+  std::size_t window_jobs = 0;         ///< total window slots examined
+  std::size_t policy_starts = 0;       ///< jobs started by window selection
+  std::size_t backfill_starts = 0;     ///< jobs started by EASY
+  std::size_t forced_starts = 0;       ///< starvation-bound force-inclusions
+  std::size_t evaluations = 0;         ///< optimizer chromosome evaluations
+  double pareto_size_sum = 0;          ///< for mean Pareto-set size
+  double solve_seconds_total = 0;      ///< wall-clock in the window policy
+  double solve_seconds_max = 0;
+
+  double mean_solve_seconds() const {
+    return cycles ? solve_seconds_total / static_cast<double>(cycles) : 0.0;
+  }
+  double mean_pareto_size() const {
+    return cycles ? pareto_size_sum / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+/// Result of one (workload, policy) simulation.
+struct SimResult {
+  std::string workload_name;
+  std::string policy_name;
+  std::string base_scheduler_name;
+  MachineConfig machine;
+  std::vector<JobOutcome> outcomes;  ///< one per job, trace order
+  Time makespan = 0;                 ///< last completion time
+  /// Measurement interval after warm-up/cool-down trimming (§4.2); metrics
+  /// only count jobs submitted inside it and usage integrated over it.
+  Time measure_begin = 0;
+  Time measure_end = 0;
+  DecisionStats decisions;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,235 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bbsched {
+
+void GeneratorParams::validate() const {
+  machine.validate();
+  if (num_jobs == 0) throw std::invalid_argument("generator: num_jobs == 0");
+  if (offered_load <= 0) {
+    throw std::invalid_argument("generator: offered_load must be > 0");
+  }
+  if (size_buckets.empty()) {
+    throw std::invalid_argument("generator: no size buckets");
+  }
+  for (const auto& b : size_buckets) {
+    if (b.min_nodes < 1 || b.max_nodes < b.min_nodes || b.weight <= 0) {
+      throw std::invalid_argument("generator: malformed size bucket");
+    }
+    if (b.max_nodes > machine.nodes) {
+      throw std::invalid_argument(
+          "generator: size bucket exceeds machine nodes");
+    }
+  }
+  if (min_runtime <= 0 || max_runtime < min_runtime) {
+    throw std::invalid_argument("generator: bad runtime bounds");
+  }
+  if (walltime_accuracy_lo <= 0 || walltime_accuracy_lo > 1) {
+    throw std::invalid_argument(
+        "generator: walltime_accuracy_lo must be in (0, 1]");
+  }
+  if (bb_fraction < 0 || bb_fraction > 1) {
+    throw std::invalid_argument("generator: bb_fraction must be in [0, 1]");
+  }
+  if (bb_fraction > 0 && (bb_min <= 0 || bb_max <= bb_min)) {
+    throw std::invalid_argument("generator: bad BB request bounds");
+  }
+}
+
+namespace {
+
+NodeCount scaled_nodes(NodeCount n, double scale) {
+  return std::max<NodeCount>(1, static_cast<NodeCount>(
+                                    std::llround(static_cast<double>(n) *
+                                                 scale)));
+}
+
+NodeCount sample_size(const GeneratorParams& p, Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(p.size_buckets.size());
+  for (const auto& b : p.size_buckets) weights.push_back(b.weight);
+  const auto& bucket =
+      p.size_buckets[rng.weighted_index(weights.data(), weights.size())];
+  if (bucket.min_nodes == bucket.max_nodes) return bucket.min_nodes;
+  // Log-uniform inside the bucket: small sizes stay more likely, matching
+  // the long-tailed job-size mixes of production logs.
+  const double lo = std::log(static_cast<double>(bucket.min_nodes));
+  const double hi = std::log(static_cast<double>(bucket.max_nodes) + 1.0);
+  const auto n = static_cast<NodeCount>(std::exp(rng.uniform(lo, hi)));
+  return std::clamp<NodeCount>(n, bucket.min_nodes, bucket.max_nodes);
+}
+
+Time sample_runtime(const GeneratorParams& p, Rng& rng) {
+  const double r = rng.lognormal(p.runtime_log_mu, p.runtime_log_sigma);
+  return std::clamp(r, p.min_runtime, p.max_runtime);
+}
+
+Time sample_walltime(const GeneratorParams& p, Time runtime, Rng& rng) {
+  const double accuracy = rng.uniform(p.walltime_accuracy_lo, 1.0);
+  double walltime = runtime / accuracy;
+  if (p.walltime_quantum > 0) {
+    walltime = std::ceil(walltime / p.walltime_quantum) * p.walltime_quantum;
+  }
+  return std::max(walltime, runtime);
+}
+
+/// Diurnal arrival-rate modulation: day peak around noon, trough at night.
+double arrival_rate_factor(const GeneratorParams& p, Time t) {
+  if (p.diurnal_amplitude <= 0) return 1.0;
+  const double phase =
+      2.0 * std::numbers::pi * (t - hours(6)) / days(1.0);
+  return std::max(0.1, 1.0 + p.diurnal_amplitude * std::sin(phase));
+}
+
+}  // namespace
+
+Workload generate_workload(const GeneratorParams& params,
+                           std::uint64_t seed) {
+  params.validate();
+  Rng rng(seed);
+
+  Workload workload;
+  workload.name = params.name;
+  workload.machine = params.machine;
+  workload.jobs.reserve(params.num_jobs);
+
+  // Pass 1: draw submission events until num_jobs jobs exist.  An array's
+  // members share node count, walltime and BB request; runtimes get small
+  // per-member jitter (members of real arrays process different inputs).
+  double total_node_seconds = 0;
+  std::size_t num_events = 0;
+  std::vector<std::size_t> event_of_job;  // event index per job
+  event_of_job.reserve(params.num_jobs);
+  while (workload.jobs.size() < params.num_jobs) {
+    std::size_t members = 1;
+    if (params.array_fraction > 0 && rng.bernoulli(params.array_fraction)) {
+      members = static_cast<std::size_t>(
+          rng.uniform_int(2, std::max(2, params.array_max)));
+    }
+    members = std::min(members, params.num_jobs - workload.jobs.size());
+    const NodeCount nodes = sample_size(params, rng);
+    const Time base_runtime = sample_runtime(params, rng);
+    const Time walltime = sample_walltime(params, base_runtime, rng);
+    GigaBytes bb = 0;
+    if (params.bb_fraction > 0 && rng.bernoulli(params.bb_fraction)) {
+      bb = rng.bounded_pareto(params.bb_pareto_alpha, params.bb_min,
+                              params.bb_max);
+    }
+    for (std::size_t m = 0; m < members; ++m) {
+      JobRecord job;
+      job.id = static_cast<JobId>(workload.jobs.size() + 1);
+      job.nodes = nodes;
+      job.runtime = std::min(
+          walltime, std::max(params.min_runtime,
+                             base_runtime * rng.uniform(0.85, 1.0)));
+      job.walltime = walltime;
+      job.bb_gb = bb;
+      total_node_seconds += job.node_seconds();
+      workload.jobs.push_back(std::move(job));
+      event_of_job.push_back(num_events);
+    }
+    ++num_events;
+  }
+
+  // Pass 2: calibrate the submission span so that offered load matches the
+  // target, then lay out Poisson event arrivals with diurnal modulation.
+  const double span = total_node_seconds /
+                      (static_cast<double>(params.machine.nodes) *
+                       params.offered_load);
+  const double mean_gap = span / static_cast<double>(num_events);
+  Time t = 0;
+  std::size_t current_event = std::size_t(-1);
+  for (std::size_t i = 0; i < workload.jobs.size(); ++i) {
+    if (event_of_job[i] != current_event) {
+      current_event = event_of_job[i];
+      t += rng.exponential(1.0 / mean_gap) / arrival_rate_factor(params, t);
+    }
+    workload.jobs[i].submit_time = t;
+  }
+
+  workload.normalize();
+  return workload;
+}
+
+GeneratorParams cori_model(std::size_t num_jobs, double scale) {
+  GeneratorParams p;
+  p.name = "Cori";
+  p.machine.name = "Cori";
+  p.machine.nodes = scaled_nodes(12076, scale);
+  p.machine.burst_buffer_gb = pb(1.8) * scale;
+  p.machine.persistent_bb_fraction = 1.0 / 3.0;  // §4.1
+  p.num_jobs = num_jobs;
+  // Capacity computing: the size mix is dominated by small jobs in count,
+  // with enough mid-size work that the machine's node-hours are not carried
+  // by the tail alone.
+  p.size_buckets = {
+      {scaled_nodes(1, scale), scaled_nodes(1, scale), 0.22},
+      {scaled_nodes(2, scale), scaled_nodes(16, scale), 0.30},
+      {scaled_nodes(17, scale), scaled_nodes(64, scale), 0.20},
+      {scaled_nodes(65, scale), scaled_nodes(512, scale), 0.17},
+      {scaled_nodes(513, scale), scaled_nodes(4096, scale), 0.10},
+      {scaled_nodes(4097, scale), scaled_nodes(9688, scale), 0.01},
+  };
+  p.runtime_log_mu = std::log(3600.0);   // median ~1 h
+  p.runtime_log_sigma = 1.2;
+  p.min_runtime = seconds(60);
+  p.max_runtime = hours(24);
+  // Critically loaded, not oversubscribed: production systems run near but
+  // below saturation, which is the regime where packing efficiency shows up
+  // as wait-time differences (the paper's node usages sit around 60-85 %).
+  p.offered_load = 0.95;
+  p.diurnal_amplitude = 0.1;
+  // Capacity workloads are job-array heavy; bursty submissions are what
+  // builds queues on a many-node machine under sub-saturation load.
+  p.array_fraction = 0.25;
+  p.array_max = 12;
+  p.bb_fraction = 0.00618;               // Table 2: 0.618 % of jobs
+  p.bb_pareto_alpha = 0.7;               // steep tail: most requests near 5 TB
+  p.bb_min = gb(1);
+  p.bb_max = tb(165) * scale;            // Table 2 BB range upper bound
+  return p;
+}
+
+GeneratorParams theta_model(std::size_t num_jobs, double scale) {
+  GeneratorParams p;
+  p.name = "Theta";
+  p.machine.name = "Theta";
+  p.machine.nodes = scaled_nodes(4392, scale);
+  // Table 2: 1.26 PB (projected) shared burst buffer.  (§4.1 also mentions a
+  // 2.16 PB memory-ratio estimate; the table value keeps the BB-to-node
+  // ratio in the regime where the S3/S4 expansions actually contend.)
+  p.machine.burst_buffer_gb = pb(1.26) * scale;
+  p.num_jobs = num_jobs;
+  // Capability computing by node-hours, but — as on the real machine with
+  // its debug/backfill partitions — job *counts* are dominated by small
+  // jobs: roughly half the consumed node-hours come from 512+-node
+  // capability jobs while most submissions stay under 256 nodes.
+  p.size_buckets = {
+      {scaled_nodes(1, scale), scaled_nodes(64, scale), 0.45},
+      {scaled_nodes(65, scale), scaled_nodes(128, scale), 0.33},
+      {scaled_nodes(129, scale), scaled_nodes(256, scale), 0.12},
+      {scaled_nodes(257, scale), scaled_nodes(512, scale), 0.05},
+      {scaled_nodes(513, scale), scaled_nodes(1024, scale), 0.03},
+      {scaled_nodes(1025, scale), scaled_nodes(2048, scale), 0.013},
+      {scaled_nodes(2049, scale), scaled_nodes(4392, scale), 0.007},
+  };
+  p.runtime_log_mu = std::log(3600.0);   // median ~1 h
+  p.runtime_log_sigma = 1.0;
+  p.min_runtime = minutes(10);
+  p.max_runtime = hours(24);
+  p.offered_load = 0.92;                 // critically loaded (see cori_model)
+  p.diurnal_amplitude = 0.1;
+  p.array_fraction = 0.10;               // ensemble campaigns
+  p.array_max = 8;
+  p.bb_fraction = 0.1718;                // §4.1: 17.18 % with >1 GB Darshan IO
+  p.bb_pareto_alpha = 0.25;              // Darshan data-moved heavy tail
+  p.bb_min = gb(1);
+  p.bb_max = tb(285) * scale;
+  return p;
+}
+
+}  // namespace bbsched

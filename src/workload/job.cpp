@@ -1,0 +1,23 @@
+#include "workload/job.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace bbsched {
+
+void validate_job(const JobRecord& job) {
+  auto fail = [&](const char* what) {
+    throw std::invalid_argument("job " + std::to_string(job.id) + ": " + what);
+  };
+  if (job.submit_time < 0) fail("negative submit time");
+  if (job.runtime < 0) fail("negative runtime");
+  if (job.walltime < job.runtime) fail("walltime below runtime");
+  if (job.nodes < 1) fail("node request below 1");
+  if (job.bb_gb < 0) fail("negative burst-buffer request");
+  if (job.ssd_per_node_gb < 0) fail("negative SSD request");
+  for (JobId dep : job.dependencies) {
+    if (dep == job.id) fail("self-dependency");
+  }
+}
+
+}  // namespace bbsched

@@ -1,0 +1,45 @@
+// job.hpp — the job record shared by traces, generators and the simulator.
+//
+// Mirrors the fields the paper's traces carry (Table 2): submission time,
+// requested node count, requested burst-buffer size, runtime estimate
+// (walltime) and — reconstructed from the actual log — the true runtime.
+// The §5 case study adds a per-node local-SSD request.  Dependencies are
+// supported by the scheduling window (§3.1) even though both studied traces
+// lack them ("we suppose all jobs are independent").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace bbsched {
+
+using JobId = std::uint64_t;
+
+/// One job as submitted by a user.
+struct JobRecord {
+  JobId id = 0;
+  Time submit_time = 0;    ///< seconds since trace start
+  Time runtime = 0;        ///< actual execution time (from the log)
+  Time walltime = 0;       ///< user-provided runtime estimate (>= runtime)
+  NodeCount nodes = 1;     ///< requested compute nodes
+  GigaBytes bb_gb = 0;     ///< requested shared burst buffer (0 = none)
+  GigaBytes ssd_per_node_gb = 0;  ///< requested local SSD per node (§5)
+  std::vector<JobId> dependencies;  ///< jobs that must complete first
+
+  bool requests_bb() const { return bb_gb > 0; }
+  bool requests_ssd() const { return ssd_per_node_gb > 0; }
+
+  /// node-seconds this job consumes while running.
+  double node_seconds() const {
+    return static_cast<double>(nodes) * runtime;
+  }
+};
+
+/// Validate invariants of a record (non-negative times, nodes >= 1,
+/// walltime >= runtime).  Throws std::invalid_argument with the job id on
+/// violation; generators and trace readers call this on every record.
+void validate_job(const JobRecord& job);
+
+}  // namespace bbsched

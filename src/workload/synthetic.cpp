@@ -1,0 +1,196 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace bbsched {
+
+namespace {
+
+/// Original BB requests above a threshold; falls back to the top decile of
+/// all requests when the threshold empties the pool.
+std::vector<GigaBytes> request_pool(const Workload& original,
+                                    GigaBytes threshold) {
+  std::vector<GigaBytes> all;
+  for (const auto& job : original.jobs) {
+    if (job.requests_bb()) all.push_back(job.bb_gb);
+  }
+  if (all.empty()) return {};
+  std::vector<GigaBytes> pool;
+  for (GigaBytes r : all) {
+    if (r > threshold) pool.push_back(r);
+  }
+  if (!pool.empty()) return pool;
+  std::sort(all.begin(), all.end(), std::greater<>());
+  const std::size_t decile = std::max<std::size_t>(1, all.size() / 10);
+  all.resize(decile);
+  return all;
+}
+
+}  // namespace
+
+std::vector<GigaBytes> sample_bb_pool(double alpha, GigaBytes lo,
+                                      GigaBytes hi, GigaBytes threshold,
+                                      std::size_t count, std::uint64_t seed) {
+  if (threshold >= hi) {
+    throw std::invalid_argument("sample_bb_pool: threshold above range");
+  }
+  // Sample the conditional distribution directly: bounded Pareto truncated
+  // below at the threshold is again bounded Pareto on [threshold, hi].
+  const GigaBytes effective_lo = std::max(lo, threshold);
+  Rng rng(seed);
+  std::vector<GigaBytes> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.push_back(rng.bounded_pareto(alpha, effective_lo, hi));
+  }
+  return pool;
+}
+
+Workload expand_bb_requests(const Workload& original,
+                            const BbExpansionParams& params,
+                            std::uint64_t seed) {
+  if (params.target_fraction < 0 || params.target_fraction > 1) {
+    throw std::invalid_argument("expand_bb: target_fraction out of [0, 1]");
+  }
+  std::vector<GigaBytes> pool;
+  if (!params.pool.empty()) {
+    for (GigaBytes r : params.pool) {
+      if (r > params.pool_threshold) pool.push_back(r);
+    }
+    if (pool.empty()) {
+      throw std::invalid_argument(
+          "expand_bb: explicit pool has no entry above the threshold");
+    }
+  } else {
+    pool = request_pool(original, params.pool_threshold);
+  }
+  Workload out = original;
+  if (pool.empty() || out.jobs.empty()) return out;
+
+  const double current = original.bb_request_fraction();
+  if (current >= params.target_fraction) return out;
+  // Probability for each currently request-free job such that the expected
+  // overall requesting fraction reaches the target.
+  const double assign_prob =
+      (params.target_fraction - current) / (1.0 - current);
+
+  Rng rng(seed);
+  for (auto& job : out.jobs) {
+    if (job.requests_bb()) continue;
+    if (!rng.bernoulli(assign_prob)) continue;
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
+    job.bb_gb = pool[idx];
+  }
+  return out;
+}
+
+Workload expand_ssd_requests(const Workload& base,
+                             const SsdExpansionParams& params,
+                             std::uint64_t seed) {
+  if (params.small_request_fraction < 0 || params.small_request_fraction > 1) {
+    throw std::invalid_argument("expand_ssd: fraction out of [0, 1]");
+  }
+  if (params.small_gb <= 0 || params.large_gb <= params.small_gb) {
+    throw std::invalid_argument("expand_ssd: bad tier sizes");
+  }
+  Workload out = base;
+  // Configure the machine's SSD tiers (50/50 split in the paper).
+  const auto small_nodes = static_cast<NodeCount>(std::llround(
+      static_cast<double>(out.machine.nodes) *
+      params.small_tier_node_fraction));
+  out.machine.small_ssd_nodes = small_nodes;
+  out.machine.large_ssd_nodes = out.machine.nodes - small_nodes;
+  out.machine.small_ssd_gb = params.small_gb;
+  out.machine.large_ssd_gb = params.large_gb;
+  out.machine.validate();
+
+  Rng rng(seed);
+  for (auto& job : out.jobs) {
+    // A job wider than the large tier can only run if it may use both
+    // tiers, i.e. its per-node request must fit the small tier.  (The §5
+    // machine has half its nodes per tier; a full-machine job with a
+    // 256 GB-only request would be unservable.)
+    const bool must_fit_small = job.nodes > out.machine.large_ssd_nodes;
+    if (must_fit_small || rng.bernoulli(params.small_request_fraction)) {
+      // (0, small]: "0-128GB local SSD requests".
+      job.ssd_per_node_gb = rng.uniform(0.0, params.small_gb);
+      if (job.ssd_per_node_gb == 0.0) job.ssd_per_node_gb = 1.0;
+    } else {
+      // (small, large]: must land on the large tier.
+      job.ssd_per_node_gb =
+          rng.uniform(params.small_gb, params.large_gb);
+      if (job.ssd_per_node_gb == params.small_gb) {
+        job.ssd_per_node_gb += 1.0;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SuiteEntry> make_bb_suite(const Workload& original,
+                                      std::uint64_t seed,
+                                      std::vector<GigaBytes> model_pool_5tb,
+                                      std::vector<GigaBytes> model_pool_20tb,
+                                      double threshold_scale) {
+  std::vector<SuiteEntry> suite;
+  {
+    Workload relabeled = original;
+    relabeled.name = original.name + "-Original";
+    suite.push_back({relabeled.name, std::move(relabeled)});
+  }
+  const struct {
+    const char* tag;
+    double fraction;
+    GigaBytes threshold;
+    const std::vector<GigaBytes>* pool;
+  } specs[] = {
+      {"S1", 0.50, tb(5) * threshold_scale, &model_pool_5tb},
+      {"S2", 0.75, tb(5) * threshold_scale, &model_pool_5tb},
+      {"S3", 0.50, tb(20) * threshold_scale, &model_pool_20tb},
+      {"S4", 0.75, tb(20) * threshold_scale, &model_pool_20tb},
+  };
+  std::uint64_t salt = 0;
+  for (const auto& spec : specs) {
+    BbExpansionParams params;
+    params.target_fraction = spec.fraction;
+    params.pool_threshold = spec.threshold;
+    params.pool = *spec.pool;
+    Workload w = expand_bb_requests(original, params, seed + (++salt));
+    w.name = original.name + "-" + spec.tag;
+    suite.push_back({w.name, std::move(w)});
+  }
+  return suite;
+}
+
+std::vector<SuiteEntry> make_ssd_suite(
+    const Workload& original, std::uint64_t seed,
+    std::vector<GigaBytes> model_pool_5tb, double threshold_scale) {
+  // §5: S5-S7 are generated "on top of Cori-S2 and Theta-S2".
+  BbExpansionParams s2;
+  s2.target_fraction = 0.75;
+  s2.pool_threshold = tb(5) * threshold_scale;
+  s2.pool = std::move(model_pool_5tb);
+  const Workload base = expand_bb_requests(original, s2, seed + 2);
+
+  std::vector<SuiteEntry> suite;
+  const struct {
+    const char* tag;
+    double small_fraction;
+  } specs[] = {{"S5", 0.8}, {"S6", 0.5}, {"S7", 0.2}};
+  std::uint64_t salt = 100;
+  for (const auto& spec : specs) {
+    SsdExpansionParams params;
+    params.small_request_fraction = spec.small_fraction;
+    Workload w = expand_ssd_requests(base, params, seed + (++salt));
+    w.name = original.name + "-" + spec.tag;
+    suite.push_back({w.name, std::move(w)});
+  }
+  return suite;
+}
+
+}  // namespace bbsched

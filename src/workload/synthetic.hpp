@@ -1,0 +1,96 @@
+// synthetic.hpp — the paper's derived workloads (§4.1 and §5).
+//
+// S1-S4 stress burst-buffer contention: the fraction of jobs with BB
+// requests is expanded to 50 % (S1/S3) or 75 % (S2/S4); each newly assigned
+// request is drawn uniformly from the *original* workload's requests above a
+// threshold — 5 TB for S1/S2, 20 TB for S3/S4 — so S3/S4 carry larger
+// requests than S1/S2.
+//
+// S5-S7 (the §5 case study) are built on top of S2 and add per-node local
+// SSD requests against a machine whose nodes are split 50/50 between a
+// 128 GB and a 256 GB SSD tier:
+//   S5: 80 % of jobs request (0, 128] GB, 20 % request (128, 256] GB
+//   S6: 50 % / 50 %
+//   S7: 20 % / 80 %
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace bbsched {
+
+/// Parameters of one S1-S4 style expansion.
+struct BbExpansionParams {
+  double target_fraction = 0.5;    ///< fraction of jobs with BB requests
+  GigaBytes pool_threshold = tb(5);///< sample pool: original requests > this
+  /// Optional explicit request pool.  The paper samples new requests from
+  /// the original trace's requests above the threshold; with millions of
+  /// logged jobs that pool is dense.  Scaled-down reproductions pass a pool
+  /// drawn from the workload *model's* request distribution instead (see
+  /// sample_bb_pool), which is statistically the same object.  Entries at or
+  /// below pool_threshold are filtered out.
+  std::vector<GigaBytes> pool;
+};
+
+/// Expand BB requests per §4.1.  Jobs that already request BB are kept
+/// unchanged; jobs without requests are assigned one with the probability
+/// that lifts the overall requesting fraction to `target_fraction`, sampled
+/// uniformly from the original requests above `pool_threshold`.  If the
+/// original workload has no request above the threshold, the largest decile
+/// of original requests forms the pool instead (and if there are no requests
+/// at all, the workload is returned unchanged).
+Workload expand_bb_requests(const Workload& original,
+                            const BbExpansionParams& params,
+                            std::uint64_t seed);
+
+/// Parameters of one S5-S7 style SSD expansion.
+struct SsdExpansionParams {
+  double small_request_fraction = 0.8;  ///< jobs drawing from (0, small_gb]
+  GigaBytes small_gb = 128;
+  GigaBytes large_gb = 256;
+  /// Fraction of machine nodes moved to the small SSD tier (rest are large).
+  double small_tier_node_fraction = 0.5;
+};
+
+/// Assign per-node local SSD requests to every job and configure the
+/// machine's SSD tiers (§5).  Small requests are uniform in (0, small_gb],
+/// large requests uniform in (small_gb, large_gb].
+Workload expand_ssd_requests(const Workload& base,
+                             const SsdExpansionParams& params,
+                             std::uint64_t seed);
+
+/// One named entry of a workload suite.
+struct SuiteEntry {
+  std::string label;  ///< e.g. "Cori-S3"
+  Workload workload;
+};
+
+/// Draw `count` burst-buffer request samples above `threshold` from a
+/// bounded-Pareto(alpha, lo, hi) request model — the conditional
+/// distribution the paper's threshold pools converge to on a full-length
+/// trace.  Used to densify the S1-S4 pools at reduced job counts.
+std::vector<GigaBytes> sample_bb_pool(double alpha, GigaBytes lo,
+                                      GigaBytes hi, GigaBytes threshold,
+                                      std::size_t count, std::uint64_t seed);
+
+/// The paper's five-workload grid for one machine: Original, S1, S2, S3, S4.
+/// `original` must carry the machine name used for labels.  `model_pool_5tb`
+/// and `model_pool_20tb`, when non-empty, replace the observed-request pools
+/// (see BbExpansionParams::pool).  `threshold_scale` multiplies the paper's
+/// 5 TB / 20 TB pool thresholds — pass the machine scale factor when the
+/// workload was generated against a scaled-down machine so the thresholds
+/// keep their position relative to the request range.
+std::vector<SuiteEntry> make_bb_suite(
+    const Workload& original, std::uint64_t seed,
+    std::vector<GigaBytes> model_pool_5tb = {},
+    std::vector<GigaBytes> model_pool_20tb = {}, double threshold_scale = 1.0);
+
+/// The §5 suite for one machine: S5, S6, S7 built on top of the S2
+/// expansion of `original`.
+std::vector<SuiteEntry> make_ssd_suite(
+    const Workload& original, std::uint64_t seed,
+    std::vector<GigaBytes> model_pool_5tb = {}, double threshold_scale = 1.0);
+
+}  // namespace bbsched

@@ -1,0 +1,129 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace bbsched {
+
+namespace {
+
+std::string join_deps(const std::vector<JobId>& deps) {
+  std::string out;
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    if (i) out.push_back(';');
+    out += std::to_string(deps[i]);
+  }
+  return out;
+}
+
+std::vector<JobId> split_deps(const std::string& field) {
+  std::vector<JobId> deps;
+  std::stringstream ss(field);
+  std::string token;
+  while (std::getline(ss, token, ';')) {
+    if (token.empty()) continue;
+    deps.push_back(static_cast<JobId>(parse_int_field(token, "deps")));
+  }
+  return deps;
+}
+
+}  // namespace
+
+void write_trace_csv(const Workload& workload, std::ostream& out) {
+  out << "# bbsched trace: " << workload.name << '\n';
+  out << kTraceCsvHeader << '\n';
+  // max_digits10 keeps the double fields lossless across a round trip.
+  out.precision(17);
+  for (const auto& job : workload.jobs) {
+    out << job.id << ',' << job.submit_time << ',' << job.runtime << ','
+        << job.walltime << ',' << job.nodes << ',' << job.bb_gb << ','
+        << job.ssd_per_node_gb << ',' << join_deps(job.dependencies) << '\n';
+  }
+}
+
+void write_trace_csv_file(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  write_trace_csv(workload, out);
+}
+
+Workload read_trace_csv(std::istream& in, std::string name,
+                        MachineConfig machine) {
+  const CsvTable table = CsvTable::read(in);
+  Workload workload;
+  workload.name = std::move(name);
+  workload.machine = std::move(machine);
+  workload.jobs.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    JobRecord job;
+    job.id = static_cast<JobId>(parse_int_field(table.at(r, "id"), "id"));
+    job.submit_time = parse_double_field(table.at(r, "submit_s"), "submit_s");
+    job.runtime = parse_double_field(table.at(r, "runtime_s"), "runtime_s");
+    job.walltime =
+        parse_double_field(table.at(r, "walltime_s"), "walltime_s");
+    job.nodes = parse_int_field(table.at(r, "nodes"), "nodes");
+    job.bb_gb = parse_double_field(table.at(r, "bb_gb"), "bb_gb");
+    job.ssd_per_node_gb = parse_double_field(
+        table.at(r, "ssd_per_node_gb"), "ssd_per_node_gb");
+    job.dependencies = split_deps(table.at(r, "deps"));
+    workload.jobs.push_back(std::move(job));
+  }
+  workload.normalize();
+  return workload;
+}
+
+Workload read_trace_csv_file(const std::string& path, std::string name,
+                             MachineConfig machine) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return read_trace_csv(in, std::move(name), std::move(machine));
+}
+
+Workload read_swf(std::istream& in, std::string name, MachineConfig machine,
+                  int cores_per_node) {
+  if (cores_per_node < 1) {
+    throw std::invalid_argument("swf: cores_per_node must be >= 1");
+  }
+  Workload workload;
+  workload.name = std::move(name);
+  workload.machine = std::move(machine);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == ';') continue;
+    std::istringstream fields(line);
+    // SWF: 18 whitespace-separated fields; -1 marks "unknown".
+    double f[18];
+    for (double& v : f) {
+      if (!(fields >> v)) {
+        throw std::runtime_error("swf: short record: " + line);
+      }
+    }
+    JobRecord job;
+    job.id = static_cast<JobId>(f[0]);
+    job.submit_time = f[1];
+    job.runtime = f[3] > 0 ? f[3] : 0;
+    const double procs = f[7] > 0 ? f[7] : f[4];  // requested else allocated
+    if (procs <= 0) continue;  // cancelled-before-start records
+    job.nodes = static_cast<NodeCount>(
+        (static_cast<std::int64_t>(procs) + cores_per_node - 1) /
+        cores_per_node);
+    const double requested_time = f[8] > 0 ? f[8] : job.runtime;
+    job.walltime = std::max(requested_time, job.runtime);
+    if (job.runtime <= 0) continue;  // zero-length records carry no load
+    workload.jobs.push_back(std::move(job));
+  }
+  workload.normalize();
+  return workload;
+}
+
+Workload read_swf_file(const std::string& path, std::string name,
+                       MachineConfig machine, int cores_per_node) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("swf: cannot open " + path);
+  return read_swf(in, std::move(name), std::move(machine), cores_per_node);
+}
+
+}  // namespace bbsched

@@ -1,0 +1,47 @@
+// trace_io.hpp — reading and writing job traces.
+//
+// Two formats are supported:
+//
+//  * the library's native CSV trace — one row per job with all JobRecord
+//    fields including burst-buffer and local-SSD requests (what a site would
+//    export from Slurm/Cobalt logs plus Darshan, per §4.1), and
+//  * the Standard Workload Format (SWF) used by the Parallel Workloads
+//    Archive — CPU-only; burst-buffer fields default to zero so real public
+//    traces can be enhanced with the synthetic.hpp transforms the same way
+//    the paper enhanced the Theta trace.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace bbsched {
+
+/// CSV column header of the native trace format.
+inline constexpr const char* kTraceCsvHeader =
+    "id,submit_s,runtime_s,walltime_s,nodes,bb_gb,ssd_per_node_gb,deps";
+
+/// Write a workload's jobs as native CSV (machine config is not embedded;
+/// it travels in experiment configuration).
+void write_trace_csv(const Workload& workload, std::ostream& out);
+void write_trace_csv_file(const Workload& workload, const std::string& path);
+
+/// Read a native CSV trace into `machine`-bound workload named `name`.
+/// Throws std::runtime_error on malformed rows.
+Workload read_trace_csv(std::istream& in, std::string name,
+                        MachineConfig machine);
+Workload read_trace_csv_file(const std::string& path, std::string name,
+                             MachineConfig machine);
+
+/// Read an SWF trace (whitespace-separated, ';' comments).  Fields used:
+/// job id (1), submit time (2), run time (4), allocated processors (5),
+/// requested time (9), requested processors (8) with fallbacks to the
+/// allocated values when requests are absent (-1).  `cores_per_node` scales
+/// SWF processor counts down to node counts (ceiling division).
+Workload read_swf(std::istream& in, std::string name, MachineConfig machine,
+                  int cores_per_node = 1);
+Workload read_swf_file(const std::string& path, std::string name,
+                       MachineConfig machine, int cores_per_node = 1);
+
+}  // namespace bbsched

@@ -1,0 +1,111 @@
+#include "workload/wl_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace bbsched {
+
+WorkloadSummary summarize(const Workload& workload) {
+  WorkloadSummary s;
+  s.num_jobs = workload.jobs.size();
+  double node_sum = 0, runtime_sum = 0, node_seconds = 0;
+  bool first_bb = true;
+  for (const auto& job : workload.jobs) {
+    node_sum += static_cast<double>(job.nodes);
+    runtime_sum += job.runtime;
+    node_seconds += job.node_seconds();
+    s.max_nodes = std::max(s.max_nodes, job.nodes);
+    if (job.requests_bb()) {
+      ++s.jobs_with_bb;
+      if (job.bb_gb > tb(1)) ++s.jobs_with_bb_over_1tb;
+      s.bb_total += job.bb_gb;
+      s.bb_max = std::max(s.bb_max, job.bb_gb);
+      s.bb_min = first_bb ? job.bb_gb : std::min(s.bb_min, job.bb_gb);
+      first_bb = false;
+    }
+  }
+  if (s.num_jobs > 0) {
+    s.bb_fraction =
+        static_cast<double>(s.jobs_with_bb) / static_cast<double>(s.num_jobs);
+    s.mean_nodes = node_sum / static_cast<double>(s.num_jobs);
+    s.mean_runtime = runtime_sum / static_cast<double>(s.num_jobs);
+  }
+  s.span = workload.submit_span();
+  if (s.span > 0 && workload.machine.nodes > 0) {
+    s.offered_load = node_seconds /
+                     (static_cast<double>(workload.machine.nodes) * s.span);
+    double bb_seconds = 0;
+    for (const auto& job : workload.jobs) bb_seconds += job.bb_gb * job.runtime;
+    const GigaBytes schedulable = workload.machine.schedulable_bb_gb();
+    if (schedulable > 0) {
+      s.offered_bb_load = bb_seconds / (schedulable * s.span);
+    }
+  }
+  return s;
+}
+
+Histogram bb_request_histogram(const Workload& workload, double bin_tb) {
+  GigaBytes max_request = 0;
+  for (const auto& job : workload.jobs) {
+    max_request = std::max(max_request, job.bb_gb);
+  }
+  const double bin = tb(bin_tb);
+  const auto num_bins =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(max_request / bin)));
+  std::vector<double> edges;
+  edges.reserve(num_bins + 1);
+  for (std::size_t i = 0; i <= num_bins; ++i) {
+    edges.push_back(static_cast<double>(i) * bin);
+  }
+  Histogram hist(std::move(edges));
+  for (const auto& job : workload.jobs) {
+    if (job.requests_bb()) hist.add(job.bb_gb);
+  }
+  return hist;
+}
+
+void print_summary(const Workload& workload, std::ostream& out) {
+  const WorkloadSummary s = summarize(workload);
+  out << "workload " << workload.name << " on " << workload.machine.name
+      << " (" << workload.machine.nodes << " nodes, "
+      << format_capacity(workload.machine.burst_buffer_gb) << " BB)\n";
+  ConsoleTable table({"metric", "value"}, {Align::kLeft, Align::kRight});
+  table.add_row({"jobs", std::to_string(s.num_jobs)});
+  table.add_row({"jobs with BB request", std::to_string(s.jobs_with_bb)});
+  table.add_row({"jobs with BB > 1TB",
+                 std::to_string(s.jobs_with_bb_over_1tb)});
+  table.add_row({"BB request fraction", ConsoleTable::pct(s.bb_fraction, 3)});
+  table.add_row({"BB range",
+                 s.jobs_with_bb ? format_capacity(s.bb_min) + " - " +
+                                      format_capacity(s.bb_max)
+                                : "-"});
+  table.add_row({"aggregate BB volume", format_capacity(s.bb_total)});
+  table.add_row({"mean job size (nodes)", ConsoleTable::num(s.mean_nodes, 1)});
+  table.add_row({"max job size (nodes)", std::to_string(s.max_nodes)});
+  table.add_row({"mean runtime", format_duration(s.mean_runtime)});
+  table.add_row({"submit span", format_duration(s.span)});
+  table.add_row({"offered load", ConsoleTable::num(s.offered_load, 2)});
+  table.add_row({"offered BB load", ConsoleTable::num(s.offered_bb_load, 2)});
+  table.print(out);
+}
+
+void print_bb_histogram(const Workload& workload, std::ostream& out,
+                        double bin_tb) {
+  const Histogram hist = bb_request_histogram(workload, bin_tb);
+  out << workload.name << " BB requests ("
+      << format_capacity(workload.total_bb_request()) << " aggregate)\n";
+  ConsoleTable table({"bin", "jobs"}, {Align::kLeft, Align::kRight});
+  for (std::size_t i = 0; i < hist.num_bins(); ++i) {
+    if (hist.bin_count(i) == 0) continue;
+    table.add_row({format_capacity(hist.bin_lo(i)) + " - " +
+                       format_capacity(hist.bin_hi(i)),
+                   ConsoleTable::num(hist.bin_count(i), 0)});
+  }
+  table.print(out);
+}
+
+}  // namespace bbsched

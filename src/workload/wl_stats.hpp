@@ -1,0 +1,46 @@
+// wl_stats.hpp — workload summary statistics (Table 2) and burst-buffer
+// request histograms (Figure 5).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace bbsched {
+
+/// Table 2-style summary of one workload.
+struct WorkloadSummary {
+  std::size_t num_jobs = 0;
+  std::size_t jobs_with_bb = 0;
+  std::size_t jobs_with_bb_over_1tb = 0;
+  double bb_fraction = 0;           ///< fraction of jobs requesting BB
+  GigaBytes bb_min = 0;             ///< smallest non-zero request
+  GigaBytes bb_max = 0;
+  GigaBytes bb_total = 0;           ///< aggregate requested volume
+  double mean_nodes = 0;
+  NodeCount max_nodes = 0;
+  Time mean_runtime = 0;
+  Time span = 0;                    ///< submit-time span
+  double offered_load = 0;          ///< node-seconds / machine node-seconds
+  /// BB-GB-seconds demanded / schedulable BB-GB-seconds available; > 1 means
+  /// the burst buffer cannot absorb the workload without queueing.
+  double offered_bb_load = 0;
+};
+
+WorkloadSummary summarize(const Workload& workload);
+
+/// Figure 5: histogram of burst-buffer requests with `bin_tb`-TB bins over
+/// [0, max request].  Only jobs with requests contribute.
+Histogram bb_request_histogram(const Workload& workload, double bin_tb = 10);
+
+/// Print a Table 2-like block for one workload.
+void print_summary(const Workload& workload, std::ostream& out);
+
+/// Print a Figure 5-like histogram (one row per non-empty bin, aggregate
+/// volume in the title line).
+void print_bb_histogram(const Workload& workload, std::ostream& out,
+                        double bin_tb = 10);
+
+}  // namespace bbsched

@@ -1,0 +1,63 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bbsched {
+
+void MachineConfig::validate() const {
+  if (nodes < 1) throw std::invalid_argument("machine: nodes must be >= 1");
+  if (burst_buffer_gb < 0) {
+    throw std::invalid_argument("machine: negative burst buffer");
+  }
+  if (persistent_bb_fraction < 0 || persistent_bb_fraction >= 1) {
+    throw std::invalid_argument(
+        "machine: persistent_bb_fraction must be in [0, 1)");
+  }
+  if (has_local_ssd()) {
+    if (small_ssd_nodes + large_ssd_nodes != nodes) {
+      throw std::invalid_argument(
+          "machine: SSD tier node counts must sum to total nodes");
+    }
+    if (small_ssd_gb <= 0 || large_ssd_gb < small_ssd_gb) {
+      throw std::invalid_argument("machine: bad SSD tier capacities");
+    }
+  }
+}
+
+void Workload::normalize() {
+  machine.validate();
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              return a.submit_time != b.submit_time
+                         ? a.submit_time < b.submit_time
+                         : a.id < b.id;
+            });
+  for (const auto& job : jobs) {
+    validate_job(job);
+    if (job.nodes > machine.nodes) {
+      throw std::invalid_argument("job " + std::to_string(job.id) +
+                                  " requests more nodes than the machine has");
+    }
+  }
+}
+
+GigaBytes Workload::total_bb_request() const {
+  GigaBytes total = 0;
+  for (const auto& job : jobs) total += job.bb_gb;
+  return total;
+}
+
+double Workload::bb_request_fraction() const {
+  if (jobs.empty()) return 0;
+  std::size_t with_bb = 0;
+  for (const auto& job : jobs) with_bb += job.requests_bb();
+  return static_cast<double>(with_bb) / static_cast<double>(jobs.size());
+}
+
+Time Workload::submit_span() const {
+  if (jobs.empty()) return 0;
+  return jobs.back().submit_time - jobs.front().submit_time;
+}
+
+}  // namespace bbsched

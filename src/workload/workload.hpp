@@ -1,0 +1,64 @@
+// workload.hpp — an ordered job trace plus the machine it targets.
+//
+// A Workload couples a job list (sorted by submission time) with the machine
+// configuration the trace was collected on / generated for, because the
+// evaluation metrics (node usage, BB usage) are fractions of that machine's
+// capacity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/job.hpp"
+
+namespace bbsched {
+
+/// Static description of the simulated machine (Table 2 rows).
+struct MachineConfig {
+  std::string name = "machine";
+  NodeCount nodes = 0;            ///< total compute nodes
+  GigaBytes burst_buffer_gb = 0;  ///< total shared burst buffer
+  /// Fraction of the burst buffer held by persistent reservations whose
+  /// lifetime is independent of jobs (one third on Cori, §4.1); removed from
+  /// the schedulable pool.
+  double persistent_bb_fraction = 0;
+
+  // §5 heterogeneous local SSD tiers.  small+large node counts must equal
+  // `nodes` when SSD scheduling is enabled; both zero disables local SSD.
+  NodeCount small_ssd_nodes = 0;
+  NodeCount large_ssd_nodes = 0;
+  GigaBytes small_ssd_gb = 128;
+  GigaBytes large_ssd_gb = 256;
+
+  bool has_local_ssd() const {
+    return small_ssd_nodes > 0 || large_ssd_nodes > 0;
+  }
+  /// Burst buffer available to the scheduler after persistent reservations.
+  GigaBytes schedulable_bb_gb() const {
+    return burst_buffer_gb * (1.0 - persistent_bb_fraction);
+  }
+
+  void validate() const;
+};
+
+/// A named trace bound to a machine.
+struct Workload {
+  std::string name;
+  MachineConfig machine;
+  std::vector<JobRecord> jobs;  ///< sorted by submit_time
+
+  /// Sort jobs by (submit_time, id) and validate every record.
+  void normalize();
+
+  /// Total requested burst-buffer volume across jobs (Figure 5 annotation).
+  GigaBytes total_bb_request() const;
+
+  /// Fraction of jobs with a burst-buffer request.
+  double bb_request_fraction() const;
+
+  /// Span of submissions [first, last] in seconds; 0 when empty.
+  Time submit_span() const;
+};
+
+}  // namespace bbsched

@@ -1,0 +1,92 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bbsched {
+namespace {
+
+TEST(CsvLine, SplitsPlainFields) {
+  EXPECT_EQ(parse_csv_line("a,b,c"), (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvLine, EmptyFieldsPreserved) {
+  EXPECT_EQ(parse_csv_line("a,,c,"), (CsvRow{"a", "", "c", ""}));
+}
+
+TEST(CsvLine, QuotedCommaAndEscapedQuote) {
+  EXPECT_EQ(parse_csv_line("\"a,b\",\"say \"\"hi\"\"\""),
+            (CsvRow{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvLine, ToleratesCrlf) {
+  EXPECT_EQ(parse_csv_line("a,b\r"), (CsvRow{"a", "b"}));
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(csv_escape(" padded"), "\" padded\"");
+}
+
+TEST(CsvRoundTrip, RowSurvivesFormatAndParse) {
+  const CsvRow row{"x", "1,2", "he said \"no\"", ""};
+  EXPECT_EQ(parse_csv_line(format_csv_row(row)), row);
+}
+
+TEST(CsvTable, ReadsHeaderAndRows) {
+  std::istringstream in("# comment\nname,value\nfoo,1\nbar,2\n");
+  const CsvTable table = CsvTable::read(in);
+  EXPECT_EQ(table.header(), (CsvRow{"name", "value"}));
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.at(0, "name"), "foo");
+  EXPECT_EQ(table.at(1, "value"), "2");
+}
+
+TEST(CsvTable, RaggedRowThrows) {
+  std::istringstream in("a,b\n1\n");
+  EXPECT_THROW(CsvTable::read(in), std::runtime_error);
+}
+
+TEST(CsvTable, MissingColumnThrows) {
+  std::istringstream in("a,b\n1,2\n");
+  const CsvTable table = CsvTable::read(in);
+  EXPECT_THROW(table.at(0, "missing"), std::runtime_error);
+  EXPECT_FALSE(table.column("missing").has_value());
+  EXPECT_EQ(table.column("b"), std::size_t{1});
+}
+
+TEST(CsvTable, WriteThenReadRoundTrip) {
+  CsvTable table(CsvRow{"k", "v"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"with,comma", "2"});
+  std::ostringstream out;
+  table.write(out);
+  std::istringstream in(out.str());
+  const CsvTable reread = CsvTable::read(in);
+  ASSERT_EQ(reread.num_rows(), 2u);
+  EXPECT_EQ(reread.at(1, "k"), "with,comma");
+}
+
+TEST(CsvTable, AddRowWidthMismatchThrows) {
+  CsvTable table(CsvRow{"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(CsvParseFields, NumericHelpers) {
+  EXPECT_DOUBLE_EQ(parse_double_field("2.5", "x"), 2.5);
+  EXPECT_EQ(parse_int_field("-7", "x"), -7);
+  EXPECT_THROW(parse_double_field("abc", "x"), std::runtime_error);
+  EXPECT_THROW(parse_int_field("1.5", "x"), std::runtime_error);
+  EXPECT_THROW(parse_int_field("", "x"), std::runtime_error);
+}
+
+TEST(CsvTable, MissingFileThrows) {
+  EXPECT_THROW(CsvTable::read_file("/nonexistent/path.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/argparse.hpp"
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace bbsched {
+namespace {
+
+// --- units -------------------------------------------------------------------
+
+TEST(Units, CapacityConversions) {
+  EXPECT_DOUBLE_EQ(tb(1), 1024.0);
+  EXPECT_DOUBLE_EQ(pb(1), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(as_tb(tb(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(as_pb(pb(1.8)), 1.8);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(hours(2), 7200.0);
+  EXPECT_DOUBLE_EQ(days(1), 86400.0);
+  EXPECT_DOUBLE_EQ(as_hours(minutes(90)), 1.5);
+}
+
+TEST(Units, FormatCapacityPicksUnit) {
+  EXPECT_EQ(format_capacity(gb(512)), "512GB");
+  EXPECT_EQ(format_capacity(tb(85)), "85TB");
+  EXPECT_EQ(format_capacity(pb(1.8)), "1.80PB");
+}
+
+TEST(Units, FormatDurationPicksUnit) {
+  EXPECT_EQ(format_duration(seconds(45)), "45s");
+  EXPECT_EQ(format_duration(minutes(5)), "5m");
+  EXPECT_EQ(format_duration(hours(2.5)), "2.50h");
+  EXPECT_EQ(format_duration(days(3)), "3d");
+}
+
+// --- env ----------------------------------------------------------------------
+
+TEST(Env, IntParsingAndFallback) {
+  ::setenv("BBSCHED_TEST_INT", "123", 1);
+  EXPECT_EQ(env_int("BBSCHED_TEST_INT", 5), 123);
+  ::setenv("BBSCHED_TEST_INT", "garbage", 1);
+  EXPECT_EQ(env_int("BBSCHED_TEST_INT", 5), 5);
+  ::unsetenv("BBSCHED_TEST_INT");
+  EXPECT_EQ(env_int("BBSCHED_TEST_INT", 5), 5);
+}
+
+TEST(Env, DoubleAndString) {
+  ::setenv("BBSCHED_TEST_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("BBSCHED_TEST_D", 1.0), 2.5);
+  ::unsetenv("BBSCHED_TEST_D");
+  EXPECT_DOUBLE_EQ(env_double("BBSCHED_TEST_D", 1.0), 1.0);
+  ::setenv("BBSCHED_TEST_S", "hello", 1);
+  EXPECT_EQ(env_string("BBSCHED_TEST_S", "d"), "hello");
+  ::unsetenv("BBSCHED_TEST_S");
+  EXPECT_EQ(env_string("BBSCHED_TEST_S", "d"), "d");
+}
+
+// --- argparse -------------------------------------------------------------------
+
+TEST(ArgParse, ParsesAllKinds) {
+  std::int64_t n = 1;
+  double x = 0.5;
+  std::string s = "a";
+  bool flag = false;
+  ArgParser parser("test");
+  parser.add_int("n", &n, "an int");
+  parser.add_double("x", &x, "a double");
+  parser.add_string("s", &s, "a string");
+  parser.add_bool("flag", &flag, "a switch");
+  const char* argv[] = {"prog", "--n", "7", "--x=1.5", "--s", "hello",
+                        "--flag"};
+  ASSERT_TRUE(parser.parse(7, argv));
+  EXPECT_EQ(n, 7);
+  EXPECT_DOUBLE_EQ(x, 1.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(flag);
+}
+
+TEST(ArgParse, UnknownFlagThrows) {
+  ArgParser parser("test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(parser.parse(3, argv), std::runtime_error);
+}
+
+TEST(ArgParse, MissingValueThrows) {
+  std::int64_t n = 0;
+  ArgParser parser("test");
+  parser.add_int("n", &n, "an int");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(parser.parse(2, argv), std::runtime_error);
+}
+
+TEST(ArgParse, BadValueThrows) {
+  std::int64_t n = 0;
+  ArgParser parser("test");
+  parser.add_int("n", &n, "an int");
+  const char* argv[] = {"prog", "--n", "xyz"};
+  EXPECT_THROW(parser.parse(3, argv), std::runtime_error);
+}
+
+TEST(ArgParse, HelpReturnsFalse) {
+  ArgParser parser("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParse, UsageListsDefaults) {
+  std::int64_t n = 42;
+  ArgParser parser("my tool");
+  parser.add_int("n", &n, "an int");
+  const std::string usage = parser.usage("prog");
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("default: 42"), std::string::npos);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(ConsoleTable, AlignsColumns) {
+  ConsoleTable table({"name", "value"}, {Align::kLeft, Align::kRight});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "23"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Right-aligned numeric column: " 1" padded under "23".
+  EXPECT_NE(text.find(" 1\n"), std::string::npos);
+}
+
+TEST(ConsoleTable, RowWidthMismatchThrows) {
+  ConsoleTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, NumberFormatters) {
+  EXPECT_EQ(ConsoleTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(ConsoleTable::pct(0.4567, 1), "45.7%");
+}
+
+}  // namespace
+}  // namespace bbsched

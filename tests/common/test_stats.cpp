@@ -1,0 +1,90 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+TEST(Mean, BasicAndEmpty) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stddev, SampleVariance) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Quantile, InterpolatesUnsortedInput) {
+  const std::vector<double> v{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{}, 0.5), 0.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeP) {
+  const std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 2.0), 2.0);
+}
+
+TEST(RunningStats, TracksMoments) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2);
+  s.add(6);
+  s.add(4);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, MergeCombines) {
+  RunningStats a, b;
+  a.add(1);
+  a.add(3);
+  b.add(10);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 3u);
+}
+
+TEST(Histogram, BinsAndBoundaries) {
+  Histogram h({0, 10, 20});
+  h.add(0);      // first bin (inclusive lower edge)
+  h.add(9.99);   // first bin
+  h.add(10);     // second bin
+  h.add(20);     // final edge absorbed into last bin
+  EXPECT_DOUBLE_EQ(h.bin_count(0), 2);
+  EXPECT_DOUBLE_EQ(h.bin_count(1), 2);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+  Histogram h({0, 1});
+  h.add(-1);
+  h.add(2);
+  h.add(0.5, 3.0);  // weighted
+  EXPECT_DOUBLE_EQ(h.underflow(), 1);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1);
+  EXPECT_DOUBLE_EQ(h.bin_count(0), 3);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 5);
+}
+
+TEST(Histogram, RejectsBadEdges) {
+  EXPECT_THROW(Histogram({1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbsched

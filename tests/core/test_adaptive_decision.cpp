@@ -1,0 +1,103 @@
+#include "core/adaptive_decision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+Chromosome make(Genes genes, std::vector<double> objectives) {
+  Chromosome c;
+  c.genes = std::move(genes);
+  c.objectives = std::move(objectives);
+  return c;
+}
+
+// A Pareto set with a node-heavy and a BB-heavy solution where the static
+// 2x rule keeps the node-heavy one (gain 0.30 < 2 * loss 0.20).
+std::vector<Chromosome> borderline_set() {
+  return {make({1, 0}, {1.00, 0.20}), make({0, 1}, {0.80, 0.50})};
+}
+
+TEST(AdaptiveRule, StartsLikeStaticRule) {
+  const AdaptiveTradeoffRule rule;
+  EXPECT_DOUBLE_EQ(rule.factor(), 2.0);
+  EXPECT_EQ(rule.choose(borderline_set()), 0u);
+}
+
+TEST(AdaptiveRule, FactorDropsWhenBbLags) {
+  AdaptiveTradeoffRule::Params params;
+  params.ewma_alpha = 1.0;  // react immediately for the test
+  const AdaptiveTradeoffRule rule(params);
+  // Committing the node-heavy (1.00, 0.20) solution leaves BB lagging;
+  // repeated decisions must lower the factor until the BB-heavy trade
+  // qualifies (needs factor < gain/loss = 0.30/0.20 = 1.5).
+  std::size_t choice = 0;
+  for (int i = 0; i < 12 && choice == 0; ++i) {
+    choice = rule.choose(borderline_set());
+  }
+  EXPECT_EQ(choice, 1u) << "adaptation never unlocked the BB trade";
+  EXPECT_LT(rule.factor(), 2.0);
+}
+
+TEST(AdaptiveRule, FactorRisesWhenBbLeads) {
+  AdaptiveTradeoffRule::Params params;
+  params.ewma_alpha = 1.0;
+  const AdaptiveTradeoffRule rule(params);
+  // A set whose preferred solution is BB-rich: gap < -deadband each time.
+  const auto set = std::vector<Chromosome>{make({1}, {0.30, 0.90})};
+  const double before = rule.factor();
+  for (int i = 0; i < 5; ++i) (void)rule.choose(set);
+  EXPECT_GT(rule.factor(), before);
+}
+
+TEST(AdaptiveRule, FactorClampedToBounds) {
+  AdaptiveTradeoffRule::Params params;
+  params.ewma_alpha = 1.0;
+  params.min_factor = 1.0;
+  params.max_factor = 3.0;
+  const AdaptiveTradeoffRule rule(params);
+  const auto bb_rich = std::vector<Chromosome>{make({1}, {0.10, 0.90})};
+  for (int i = 0; i < 100; ++i) (void)rule.choose(bb_rich);
+  EXPECT_LE(rule.factor(), 3.0);
+  const auto node_rich = std::vector<Chromosome>{make({1}, {0.90, 0.10})};
+  for (int i = 0; i < 200; ++i) (void)rule.choose(node_rich);
+  EXPECT_GE(rule.factor(), 1.0);
+}
+
+TEST(AdaptiveRule, DeadbandFreezesFactor) {
+  AdaptiveTradeoffRule::Params params;
+  params.ewma_alpha = 1.0;
+  params.gap_deadband = 0.2;
+  const AdaptiveTradeoffRule rule(params);
+  const auto balanced = std::vector<Chromosome>{make({1}, {0.50, 0.45})};
+  const double before = rule.factor();
+  for (int i = 0; i < 10; ++i) (void)rule.choose(balanced);
+  EXPECT_DOUBLE_EQ(rule.factor(), before);
+}
+
+TEST(AdaptiveRule, EwmaTracksCommittedSolutions) {
+  AdaptiveTradeoffRule::Params params;
+  params.ewma_alpha = 0.5;
+  const AdaptiveTradeoffRule rule(params);
+  const auto set = std::vector<Chromosome>{make({1}, {0.8, 0.4})};
+  (void)rule.choose(set);
+  EXPECT_DOUBLE_EQ(rule.ewma_node(), 0.8);  // primed directly
+  (void)rule.choose(set);
+  EXPECT_DOUBLE_EQ(rule.ewma_node(), 0.8);
+  EXPECT_DOUBLE_EQ(rule.ewma_bb(), 0.4);
+}
+
+TEST(AdaptiveRule, RejectsBadParams) {
+  AdaptiveTradeoffRule::Params params;
+  params.ewma_alpha = 0;
+  EXPECT_THROW(AdaptiveTradeoffRule{params}, std::invalid_argument);
+  params = {};
+  params.adjust_step = 1.0;
+  EXPECT_THROW(AdaptiveTradeoffRule{params}, std::invalid_argument);
+  params = {};
+  params.min_factor = -1;
+  EXPECT_THROW(AdaptiveTradeoffRule{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbsched

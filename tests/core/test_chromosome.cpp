@@ -1,0 +1,53 @@
+#include "core/chromosome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_resource_problem.hpp"
+
+namespace bbsched {
+namespace {
+
+TEST(Chromosome, SelectedCountAndIndices) {
+  const Genes genes{1, 0, 1, 1, 0};
+  EXPECT_EQ(selected_count(genes), 3u);
+  EXPECT_EQ(selected_indices(genes),
+            (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_EQ(selected_count(Genes{}), 0u);
+  EXPECT_TRUE(selected_indices(Genes{0, 0}).empty());
+}
+
+TEST(Chromosome, SameGenesIgnoresAgeAndObjectives) {
+  Chromosome a;
+  a.genes = {1, 0};
+  a.age = 5;
+  a.objectives = {0.1, 0.2};
+  Chromosome b;
+  b.genes = {1, 0};
+  b.age = 0;
+  EXPECT_TRUE(a.same_genes(b));
+  b.genes = {0, 1};
+  EXPECT_FALSE(a.same_genes(b));
+}
+
+TEST(MooProblem, EvaluateIntoResizesAndFills) {
+  const auto problem = MultiResourceProblem::cpu_bb(
+      std::vector<double>{10, 20}, std::vector<double>{5, 0}, 100, 10);
+  Chromosome c;
+  c.genes = {1, 1};
+  problem.evaluate_into(c);
+  ASSERT_EQ(c.objectives.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.objectives[0], 0.3);
+  EXPECT_DOUBLE_EQ(c.objectives[1], 0.5);
+}
+
+TEST(MooProblem, PinOutOfRangeAsserts) {
+  auto problem = MultiResourceProblem::cpu_bb(
+      std::vector<double>{1}, std::vector<double>{0}, 10, 10);
+  // In-range pin is fine and idempotent.
+  problem.pin(0);
+  problem.pin(0);
+  EXPECT_EQ(problem.pinned().size(), 1u);
+}
+
+}  // namespace
+}  // namespace bbsched

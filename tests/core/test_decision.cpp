@@ -1,0 +1,129 @@
+#include "core/decision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+Chromosome make(Genes genes, std::vector<double> objectives) {
+  Chromosome c;
+  c.genes = std::move(genes);
+  c.objectives = std::move(objectives);
+  return c;
+}
+
+TEST(PrefersFrontOfWindow, EarlierSetBitWins) {
+  EXPECT_TRUE(prefers_front_of_window({1, 0, 0}, {0, 1, 0}));
+  EXPECT_FALSE(prefers_front_of_window({0, 1, 0}, {1, 0, 0}));
+  EXPECT_FALSE(prefers_front_of_window({1, 0, 1}, {1, 0, 1}));
+}
+
+TEST(MaxObjectiveIndex, PicksMaximum) {
+  const std::vector<Chromosome> set{
+      make({1, 0}, {0.5, 0.9}),
+      make({0, 1}, {0.8, 0.1}),
+  };
+  EXPECT_EQ(max_objective_index(set, 0), 1u);
+  EXPECT_EQ(max_objective_index(set, 1), 0u);
+}
+
+TEST(MaxObjectiveIndex, TieBreaksTowardFrontOfWindow) {
+  const std::vector<Chromosome> set{
+      make({0, 1, 1}, {0.8, 0.5}),
+      make({1, 1, 0}, {0.8, 0.5}),
+  };
+  EXPECT_EQ(max_objective_index(set, 0), 1u);
+}
+
+TEST(MaxObjectiveIndex, EmptySetThrows) {
+  const std::vector<Chromosome> empty;
+  EXPECT_THROW(max_objective_index(empty, 0), std::invalid_argument);
+}
+
+TEST(NodeFirstTradeoff, Table1ChoosesSolution3) {
+  // §3.2.4 on the Table 1 Pareto set: start from Solution 2 (100 % nodes,
+  // 20 % BB); Solution 3 (80 %, 90 %) gains 70 BB points for 20 node points
+  // of loss — more than 2x — so it replaces the preferred solution.
+  const std::vector<Chromosome> pareto{
+      make({1, 0, 0, 0, 1}, {1.00, 0.20}),
+      make({0, 1, 1, 1, 1}, {0.80, 0.90}),
+  };
+  const NodeFirstTradeoffRule rule;
+  EXPECT_EQ(rule.choose(pareto), 1u);
+}
+
+TEST(NodeFirstTradeoff, KeepsPreferredWhenGainTooSmall) {
+  const std::vector<Chromosome> pareto{
+      make({1, 0}, {1.00, 0.20}),
+      make({0, 1}, {0.80, 0.50}),  // gain 0.30 < 2 * loss 0.20
+  };
+  const NodeFirstTradeoffRule rule;
+  EXPECT_EQ(rule.choose(pareto), 0u);
+}
+
+TEST(NodeFirstTradeoff, BoundaryExactlyTwoTimesIsNotEnough) {
+  // "more than 2x": gain == 2 * loss keeps the preferred solution.  The
+  // values are exactly representable in binary so the boundary is exact.
+  const std::vector<Chromosome> pareto{
+      make({1, 0}, {1.00, 0.25}),
+      make({0, 1}, {0.75, 0.75}),  // gain 0.50 == 2 * loss 0.25
+  };
+  const NodeFirstTradeoffRule rule;
+  EXPECT_EQ(rule.choose(pareto), 0u);
+}
+
+TEST(NodeFirstTradeoff, PicksMaximumGainAmongQualifiers) {
+  const std::vector<Chromosome> pareto{
+      make({1, 0, 0}, {1.00, 0.10}),
+      make({0, 1, 0}, {0.95, 0.50}),  // gain 0.40 > 2*0.05
+      make({0, 0, 1}, {0.90, 0.80}),  // gain 0.70 > 2*0.10 — larger gain
+  };
+  const NodeFirstTradeoffRule rule;
+  EXPECT_EQ(rule.choose(pareto), 2u);
+}
+
+TEST(NodeFirstTradeoff, SingletonSetTrivial) {
+  const std::vector<Chromosome> pareto{make({1}, {0.5, 0.5})};
+  EXPECT_EQ(NodeFirstTradeoffRule().choose(pareto), 0u);
+}
+
+TEST(NodeFirstTradeoff, CustomFactor) {
+  const std::vector<Chromosome> pareto{
+      make({1, 0}, {1.00, 0.20}),
+      make({0, 1}, {0.80, 0.50}),  // gain 0.30, loss 0.20
+  };
+  // With a 1x factor the 0.30 > 0.20 trade qualifies.
+  EXPECT_EQ(NodeFirstTradeoffRule(1.0).choose(pareto), 1u);
+}
+
+TEST(SumTradeoff, SumsNonNodeObjectiveGains) {
+  // §5 rule: total gain across BB, SSD and waste reduction must exceed 4x
+  // the node-utilization loss.
+  const std::vector<Chromosome> pareto{
+      make({1, 0}, {1.00, 0.20, 0.30, -0.10}),
+      make({0, 1}, {0.90, 0.50, 0.40, -0.05}),
+      // gains: 0.30 + 0.10 + 0.05 = 0.45 > 4 * 0.10 = 0.40
+  };
+  EXPECT_EQ(SumTradeoffRule().choose(pareto), 1u);
+}
+
+TEST(SumTradeoff, RejectsInsufficientSum) {
+  const std::vector<Chromosome> pareto{
+      make({1, 0}, {1.00, 0.20, 0.30, -0.10}),
+      make({0, 1}, {0.90, 0.30, 0.35, -0.08}),
+      // gains: 0.10 + 0.05 + 0.02 = 0.17 < 0.40
+  };
+  EXPECT_EQ(SumTradeoffRule().choose(pareto), 0u);
+}
+
+TEST(Lexicographic, MaximizesPrimaryOnly) {
+  const std::vector<Chromosome> pareto{
+      make({1, 0}, {0.30, 0.90}),
+      make({0, 1}, {0.70, 0.10}),
+  };
+  EXPECT_EQ(LexicographicRule(0).choose(pareto), 1u);
+  EXPECT_EQ(LexicographicRule(1).choose(pareto), 0u);
+}
+
+}  // namespace
+}  // namespace bbsched

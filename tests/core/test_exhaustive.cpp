@@ -1,0 +1,87 @@
+#include "core/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_resource_problem.hpp"
+
+namespace bbsched {
+namespace {
+
+MultiResourceProblem table1_problem() {
+  const std::vector<double> nodes{80, 10, 40, 10, 20};
+  const std::vector<double> bb{20, 85, 5, 0, 0};
+  return MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+}
+
+TEST(Exhaustive, Table1ParetoSetMatchesPaper) {
+  // Footnote 1: the Pareto set of the illustrative example contains
+  // Solution 2 (J1+J5: 100 % nodes, 20 % BB) and Solution 3 (J2-J5: 80 %
+  // nodes, 90 % BB).  Solutions such as J1+J4 (90 %, 20 %) are dominated.
+  const auto problem = table1_problem();
+  const auto result = ExhaustiveSolver().solve(problem);
+  bool found_s2 = false, found_s3 = false;
+  for (const auto& c : result.pareto_set) {
+    if (c.genes == Genes{1, 0, 0, 0, 1}) found_s2 = true;
+    if (c.genes == Genes{0, 1, 1, 1, 1}) found_s3 = true;
+    EXPECT_NE(c.genes, (Genes{1, 0, 0, 1, 0}))
+        << "dominated naive solution must not be on the front";
+  }
+  EXPECT_TRUE(found_s2);
+  EXPECT_TRUE(found_s3);
+}
+
+TEST(Exhaustive, FrontIsMutuallyNonDominated) {
+  const auto problem = table1_problem();
+  const auto result = ExhaustiveSolver().solve(problem);
+  for (std::size_t i = 0; i < result.pareto_set.size(); ++i) {
+    for (std::size_t j = 0; j < result.pareto_set.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(result.pareto_set[i].objectives,
+                             result.pareto_set[j].objectives));
+    }
+  }
+}
+
+TEST(Exhaustive, CountsFeasibleSelections) {
+  // Two jobs, second never fits: feasible selections are {}, {0}.
+  const std::vector<double> nodes{1, 100};
+  const std::vector<double> bb{0, 0};
+  const auto problem = MultiResourceProblem::cpu_bb(nodes, bb, 10, 10);
+  const auto result = ExhaustiveSolver().solve(problem);
+  EXPECT_EQ(result.total_count, 4u);
+  EXPECT_EQ(result.feasible_count, 2u);
+}
+
+TEST(Exhaustive, RespectsPinnedGenes) {
+  auto problem = table1_problem();
+  problem.pin(1);  // J2 forced
+  const auto result = ExhaustiveSolver().solve(problem);
+  ASSERT_FALSE(result.pareto_set.empty());
+  for (const auto& c : result.pareto_set) {
+    EXPECT_EQ(c.genes[1], 1);
+  }
+  // Enumeration only covers the free positions.
+  EXPECT_EQ(result.total_count, 16u);
+}
+
+TEST(Exhaustive, WindowCapEnforced) {
+  const std::vector<double> demand(12, 1.0);
+  const auto problem =
+      MultiResourceProblem::cpu_bb(demand, demand, 100, 100);
+  EXPECT_THROW(ExhaustiveSolver(11).solve(problem), std::invalid_argument);
+  EXPECT_NO_THROW(ExhaustiveSolver(12).solve(problem));
+}
+
+TEST(Exhaustive, EmptyFrontOnlyWhenNothingFeasible) {
+  // Even a fully saturated machine admits the empty selection, which is the
+  // single Pareto point at the origin.
+  const std::vector<double> nodes{5};
+  const std::vector<double> bb{5};
+  const auto problem = MultiResourceProblem::cpu_bb(nodes, bb, 1, 1);
+  const auto result = ExhaustiveSolver().solve(problem);
+  ASSERT_EQ(result.pareto_set.size(), 1u);
+  EXPECT_EQ(result.pareto_set[0].genes, Genes{0});
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,121 @@
+#include "core/ga_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_resource_problem.hpp"
+
+namespace bbsched {
+namespace {
+
+MultiResourceProblem loose_problem(std::size_t w = 8) {
+  const std::vector<double> nodes(w, 1.0);
+  const std::vector<double> bb(w, 1.0);
+  return MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+}
+
+MultiResourceProblem tight_problem() {
+  const std::vector<double> nodes{60, 60, 60};
+  const std::vector<double> bb{0, 0, 0};
+  return MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+}
+
+TEST(RandomChromosome, FeasibleAndEvaluated) {
+  const auto problem = tight_problem();
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto c = random_chromosome(problem, rng);
+    EXPECT_TRUE(problem.feasible(c.genes));
+    EXPECT_EQ(c.objectives.size(), 2u);
+    EXPECT_EQ(c.age, 0);
+  }
+}
+
+TEST(RandomPopulation, RequestedSize) {
+  const auto problem = loose_problem();
+  Rng rng(5);
+  EXPECT_EQ(random_population(problem, 12, rng).size(), 12u);
+}
+
+TEST(Crossover, SinglePointSwapsTails) {
+  const Genes a{1, 1, 1, 1, 1, 1};
+  const Genes b{0, 0, 0, 0, 0, 0};
+  Rng rng(7);
+  const auto [child_a, child_b] = crossover(a, b, rng);
+  // Find the cut: child_a must be 1...10...0 and child_b its complement.
+  std::size_t cut = 0;
+  while (cut < child_a.size() && child_a[cut] == 1) ++cut;
+  EXPECT_GE(cut, 1u);
+  EXPECT_LT(cut, child_a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(child_a[i], i < cut ? 1 : 0);
+    EXPECT_EQ(child_b[i], i < cut ? 0 : 1);
+  }
+}
+
+TEST(Crossover, PreservesGeneMultiset) {
+  Rng rng(11);
+  const Genes a{1, 0, 1, 0, 1};
+  const Genes b{0, 1, 1, 1, 0};
+  for (int i = 0; i < 20; ++i) {
+    const auto [x, y] = crossover(a, b, rng);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(x[k] + y[k], a[k] + b[k]) << "position " << k;
+    }
+  }
+}
+
+TEST(Crossover, SingleGeneIsNoop) {
+  Rng rng(1);
+  const auto [x, y] = crossover(Genes{1}, Genes{0}, rng);
+  EXPECT_EQ(x, Genes{1});
+  EXPECT_EQ(y, Genes{0});
+}
+
+TEST(Mutate, ZeroRateIsNoop) {
+  const auto problem = loose_problem();
+  Rng rng(3);
+  Genes genes{1, 0, 1, 0, 1, 0, 1, 0};
+  const Genes before = genes;
+  mutate(genes, problem, 0.0, rng);
+  EXPECT_EQ(genes, before);
+}
+
+TEST(Mutate, FullRateFlipsEverything) {
+  const auto problem = loose_problem();
+  Rng rng(3);
+  Genes genes{1, 0, 1, 0, 1, 0, 1, 0};
+  mutate(genes, problem, 1.0, rng);
+  EXPECT_EQ(genes, (Genes{0, 1, 0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Mutate, ReappliesPins) {
+  auto problem = loose_problem();
+  problem.pin(0);
+  Rng rng(3);
+  Genes genes{1, 1, 1, 1, 1, 1, 1, 1};
+  mutate(genes, problem, 1.0, rng);
+  EXPECT_EQ(genes[0], 1) << "pinned gene must survive a full flip";
+}
+
+TEST(MakeChildren, CountFeasibilityAndAge) {
+  const auto problem = tight_problem();
+  Rng rng(13);
+  const auto parents = random_population(problem, 6, rng);
+  const auto children = make_children(problem, parents, 9, 0.1, rng);
+  EXPECT_EQ(children.size(), 9u);
+  for (const auto& c : children) {
+    EXPECT_TRUE(problem.feasible(c.genes));
+    EXPECT_EQ(c.age, 0);
+    EXPECT_EQ(c.objectives.size(), 2u);
+  }
+}
+
+TEST(MakeChildren, OddCountSupported) {
+  const auto problem = loose_problem();
+  Rng rng(17);
+  const auto parents = random_population(problem, 4, rng);
+  EXPECT_EQ(make_children(problem, parents, 1, 0.0, rng).size(), 1u);
+}
+
+}  // namespace
+}  // namespace bbsched

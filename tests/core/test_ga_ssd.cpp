@@ -1,0 +1,109 @@
+// The multi-objective solver against the four-objective §5 formulation:
+// feasibility, non-domination, pins and quality vs. the exhaustive truth.
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.hpp"
+#include "core/ga.hpp"
+#include "core/ssd_problem.hpp"
+
+namespace bbsched {
+namespace {
+
+SsdSchedulingProblem random_ssd_problem(std::uint64_t seed,
+                                        std::size_t w = 10) {
+  Rng rng(seed);
+  std::vector<SsdJobDemand> jobs;
+  for (std::size_t i = 0; i < w; ++i) {
+    SsdJobDemand d;
+    d.nodes = static_cast<double>(rng.uniform_int(1, 30));
+    d.bb_gb = rng.bernoulli(0.5) ? rng.uniform(0.0, 40.0) : 0.0;
+    d.ssd_per_node = rng.uniform(1.0, 256.0);
+    jobs.push_back(d);
+  }
+  SsdFreeState free;
+  free.small_nodes = 40;
+  free.large_nodes = 40;
+  free.bb_gb = 100;
+  return SsdSchedulingProblem(std::move(jobs), free);
+}
+
+GaParams test_params(std::uint64_t seed) {
+  GaParams p;
+  p.generations = 400;
+  p.population_size = 24;
+  p.mutation_rate = 0.01;
+  p.seed = seed;
+  return p;
+}
+
+class SsdGaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SsdGaSweep, FeasibleNonDominatedAndCloseToTruth) {
+  const auto problem = random_ssd_problem(GetParam());
+  const auto result =
+      MooGaSolver(test_params(GetParam() * 31 + 5)).solve(problem);
+  ASSERT_FALSE(result.pareto_set.empty());
+  for (const auto& c : result.pareto_set) {
+    EXPECT_TRUE(problem.feasible(c.genes));
+    EXPECT_EQ(c.objectives.size(), 4u);
+  }
+  for (std::size_t i = 0; i < result.pareto_set.size(); ++i) {
+    for (std::size_t j = 0; j < result.pareto_set.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(result.pareto_set[i].objectives,
+                               result.pareto_set[j].objectives));
+      }
+    }
+  }
+  // Compare against the exact front.  Four-objective fronts are larger and
+  // harder for a P=24 population, so the bar is looser than the 2-objective
+  // sweep, but the approximation must still land within a few points.
+  const auto truth = ExhaustiveSolver().solve(problem);
+  Front approx_front, truth_front;
+  for (const auto& c : result.pareto_set) approx_front.push_back(c.objectives);
+  for (const auto& c : truth.pareto_set) truth_front.push_back(c.objectives);
+  EXPECT_LT(generational_distance(approx_front, truth_front), 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSsdWindows, SsdGaSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SsdGa, PinsSurviveFourObjectiveSolve) {
+  auto problem = random_ssd_problem(9);
+  // Pin the first job that is individually feasible.
+  Genes probe(problem.num_vars(), 0);
+  std::size_t pinned = problem.num_vars();
+  for (std::size_t i = 0; i < problem.num_vars(); ++i) {
+    probe.assign(problem.num_vars(), 0);
+    probe[i] = 1;
+    if (problem.feasible(probe)) {
+      pinned = i;
+      break;
+    }
+  }
+  ASSERT_LT(pinned, problem.num_vars());
+  problem.pin(pinned);
+  const auto result = MooGaSolver(test_params(3)).solve(problem);
+  for (const auto& c : result.pareto_set) {
+    EXPECT_EQ(c.genes[pinned], 1);
+  }
+}
+
+TEST(SsdGa, ExhaustiveFourObjectiveFrontIsConsistent) {
+  const auto problem = random_ssd_problem(21, 8);
+  const auto truth = ExhaustiveSolver().solve(problem);
+  for (const auto& c : truth.pareto_set) {
+    EXPECT_TRUE(problem.feasible(c.genes));
+  }
+  for (std::size_t i = 0; i < truth.pareto_set.size(); ++i) {
+    for (std::size_t j = 0; j < truth.pareto_set.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(truth.pareto_set[i].objectives,
+                               truth.pareto_set[j].objectives));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,130 @@
+#include "core/multi_resource_problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+// The Table 1 queue: five jobs on a 100-node, 100 TB machine.
+MultiResourceProblem table1_problem() {
+  const std::vector<double> nodes{80, 10, 40, 10, 20};
+  const std::vector<double> bb{20, 85, 5, 0, 0};
+  return MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+}
+
+TEST(MultiResourceProblem, EvaluatesUtilizationFractions) {
+  const auto problem = table1_problem();
+  const Genes genes{1, 0, 0, 1, 0};  // J1 + J4: 90 nodes, 20 TB
+  std::vector<double> objs(2);
+  problem.evaluate(genes, objs);
+  EXPECT_DOUBLE_EQ(objs[0], 0.90);
+  EXPECT_DOUBLE_EQ(objs[1], 0.20);
+}
+
+TEST(MultiResourceProblem, FeasibilityBothConstraints) {
+  const auto problem = table1_problem();
+  EXPECT_TRUE(problem.feasible(Genes{1, 0, 0, 1, 0}));
+  EXPECT_TRUE(problem.feasible(Genes{0, 1, 1, 1, 1}));   // J2-J5: 80n, 90TB
+  EXPECT_FALSE(problem.feasible(Genes{1, 1, 0, 0, 0}));  // 105 TB BB
+  EXPECT_FALSE(problem.feasible(Genes{1, 0, 1, 0, 0}));  // 120 nodes
+}
+
+TEST(MultiResourceProblem, EmptySelectionFeasibleAndZero) {
+  const auto problem = table1_problem();
+  const Genes empty(5, 0);
+  EXPECT_TRUE(problem.feasible(empty));
+  std::vector<double> objs(2);
+  problem.evaluate(empty, objs);
+  EXPECT_DOUBLE_EQ(objs[0], 0.0);
+  EXPECT_DOUBLE_EQ(objs[1], 0.0);
+}
+
+TEST(MultiResourceProblem, ZeroFreeCapacityObjectiveIsZero) {
+  const std::vector<double> nodes{1};
+  const std::vector<double> bb{0};
+  const auto problem = MultiResourceProblem::cpu_bb(nodes, bb, 10, 0);
+  const Genes genes{1};
+  EXPECT_TRUE(problem.feasible(genes));  // demands 0 BB of 0 free
+  std::vector<double> objs(2);
+  problem.evaluate(genes, objs);
+  EXPECT_DOUBLE_EQ(objs[1], 0.0);
+}
+
+TEST(MultiResourceProblem, ConsumptionReportsRawSums) {
+  const auto problem = table1_problem();
+  const auto used = problem.consumption(Genes{0, 1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(used[0], 80);
+  EXPECT_DOUBLE_EQ(used[1], 90);
+}
+
+TEST(MultiResourceProblem, ThreeResourceExtension) {
+  // §5 motivation: the formulation extends beyond two resources.
+  const std::vector<std::vector<double>> demands{
+      {4, 2, 6}, {10, 0, 5}, {1, 1, 1}};
+  const MultiResourceProblem problem(demands, {10, 10, 2});
+  EXPECT_EQ(problem.num_objectives(), 3u);
+  EXPECT_TRUE(problem.feasible(Genes{1, 1, 0}));
+  EXPECT_FALSE(problem.feasible(Genes{1, 1, 1}));  // third resource: 3 > 2
+  std::vector<double> objs(3);
+  problem.evaluate(Genes{1, 1, 0}, objs);
+  EXPECT_DOUBLE_EQ(objs[0], 0.6);
+  EXPECT_DOUBLE_EQ(objs[1], 1.0);
+  EXPECT_DOUBLE_EQ(objs[2], 1.0);
+}
+
+TEST(MultiResourceProblem, RejectsRaggedDemands) {
+  EXPECT_THROW(MultiResourceProblem({{1, 2}, {1}}, {10, 10}),
+               std::invalid_argument);
+}
+
+TEST(MultiResourceProblem, RejectsNegativeDemandOrCapacity) {
+  EXPECT_THROW(MultiResourceProblem({{-1}}, {10}), std::invalid_argument);
+  EXPECT_THROW(MultiResourceProblem({{1}}, {-10}), std::invalid_argument);
+}
+
+TEST(MultiResourceProblem, RejectsDimensionMismatch) {
+  EXPECT_THROW(MultiResourceProblem({{1}}, {10, 10}), std::invalid_argument);
+}
+
+TEST(Repair, ClearsBitsUntilFeasible) {
+  const auto problem = table1_problem();
+  Rng rng(3);
+  Genes genes{1, 1, 1, 1, 1};  // infeasible on both axes
+  problem.repair(genes, rng);
+  EXPECT_TRUE(problem.feasible(genes));
+}
+
+TEST(Repair, FeasibleInputUntouched) {
+  const auto problem = table1_problem();
+  Rng rng(3);
+  Genes genes{0, 1, 1, 1, 1};
+  const Genes before = genes;
+  problem.repair(genes, rng);
+  EXPECT_EQ(genes, before);
+}
+
+TEST(Repair, PreservesPinnedGenes) {
+  auto problem = table1_problem();
+  problem.pin(0);  // J1 must stay selected
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Genes genes{1, 1, 1, 1, 1};
+    problem.repair(genes, rng);
+    EXPECT_TRUE(problem.feasible(genes));
+    EXPECT_EQ(genes[0], 1) << "pinned gene cleared on trial " << trial;
+  }
+}
+
+TEST(Pins, ApplyPinsSetsGenes) {
+  auto problem = table1_problem();
+  problem.pin(2);
+  problem.pin(4);
+  problem.pin(2);  // duplicate ignored
+  EXPECT_EQ(problem.pinned().size(), 2u);
+  Genes genes(5, 0);
+  problem.apply_pins(genes);
+  EXPECT_EQ(genes, (Genes{0, 0, 1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace bbsched

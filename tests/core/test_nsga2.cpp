@@ -1,0 +1,157 @@
+#include "core/nsga2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exhaustive.hpp"
+#include "core/multi_resource_problem.hpp"
+
+namespace bbsched {
+namespace {
+
+MultiResourceProblem table1_problem() {
+  const std::vector<double> nodes{80, 10, 40, 10, 20};
+  const std::vector<double> bb{20, 85, 5, 0, 0};
+  return MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+}
+
+TEST(NonDominatedSort, LayersByDomination) {
+  const Front points{{3, 3}, {1, 1}, {2, 4}, {2, 2}, {0, 0}};
+  const auto fronts = non_dominated_sort(points);
+  ASSERT_EQ(fronts.size(), 4u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{3}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(fronts[3], (std::vector<std::size_t>{4}));
+}
+
+TEST(NonDominatedSort, AllIncomparableIsOneFront) {
+  const Front points{{1, 3}, {2, 2}, {3, 1}};
+  const auto fronts = non_dominated_sort(points);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 3u);
+}
+
+TEST(NonDominatedSort, EmptyInput) {
+  EXPECT_TRUE(non_dominated_sort({}).empty());
+}
+
+TEST(CrowdingDistance, BoundariesAreInfinite) {
+  const Front front{{0, 3}, {1, 2}, {2, 1}, {3, 0}};
+  const auto dist = crowding_distances(front);
+  EXPECT_TRUE(std::isinf(dist[0]));
+  EXPECT_TRUE(std::isinf(dist[3]));
+  EXPECT_FALSE(std::isinf(dist[1]));
+  // Interior symmetric points have equal crowding.
+  EXPECT_DOUBLE_EQ(dist[1], dist[2]);
+}
+
+TEST(CrowdingDistance, TinyFrontsAllInfinite) {
+  const auto one = crowding_distances({{1, 1}});
+  EXPECT_TRUE(std::isinf(one[0]));
+  const auto two = crowding_distances({{1, 2}, {2, 1}});
+  EXPECT_TRUE(std::isinf(two[0]));
+  EXPECT_TRUE(std::isinf(two[1]));
+}
+
+TEST(CrowdingDistance, SparseRegionsScoreHigher) {
+  // Points at f0 = 0, 1, 2, 9, 10: the point at 2 sits next to a gap.
+  const Front front{{0, 10}, {1, 9}, {2, 8}, {9, 1}, {10, 0}};
+  const auto dist = crowding_distances(front);
+  EXPECT_GT(dist[2], dist[1]);
+  EXPECT_GT(dist[3], dist[1]);
+}
+
+GaParams small_params() {
+  GaParams p;
+  p.generations = 120;
+  p.population_size = 16;
+  p.mutation_rate = 0.01;
+  p.seed = 5;
+  return p;
+}
+
+TEST(Nsga2, FindsTable1Front) {
+  const auto problem = table1_problem();
+  const auto result = Nsga2Solver(small_params()).solve(problem);
+  bool found_s2 = false, found_s3 = false;
+  for (const auto& c : result.pareto_set) {
+    if (c.genes == Genes{1, 0, 0, 0, 1}) found_s2 = true;
+    if (c.genes == Genes{0, 1, 1, 1, 1}) found_s3 = true;
+  }
+  EXPECT_TRUE(found_s2);
+  EXPECT_TRUE(found_s3);
+}
+
+TEST(Nsga2, FrontFeasibleAndNonDominated) {
+  const auto problem = table1_problem();
+  const auto result = Nsga2Solver(small_params()).solve(problem);
+  for (const auto& c : result.pareto_set) {
+    EXPECT_TRUE(problem.feasible(c.genes));
+  }
+  for (std::size_t i = 0; i < result.pareto_set.size(); ++i) {
+    for (std::size_t j = 0; j < result.pareto_set.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(result.pareto_set[i].objectives,
+                               result.pareto_set[j].objectives));
+      }
+    }
+  }
+}
+
+TEST(Nsga2, DeterministicUnderSeed) {
+  const auto problem = table1_problem();
+  const Nsga2Solver solver(small_params());
+  const auto a = solver.solve(problem);
+  const auto b = solver.solve(problem);
+  ASSERT_EQ(a.pareto_set.size(), b.pareto_set.size());
+  for (std::size_t i = 0; i < a.pareto_set.size(); ++i) {
+    EXPECT_EQ(a.pareto_set[i].genes, b.pareto_set[i].genes);
+  }
+}
+
+TEST(Nsga2, RespectsPins) {
+  auto problem = table1_problem();
+  problem.pin(2);
+  const auto result = Nsga2Solver(small_params()).solve(problem);
+  ASSERT_FALSE(result.pareto_set.empty());
+  for (const auto& c : result.pareto_set) EXPECT_EQ(c.genes[2], 1);
+}
+
+// Quality sweep: NSGA-II must approach the exhaustive truth at least as well
+// as the tolerance used for the paper's solver.
+class Nsga2VsExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Nsga2VsExhaustive, LowGenerationalDistance) {
+  Rng rng(GetParam() + 400);
+  const std::size_t w = 10;
+  std::vector<double> nodes(w), bb(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    nodes[i] = static_cast<double>(rng.uniform_int(1, 40));
+    bb[i] = rng.bernoulli(0.5) ? rng.uniform(0.0, 50.0) : 0.0;
+  }
+  const auto problem = MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+  const auto truth = ExhaustiveSolver().solve(problem);
+  GaParams params = small_params();
+  params.generations = 600;
+  params.population_size = 24;
+  params.mutation_rate = 0.02;
+  params.seed = GetParam() * 3 + 1;
+  const auto approx = Nsga2Solver(params).solve(problem);
+  Front approx_front, truth_front;
+  for (const auto& c : approx.pareto_set) approx_front.push_back(c.objectives);
+  for (const auto& c : truth.pareto_set) truth_front.push_back(c.objectives);
+  // Without the survivor deduplication of the paper's rule, NSGA-II keeps
+  // duplicate genotypes; on degenerate (near-single-point) true fronts it
+  // can stall on a locally non-dominated triple several Hamming steps from
+  // the optimum, so the bar is looser than the paper-GA sweep's 0.08 — the
+  // comparison itself is the point (see bench_ablation_solver).
+  EXPECT_LT(generational_distance(approx_front, truth_front), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWindows, Nsga2VsExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace bbsched

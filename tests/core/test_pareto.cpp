@@ -1,0 +1,119 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+TEST(Dominates, StrictDominance) {
+  const std::vector<double> a{2.0, 3.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(Dominates, EqualVectorsDoNotDominate) {
+  const std::vector<double> a{1.0, 1.0};
+  EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(Dominates, WeakImprovementOneAxis) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(Dominates, IncomparableTradeoff) {
+  const std::vector<double> a{2.0, 1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_FALSE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(NonDominated, FiltersDominatedPoints) {
+  const Front points{{1, 1}, {2, 2}, {3, 1}, {1, 3}, {0, 0}};
+  const auto nd = non_dominated_indices(points);
+  // {2,2}, {3,1}, {1,3} are the front; {1,1} and {0,0} are dominated.
+  EXPECT_EQ(nd, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(NonDominated, DuplicatesAllSurvive) {
+  const Front points{{2, 2}, {2, 2}, {1, 1}};
+  const auto nd = non_dominated_indices(points);
+  EXPECT_EQ(nd, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(NonDominated, EmptyInput) {
+  EXPECT_TRUE(non_dominated_indices({}).empty());
+}
+
+TEST(NonDominated, SinglePoint) {
+  EXPECT_EQ(non_dominated_indices({{5, 5}}),
+            (std::vector<std::size_t>{0}));
+}
+
+TEST(GenerationalDistance, ZeroWhenSolutionOnTruth) {
+  const Front truth{{1, 0}, {0, 1}};
+  const Front solution{{1, 0}};
+  EXPECT_DOUBLE_EQ(generational_distance(solution, truth), 0.0);
+}
+
+TEST(GenerationalDistance, AverageOfNearestDistances) {
+  const Front truth{{0, 0}};
+  const Front solution{{3, 4}, {0, 0}};  // distances 5 and 0
+  EXPECT_DOUBLE_EQ(generational_distance(solution, truth), 2.5);
+}
+
+TEST(GenerationalDistance, PicksNearestTruthPoint) {
+  const Front truth{{0, 0}, {10, 10}};
+  const Front solution{{9, 10}};  // nearest is (10,10), distance 1
+  EXPECT_DOUBLE_EQ(generational_distance(solution, truth), 1.0);
+}
+
+TEST(GenerationalDistance, EmptyTruthThrows) {
+  EXPECT_THROW(generational_distance({{1, 1}}, {}), std::invalid_argument);
+}
+
+TEST(GenerationalDistance, EmptySolutionIsZero) {
+  EXPECT_DOUBLE_EQ(generational_distance({}, {{1, 1}}), 0.0);
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  const Front front{{2, 3}};
+  const std::vector<double> ref{0, 0};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, ref), 6.0);
+}
+
+TEST(Hypervolume, StaircaseOfTwoPoints) {
+  const Front front{{1, 3}, {2, 1}};
+  const std::vector<double> ref{0, 0};
+  // Strip [0,1] x height 3 plus strip [1,2] x height 1.
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, ref), 4.0);
+}
+
+TEST(Hypervolume, DominatedPointIgnored) {
+  const Front front{{2, 2}, {1, 1}};
+  const std::vector<double> ref{0, 0};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, ref), 4.0);
+}
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, std::vector<double>{0, 0}), 0.0);
+}
+
+TEST(ParetoFrontOfPopulation, UsesCachedObjectives) {
+  Chromosome a;
+  a.genes = {1, 0};
+  a.objectives = {2, 2};
+  Chromosome b;
+  b.genes = {0, 1};
+  b.objectives = {1, 1};
+  const std::vector<Chromosome> population{a, b};
+  const auto front = pareto_front(population);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].genes, a.genes);
+}
+
+}  // namespace
+}  // namespace bbsched

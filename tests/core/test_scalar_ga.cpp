@@ -1,0 +1,127 @@
+#include "core/scalar_ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.hpp"
+#include "core/multi_resource_problem.hpp"
+
+namespace bbsched {
+namespace {
+
+MultiResourceProblem table1_problem() {
+  const std::vector<double> nodes{80, 10, 40, 10, 20};
+  const std::vector<double> bb{20, 85, 5, 0, 0};
+  return MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+}
+
+GaParams small_params() {
+  GaParams p;
+  p.generations = 150;
+  p.population_size = 16;
+  p.mutation_rate = 0.01;
+  p.seed = 3;
+  return p;
+}
+
+TEST(ScalarGa, ConstrainedCpuFindsFullNodeUtilization) {
+  // Table 1: maximizing node utilization alone finds J1+J5 (100 %).
+  const auto problem = table1_problem();
+  const ScalarGaSolver solver(small_params(), {1.0, 0.0});
+  const auto result = solver.solve(problem);
+  EXPECT_DOUBLE_EQ(result.best.objectives[0], 1.0);
+}
+
+TEST(ScalarGa, ConstrainedBbFindsMaxBbUtilization) {
+  const auto problem = table1_problem();
+  const ScalarGaSolver solver(small_params(), {0.0, 1.0});
+  const auto result = solver.solve(problem);
+  // J2+J3 (+J4/J5 free on BB) reaches 90 TB of 100 TB.
+  EXPECT_DOUBLE_EQ(result.best.objectives[1], 0.90);
+}
+
+TEST(ScalarGa, WeightedCpuMatchesPaperChoice) {
+  // §1: the 80/20 weighted method selects J1+J5 — node 100 %, BB 20 %.
+  const auto problem = table1_problem();
+  const ScalarGaSolver solver(small_params(), {0.8, 0.2});
+  const auto result = solver.solve(problem);
+  EXPECT_EQ(result.best.genes, (Genes{1, 0, 0, 0, 1}));
+}
+
+TEST(ScalarGa, BestIsFeasible) {
+  const auto problem = table1_problem();
+  const ScalarGaSolver solver(small_params(), {0.5, 0.5});
+  const auto result = solver.solve(problem);
+  EXPECT_TRUE(problem.feasible(result.best.genes));
+}
+
+TEST(ScalarGa, FitnessMatchesWeights) {
+  const auto problem = table1_problem();
+  const ScalarGaSolver solver(small_params(), {0.25, 0.75});
+  const auto result = solver.solve(problem);
+  EXPECT_DOUBLE_EQ(result.fitness, 0.25 * result.best.objectives[0] +
+                                       0.75 * result.best.objectives[1]);
+}
+
+TEST(ScalarGa, DeterministicUnderSameSeed) {
+  const auto problem = table1_problem();
+  const ScalarGaSolver solver(small_params(), {0.5, 0.5});
+  EXPECT_EQ(solver.solve(problem).best.genes,
+            solver.solve(problem).best.genes);
+}
+
+TEST(ScalarGa, RespectsPins) {
+  auto problem = table1_problem();
+  problem.pin(0);  // force J1, which conflicts with the BB-heavy J2
+  const ScalarGaSolver solver(small_params(), {0.0, 1.0});
+  const auto result = solver.solve(problem);
+  EXPECT_EQ(result.best.genes[0], 1);
+  EXPECT_TRUE(problem.feasible(result.best.genes));
+}
+
+TEST(ScalarGa, WeightCountMustMatchObjectives) {
+  const auto problem = table1_problem();
+  const ScalarGaSolver solver(small_params(), {1.0});
+  EXPECT_THROW(solver.solve(problem), std::invalid_argument);
+}
+
+TEST(ScalarGa, EmptyWeightsRejected) {
+  EXPECT_THROW(ScalarGaSolver(small_params(), {}), std::invalid_argument);
+}
+
+// Property sweep: the scalarized GA must match the exhaustive optimum of the
+// weighted objective on small random windows.
+class ScalarVsExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalarVsExhaustive, NearOptimalOnRandomWindows) {
+  Rng rng(GetParam() + 1000);
+  const std::size_t w = 10;
+  std::vector<double> nodes(w), bb(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    nodes[i] = static_cast<double>(rng.uniform_int(1, 40));
+    bb[i] = rng.bernoulli(0.6) ? rng.uniform(0.0, 60.0) : 0.0;
+  }
+  const auto problem = MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+  const std::vector<double> weights{0.5, 0.5};
+
+  // Exhaustive optimum of the scalarized objective.
+  double best = 0;
+  const auto truth = ExhaustiveSolver().solve(problem);
+  for (const auto& c : truth.pareto_set) {
+    best = std::max(best,
+                    weights[0] * c.objectives[0] + weights[1] * c.objectives[1]);
+  }
+
+  GaParams params = small_params();
+  params.generations = 600;
+  params.population_size = 24;
+  params.seed = GetParam() * 13 + 7;
+  const auto approx = ScalarGaSolver(params, weights).solve(problem);
+  EXPECT_GE(approx.fitness, best - 0.03)
+      << "scalar GA fell more than 3 utilization points short";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWindows, ScalarVsExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,116 @@
+#include "core/ssd_problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+SsdFreeState small_machine() {
+  SsdFreeState free;
+  free.small_nodes = 4;   // 4 x 128 GB
+  free.large_nodes = 4;   // 4 x 256 GB
+  free.bb_gb = 100;
+  return free;
+}
+
+TEST(SsdProblem, LargeOnlyJobNeedsLargeTier) {
+  std::vector<SsdJobDemand> jobs{{5, 0, 200}};  // 5 nodes @ 200 GB SSD
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  EXPECT_FALSE(problem.feasible(Genes{1}))
+      << "only 4 large-tier nodes exist";
+}
+
+TEST(SsdProblem, SmallJobMayUseEitherTier) {
+  std::vector<SsdJobDemand> jobs{{6, 0, 64}};  // spills 4 small + 2 large
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  EXPECT_TRUE(problem.feasible(Genes{1}));
+  const auto split = problem.assign(Genes{1});
+  EXPECT_DOUBLE_EQ(split[0].small_nodes, 4);
+  EXPECT_DOUBLE_EQ(split[0].large_nodes, 2);
+}
+
+TEST(SsdProblem, BurstBufferConstraintStillApplies) {
+  std::vector<SsdJobDemand> jobs{{1, 150, 64}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  EXPECT_FALSE(problem.feasible(Genes{1}));
+}
+
+TEST(SsdProblem, OversizedSsdRequestInfeasible) {
+  std::vector<SsdJobDemand> jobs{{1, 0, 512}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  EXPECT_FALSE(problem.feasible(Genes{1}));
+}
+
+TEST(SsdProblem, WasteComputedFromTierSplit) {
+  // One job, 2 nodes @ 100 GB each: prefers the small tier, wasting
+  // 2 * (128 - 100) = 56 GB.
+  std::vector<SsdJobDemand> jobs{{2, 0, 100}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  EXPECT_DOUBLE_EQ(problem.wasted_ssd(Genes{1}), 56);
+}
+
+TEST(SsdProblem, LargeTierWasteWhenSmallExhausted) {
+  // 6 nodes @ 100 GB: 4 on small (4*28 waste), 2 on large (2*156 waste).
+  std::vector<SsdJobDemand> jobs{{6, 0, 100}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  EXPECT_DOUBLE_EQ(problem.wasted_ssd(Genes{1}), 4 * 28 + 2 * 156);
+}
+
+TEST(SsdProblem, LargeJobsAssignedBeforeSmallSpill) {
+  // Large-only job takes 3 large nodes first; the 5-node small job then
+  // gets 4 small + 1 large.
+  std::vector<SsdJobDemand> jobs{{5, 0, 64}, {3, 0, 200}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  const Genes genes{1, 1};
+  ASSERT_TRUE(problem.feasible(genes));
+  const auto split = problem.assign(genes);
+  EXPECT_DOUBLE_EQ(split[1].large_nodes, 3);
+  EXPECT_DOUBLE_EQ(split[0].small_nodes, 4);
+  EXPECT_DOUBLE_EQ(split[0].large_nodes, 1);
+}
+
+TEST(SsdProblem, FourObjectivesNormalized) {
+  // Machine SSD capacity: 4*128 + 4*256 = 1536 GB.
+  std::vector<SsdJobDemand> jobs{{2, 50, 128}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  std::vector<double> objs(4);
+  problem.evaluate(Genes{1}, objs);
+  EXPECT_DOUBLE_EQ(objs[0], 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(objs[1], 50.0 / 100.0);
+  EXPECT_DOUBLE_EQ(objs[2], 256.0 / 1536.0);
+  EXPECT_DOUBLE_EQ(objs[3], 0.0);  // exact fit on the small tier: no waste
+}
+
+TEST(SsdProblem, WasteObjectiveIsNegativeFraction) {
+  std::vector<SsdJobDemand> jobs{{2, 0, 100}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  std::vector<double> objs(4);
+  problem.evaluate(Genes{1}, objs);
+  EXPECT_DOUBLE_EQ(objs[3], -56.0 / 1536.0);
+}
+
+TEST(SsdProblem, EmptySelectionZeroObjectives) {
+  std::vector<SsdJobDemand> jobs{{2, 0, 100}, {1, 10, 200}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  std::vector<double> objs(4);
+  problem.evaluate(Genes{0, 0}, objs);
+  for (double o : objs) EXPECT_DOUBLE_EQ(o, 0.0);
+}
+
+TEST(SsdProblem, TotalNodeCapacityEnforced) {
+  std::vector<SsdJobDemand> jobs{{5, 0, 64}, {4, 0, 64}};
+  const SsdSchedulingProblem problem(jobs, small_machine());
+  EXPECT_TRUE(problem.feasible(Genes{1, 0}));
+  EXPECT_FALSE(problem.feasible(Genes{1, 1}));  // 9 > 8 nodes
+}
+
+TEST(SsdProblem, RejectsBadConstruction) {
+  SsdFreeState bad = small_machine();
+  bad.small_ssd_gb = 0;
+  EXPECT_THROW(SsdSchedulingProblem({}, bad), std::invalid_argument);
+  EXPECT_THROW(SsdSchedulingProblem({{-1, 0, 0}}, small_machine()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,98 @@
+// Extensibility check (§5's claim, on the generic path): the whole solver
+// stack — GA, scalarized GA, exhaustive, decision helpers — must work
+// unchanged on a three-resource problem (e.g. nodes + burst buffer + a
+// power budget).
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.hpp"
+#include "core/ga.hpp"
+#include "core/multi_resource_problem.hpp"
+#include "core/scalar_ga.hpp"
+
+namespace bbsched {
+namespace {
+
+/// Nodes, burst buffer, power: three competing resources over six jobs.
+MultiResourceProblem power_problem() {
+  const std::vector<std::vector<double>> demands{
+      {40, 30, 20, 10, 10, 5},   // nodes (capacity 100)
+      {0, 50, 10, 40, 0, 0},     // burst buffer GB (capacity 100)
+      {50, 10, 30, 5, 20, 5},    // power kW (capacity 100)
+  };
+  return MultiResourceProblem(demands, {100, 100, 100});
+}
+
+TEST(ThreeResources, ExhaustiveFrontIsThreeDimensional) {
+  const auto problem = power_problem();
+  const auto truth = ExhaustiveSolver().solve(problem);
+  ASSERT_FALSE(truth.pareto_set.empty());
+  for (const auto& c : truth.pareto_set) {
+    EXPECT_EQ(c.objectives.size(), 3u);
+    EXPECT_TRUE(problem.feasible(c.genes));
+  }
+  // The front must contain genuinely conflicting solutions: some best on
+  // nodes, some on BB, some on power.
+  const auto best_of = [&](std::size_t k) {
+    double best = -1;
+    for (const auto& c : truth.pareto_set) {
+      best = std::max(best, c.objectives[k]);
+    }
+    return best;
+  };
+  EXPECT_GT(best_of(0), 0.9);
+  EXPECT_GT(best_of(1), 0.9);
+  EXPECT_GT(best_of(2), 0.9);
+}
+
+TEST(ThreeResources, GaApproximatesThreeObjectiveFront) {
+  const auto problem = power_problem();
+  GaParams params;
+  params.generations = 300;
+  params.population_size = 24;
+  params.mutation_rate = 0.02;
+  const auto approx = MooGaSolver(params).solve(problem);
+  const auto truth = ExhaustiveSolver().solve(problem);
+  Front approx_front, truth_front;
+  for (const auto& c : approx.pareto_set) approx_front.push_back(c.objectives);
+  for (const auto& c : truth.pareto_set) truth_front.push_back(c.objectives);
+  EXPECT_LT(generational_distance(approx_front, truth_front), 0.1);
+}
+
+TEST(ThreeResources, ScalarizedThreeWayWeights) {
+  const auto problem = power_problem();
+  GaParams params;
+  params.generations = 200;
+  const ScalarGaSolver solver(params, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  const auto result = solver.solve(problem);
+  EXPECT_TRUE(problem.feasible(result.best.genes));
+  EXPECT_EQ(result.best.objectives.size(), 3u);
+  // Equal weighting must not leave everything unselected.
+  EXPECT_GT(result.fitness, 0.5);
+}
+
+TEST(ThreeResources, ConstrainedPowerVariant) {
+  // "Constrained_Power": maximize the third resource's utilization only.
+  const auto problem = power_problem();
+  GaParams params;
+  params.generations = 200;
+  const ScalarGaSolver solver(params, {0, 0, 1});
+  const auto result = solver.solve(problem);
+  // Jobs 1,3,5,6 (50+30+20+5=105 > 100) cannot all run; the optimum packs
+  // power to 100 kW exactly (e.g. J1+J3+J5 or J1+J3+J4+J6+...).
+  EXPECT_GE(result.best.objectives[2], 0.95);
+}
+
+TEST(ThreeResources, PinsAcrossThreeConstraints) {
+  auto problem = power_problem();
+  problem.pin(0);  // the power-hungry 40-node job stays selected
+  GaParams params;
+  params.generations = 150;
+  const auto result = MooGaSolver(params).solve(problem);
+  for (const auto& c : result.pareto_set) {
+    EXPECT_EQ(c.genes[0], 1);
+    EXPECT_TRUE(problem.feasible(c.genes));
+  }
+}
+
+}  // namespace
+}  // namespace bbsched

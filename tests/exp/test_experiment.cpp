@@ -1,0 +1,87 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace bbsched {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.jobs_per_workload = 120;
+  config.ga.generations = 20;
+  config.ga.population_size = 8;
+  return config;
+}
+
+TEST(ExperimentConfig, EnvOverrides) {
+  ::setenv("BBSCHED_BENCH_JOBS", "123", 1);
+  ::setenv("BBSCHED_BENCH_G", "77", 1);
+  ::setenv("BBSCHED_CORI_SCALE", "0.5", 1);
+  const auto config = ExperimentConfig::from_env();
+  EXPECT_EQ(config.jobs_per_workload, 123u);
+  EXPECT_EQ(config.ga.generations, 77);
+  EXPECT_DOUBLE_EQ(config.cori_scale, 0.5);
+  ::unsetenv("BBSCHED_BENCH_JOBS");
+  ::unsetenv("BBSCHED_BENCH_G");
+  ::unsetenv("BBSCHED_CORI_SCALE");
+}
+
+TEST(ExperimentConfig, DigestChangesWithConfig) {
+  ExperimentConfig a = tiny_config();
+  ExperimentConfig b = tiny_config();
+  EXPECT_EQ(a.digest(), b.digest());
+  b.window_size = 50;
+  EXPECT_NE(a.digest(), b.digest());
+  b = tiny_config();
+  b.theta_scale *= 2;
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(ExperimentConfig, SimConfigInherits) {
+  ExperimentConfig config = tiny_config();
+  config.window_size = 33;
+  const SimConfig sim = config.sim_config();
+  EXPECT_EQ(sim.window_size, 33u);
+  EXPECT_DOUBLE_EQ(sim.warmup_fraction, config.warmup_fraction);
+}
+
+TEST(BuildWorkloads, MainSuiteHasTenLabeledEntries) {
+  const auto suite = build_main_workloads(tiny_config());
+  ASSERT_EQ(suite.size(), 10u);
+  EXPECT_EQ(suite[0].label, "Cori-Original");
+  EXPECT_EQ(suite[4].label, "Cori-S4");
+  EXPECT_EQ(suite[5].label, "Theta-Original");
+  EXPECT_EQ(suite[9].label, "Theta-S4");
+  for (const auto& entry : suite) {
+    EXPECT_EQ(entry.label, entry.workload.name);
+    EXPECT_EQ(entry.workload.jobs.size(), 120u);
+  }
+}
+
+TEST(BuildWorkloads, SsdSuiteHasSixEntriesWithTiers) {
+  const auto suite = build_ssd_workloads(tiny_config());
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].label, "Cori-S5");
+  EXPECT_EQ(suite[5].label, "Theta-S7");
+  for (const auto& entry : suite) {
+    EXPECT_TRUE(entry.workload.machine.has_local_ssd());
+  }
+}
+
+TEST(BuildWorkloads, ScaleShrinksMachines) {
+  ExperimentConfig config = tiny_config();
+  config.cori_scale = 0.25;
+  const auto suite = build_main_workloads(config);
+  EXPECT_EQ(suite[0].workload.machine.nodes, 3019);
+}
+
+TEST(BaseSchedulerFor, PaperAssignment) {
+  EXPECT_EQ(base_scheduler_for("Cori-S3"), "FCFS");
+  EXPECT_EQ(base_scheduler_for("Cori-Original"), "FCFS");
+  EXPECT_EQ(base_scheduler_for("Theta-S4"), "WFP");
+}
+
+}  // namespace
+}  // namespace bbsched

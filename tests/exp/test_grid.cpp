@@ -1,0 +1,103 @@
+#include "exp/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace bbsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+ExperimentConfig tiny_config(const std::string& cache_dir) {
+  ExperimentConfig config;
+  config.jobs_per_workload = 40;
+  config.window_size = 6;
+  config.ga.generations = 6;
+  config.ga.population_size = 6;
+  config.cache_dir = cache_dir;
+  return config;
+}
+
+class GridTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ = (fs::temp_directory_path() / "bbsched_grid_test").string();
+    fs::remove_all(cache_dir_);
+  }
+  void TearDown() override { fs::remove_all(cache_dir_); }
+  std::string cache_dir_;
+};
+
+TEST_F(GridTest, ComputesCachesAndReloadsMainGrid) {
+  const auto config = tiny_config(cache_dir_);
+  const auto first = ensure_main_grid(config);
+  EXPECT_EQ(first.cells.size(), 80u);  // 10 workloads x 8 methods
+  EXPECT_FALSE(first.breakdowns.empty());
+
+  // Second call must load from cache and reproduce every cell exactly.
+  const auto second = ensure_main_grid(config);
+  ASSERT_EQ(second.cells.size(), first.cells.size());
+  for (std::size_t i = 0; i < first.cells.size(); ++i) {
+    EXPECT_EQ(second.cells[i].workload, first.cells[i].workload);
+    EXPECT_EQ(second.cells[i].method, first.cells[i].method);
+    EXPECT_NEAR(second.cells[i].metrics.avg_wait,
+                first.cells[i].metrics.avg_wait, 1e-6);
+    EXPECT_DOUBLE_EQ(second.cells[i].metrics.node_usage,
+                     first.cells[i].metrics.node_usage)
+        << "cache round trip must be lossless";
+  }
+  ASSERT_EQ(second.breakdowns.size(), first.breakdowns.size());
+}
+
+TEST_F(GridTest, FindCellLookupsByLabelAndMethod) {
+  const auto config = tiny_config(cache_dir_);
+  const auto results = ensure_main_grid(config);
+  const auto cell = find_cell(results.cells, "Theta-S4", "BBSched");
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->workload, "Theta-S4");
+  EXPECT_FALSE(
+      find_cell(results.cells, "Theta-S4", "NoSuchMethod").has_value());
+  EXPECT_FALSE(find_cell(results.cells, "Nope", "BBSched").has_value());
+}
+
+TEST_F(GridTest, DifferentConfigMissesCache) {
+  auto config = tiny_config(cache_dir_);
+  (void)ensure_main_grid(config);
+  const auto files_before =
+      std::distance(fs::directory_iterator(cache_dir_), {});
+  config.window_size = 7;  // different digest -> recompute, new files
+  (void)ensure_main_grid(config);
+  const auto files_after =
+      std::distance(fs::directory_iterator(cache_dir_), {});
+  EXPECT_GT(files_after, files_before);
+}
+
+TEST_F(GridTest, SsdGridComputesAllCells) {
+  const auto config = tiny_config(cache_dir_);
+  const auto cells = ensure_ssd_grid(config);
+  EXPECT_EQ(cells.size(), 42u);  // 6 workloads x 7 methods
+  for (const auto& cell : cells) {
+    EXPECT_GE(cell.metrics.ssd_usage, 0.0);
+  }
+  // Cached reload.
+  const auto reloaded = ensure_ssd_grid(config);
+  EXPECT_EQ(reloaded.size(), cells.size());
+}
+
+TEST_F(GridTest, RunSingleMatchesGridCell) {
+  const auto config = tiny_config(cache_dir_);
+  const auto workloads = build_main_workloads(config);
+  const auto results = ensure_main_grid(config);
+  for (const auto& entry : workloads) {
+    if (entry.label != "Cori-S1") continue;
+    const SimResult result = run_single(config, entry.workload, "Baseline");
+    const auto cell = find_cell(results.cells, "Cori-S1", "Baseline");
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_NEAR(compute_metrics(result).avg_wait, cell->metrics.avg_wait,
+                1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,105 @@
+#include "metrics/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+JobOutcome outcome(Time submit, Time wait, Time runtime, NodeCount nodes,
+                   GigaBytes bb = 0) {
+  JobOutcome o;
+  o.submit = submit;
+  o.start = submit + wait;
+  o.end = o.start + runtime;
+  o.runtime = runtime;
+  o.walltime = runtime;
+  o.nodes = nodes;
+  o.bb_gb = bb;
+  return o;
+}
+
+SimResult make_result(std::vector<JobOutcome> outcomes) {
+  SimResult r;
+  r.machine.nodes = 5000;
+  r.machine.burst_buffer_gb = pb(1);
+  r.outcomes = std::move(outcomes);
+  r.measure_begin = 0;
+  r.measure_end = 1e9;
+  return r;
+}
+
+TEST(Breakdown, ByJobSizeBins) {
+  auto r = make_result({
+      outcome(0, 100, 600, 4),     // 1-8
+      outcome(0, 300, 600, 8),     // 1-8
+      outcome(0, 500, 600, 100),   // 9-128
+      outcome(0, 700, 600, 2000),  // 1025+
+  });
+  const auto bins = breakdown_by_job_size(r);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0].label, "1-8");
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_DOUBLE_EQ(bins[0].avg_wait, 200.0);
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[2].count, 0u);
+  EXPECT_DOUBLE_EQ(bins[2].avg_wait, 0.0);
+  EXPECT_EQ(bins[3].label, "1025+");
+  EXPECT_EQ(bins[3].count, 1u);
+}
+
+TEST(Breakdown, ByBbRequestIncludesNoBbBin) {
+  auto r = make_result({
+      outcome(0, 100, 600, 4, 0),
+      outcome(0, 200, 600, 4, tb(0.5)),
+      outcome(0, 300, 600, 4, tb(150)),
+      outcome(0, 400, 600, 4, tb(250)),
+  });
+  const auto bins = breakdown_by_bb_request(r);
+  ASSERT_EQ(bins.size(), 5u);
+  EXPECT_EQ(bins[0].label, "no-BB");
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 1u);  // 0-1 TB
+  EXPECT_EQ(bins[3].count, 1u);  // 100-200 TB
+  EXPECT_EQ(bins[4].count, 1u);  // 200 TB+
+}
+
+TEST(Breakdown, ByRuntimeBins) {
+  auto r = make_result({
+      outcome(0, 100, minutes(30), 4),
+      outcome(0, 200, hours(2), 4),
+      outcome(0, 300, hours(20), 4),
+  });
+  const auto bins = breakdown_by_runtime(r);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0].count, 1u);  // 0-1 h
+  EXPECT_EQ(bins[1].count, 1u);  // 1-4 h
+  EXPECT_EQ(bins[2].count, 0u);  // 4-12 h
+  EXPECT_EQ(bins[3].count, 1u);  // 12 h+
+}
+
+TEST(Breakdown, RespectsMeasurementInterval) {
+  auto r = make_result({outcome(0, 100, 600, 4), outcome(0, 300, 600, 4)});
+  r.measure_begin = 1;  // both jobs submitted at 0 -> excluded
+  const auto bins = breakdown_by_job_size(r);
+  for (const auto& bin : bins) EXPECT_EQ(bin.count, 0u);
+}
+
+TEST(Breakdown, GenericAssignerAndSlowdowns) {
+  auto r = make_result({outcome(0, 600, 600, 4), outcome(0, 0, 600, 4)});
+  const auto bins = breakdown_wait(
+      r, {"even", "odd"},
+      [](const JobOutcome& o) { return o.wait() > 0 ? 0u : 1u; });
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].avg_slowdown, 2.0);
+  EXPECT_DOUBLE_EQ(bins[1].avg_slowdown, 1.0);
+}
+
+TEST(Breakdown, OutOfRangeAssignmentDropped) {
+  auto r = make_result({outcome(0, 100, 600, 4)});
+  const auto bins =
+      breakdown_wait(r, {"only"}, [](const JobOutcome&) { return 5u; });
+  EXPECT_EQ(bins[0].count, 0u);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,76 @@
+#include "metrics/kiviat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+TEST(Kiviat, NormalizesToUnitRangeAcrossMethods) {
+  std::vector<KiviatSeries> series{
+      {"a", {0.8, 10}},
+      {"b", {0.4, 30}},
+      {"c", {0.6, 20}},
+  };
+  const auto normalized = kiviat_normalize(std::move(series));
+  EXPECT_DOUBLE_EQ(normalized[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(normalized[1].values[0], 0.0);
+  EXPECT_DOUBLE_EQ(normalized[2].values[0], 0.5);
+  EXPECT_DOUBLE_EQ(normalized[0].values[1], 0.0);
+  EXPECT_DOUBLE_EQ(normalized[1].values[1], 1.0);
+}
+
+TEST(Kiviat, TiedAxisNormalizesToOne) {
+  std::vector<KiviatSeries> series{{"a", {5.0}}, {"b", {5.0}}};
+  const auto normalized = kiviat_normalize(std::move(series));
+  EXPECT_DOUBLE_EQ(normalized[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(normalized[1].values[0], 1.0);
+}
+
+TEST(Kiviat, RaggedSeriesThrows) {
+  std::vector<KiviatSeries> series{{"a", {1.0, 2.0}}, {"b", {1.0}}};
+  EXPECT_THROW(kiviat_normalize(std::move(series)), std::invalid_argument);
+}
+
+TEST(Kiviat, AreaOfAllOnesIsOne) {
+  const KiviatSeries s{"best", {1, 1, 1, 1}};
+  EXPECT_DOUBLE_EQ(kiviat_area(s), 1.0);
+}
+
+TEST(Kiviat, AreaOfAllZerosIsZero) {
+  const KiviatSeries s{"worst", {0, 0, 0, 0}};
+  EXPECT_DOUBLE_EQ(kiviat_area(s), 0.0);
+}
+
+TEST(Kiviat, AreaMonotoneInValues) {
+  const KiviatSeries lo{"lo", {0.5, 0.5, 0.5, 0.5}};
+  const KiviatSeries hi{"hi", {0.6, 0.5, 0.5, 0.5}};
+  EXPECT_GT(kiviat_area(hi), kiviat_area(lo));
+  EXPECT_DOUBLE_EQ(kiviat_area(lo), 0.25);  // r^2 scaling
+}
+
+TEST(Kiviat, AreaNeedsThreeAxes) {
+  const KiviatSeries s{"two", {1, 1}};
+  EXPECT_THROW(kiviat_area(s), std::invalid_argument);
+}
+
+TEST(Kiviat, SingleZeroSpokeDoesNotZeroArea) {
+  const KiviatSeries s{"spiky", {1, 1, 1, 0}};
+  EXPECT_GT(kiviat_area(s), 0.0);
+  EXPECT_LT(kiviat_area(s), 1.0);
+}
+
+TEST(Kiviat, OrientPassesLargerIsBetter) {
+  EXPECT_DOUBLE_EQ(kiviat_orient(0.7, true), 0.7);
+}
+
+TEST(Kiviat, OrientReciprocalForSmallerIsBetter) {
+  EXPECT_DOUBLE_EQ(kiviat_orient(4.0, false), 0.25);
+  EXPECT_GT(kiviat_orient(0.0, false), 1e6) << "perfect value clamps large";
+}
+
+TEST(Kiviat, EmptyNormalizeIsNoop) {
+  EXPECT_TRUE(kiviat_normalize({}).empty());
+}
+
+}  // namespace
+}  // namespace bbsched

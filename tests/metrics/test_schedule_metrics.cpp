@@ -1,0 +1,151 @@
+#include "metrics/schedule_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+MachineConfig machine() {
+  MachineConfig m;
+  m.name = "m";
+  m.nodes = 10;
+  m.burst_buffer_gb = 100;
+  return m;
+}
+
+JobOutcome outcome(Time submit, Time start, Time runtime, NodeCount nodes,
+                   GigaBytes bb = 0) {
+  JobOutcome o;
+  o.submit = submit;
+  o.start = start;
+  o.end = start + runtime;
+  o.runtime = runtime;
+  o.walltime = runtime;
+  o.nodes = nodes;
+  o.bb_gb = bb;
+  return o;
+}
+
+SimResult result_with(std::vector<JobOutcome> outcomes, Time begin, Time end,
+                      MachineConfig m = machine()) {
+  SimResult r;
+  r.machine = std::move(m);
+  r.outcomes = std::move(outcomes);
+  r.measure_begin = begin;
+  r.measure_end = end;
+  return r;
+}
+
+TEST(IntervalOverlap, Basics) {
+  EXPECT_DOUBLE_EQ(interval_overlap(0, 10, 5, 20), 5);
+  EXPECT_DOUBLE_EQ(interval_overlap(0, 10, 20, 30), 0);
+  EXPECT_DOUBLE_EQ(interval_overlap(5, 8, 0, 100), 3);
+  EXPECT_DOUBLE_EQ(interval_overlap(0, 10, 10, 20), 0);
+}
+
+TEST(Metrics, NodeUsageFullInterval) {
+  // One job using all 10 nodes for the whole interval.
+  auto r = result_with({outcome(0, 0, 100, 10)}, 0, 100);
+  const auto m = compute_metrics(r);
+  EXPECT_DOUBLE_EQ(m.node_usage, 1.0);
+}
+
+TEST(Metrics, NodeUsagePartialOverlap) {
+  // 5 nodes for the first half of the interval: 25 % of node-hours.
+  auto r = result_with({outcome(0, 0, 50, 5)}, 0, 100);
+  EXPECT_DOUBLE_EQ(compute_metrics(r).node_usage, 0.25);
+}
+
+TEST(Metrics, UsageClipsOutsideInterval) {
+  // Runs from -50 to 50 against interval [0, 100]: only 50 s count.
+  auto r = result_with({outcome(0, 0, 100, 10)}, 50, 150);
+  EXPECT_DOUBLE_EQ(compute_metrics(r).node_usage, 0.5);
+}
+
+TEST(Metrics, BbUsageAgainstSchedulablePool) {
+  MachineConfig m = machine();
+  m.persistent_bb_fraction = 0.5;  // schedulable: 50 GB
+  auto r = result_with({outcome(0, 0, 100, 1, 25)}, 0, 100, m);
+  EXPECT_DOUBLE_EQ(compute_metrics(r).bb_usage, 0.5);
+}
+
+TEST(Metrics, WaitAndSlowdownOverMeasuredJobs) {
+  auto r = result_with(
+      {
+          outcome(0, 100, 100, 1),   // wait 100, slowdown 2
+          outcome(50, 50, 100, 1),   // wait 0, slowdown 1
+          outcome(500, 500, 100, 1)  // submitted after measure_end: excluded
+      },
+      0, 200);
+  const auto m = compute_metrics(r);
+  EXPECT_EQ(m.jobs_measured, 2u);
+  EXPECT_DOUBLE_EQ(m.avg_wait, 50.0);
+  EXPECT_DOUBLE_EQ(m.avg_slowdown, 1.5);
+}
+
+TEST(Metrics, SlowdownFiltersAbnormalShortJobs) {
+  MetricsConfig config;
+  config.slowdown_min_runtime = 60;
+  auto r = result_with(
+      {
+          outcome(0, 1000, 10, 1),  // 10 s "abnormal" job, huge slowdown
+          outcome(0, 100, 100, 1),  // slowdown 2
+      },
+      0, 2000);
+  const auto m = compute_metrics(r, config);
+  EXPECT_DOUBLE_EQ(m.avg_slowdown, 2.0)
+      << "short job must be excluded from slowdown but kept in wait";
+  EXPECT_DOUBLE_EQ(m.avg_wait, 550.0);
+}
+
+TEST(Metrics, EmptyIntervalYieldsZeros) {
+  auto r = result_with({outcome(0, 0, 100, 10)}, 100, 100);
+  const auto m = compute_metrics(r);
+  EXPECT_DOUBLE_EQ(m.node_usage, 0.0);
+  EXPECT_EQ(m.jobs_measured, 0u);
+}
+
+TEST(Metrics, P95AndMaxWait) {
+  std::vector<JobOutcome> outcomes;
+  for (int i = 0; i < 100; ++i) {
+    outcomes.push_back(outcome(0, i, 100, 1));
+  }
+  auto r = result_with(std::move(outcomes), 0, 1000);
+  const auto m = compute_metrics(r);
+  EXPECT_DOUBLE_EQ(m.max_wait, 99.0);
+  EXPECT_NEAR(m.p95_wait, 94.0, 0.2);
+}
+
+TEST(Metrics, SsdUsageAndWaste) {
+  MachineConfig m = machine();
+  m.small_ssd_nodes = 5;
+  m.large_ssd_nodes = 5;
+  m.small_ssd_gb = 128;
+  m.large_ssd_gb = 256;
+  // Job on 2 small + 1 large node at 100 GB/node for the whole interval.
+  JobOutcome o = outcome(0, 0, 100, 3);
+  o.ssd_per_node_gb = 100;
+  o.small_tier_nodes = 2;
+  o.large_tier_nodes = 1;
+  auto r = result_with({o}, 0, 100, m);
+  const auto metrics = compute_metrics(r);
+  const double capacity = 5 * 128.0 + 5 * 256.0;
+  EXPECT_DOUBLE_EQ(metrics.ssd_usage, 300.0 / capacity);
+  EXPECT_DOUBLE_EQ(metrics.ssd_waste, (2 * 28.0 + 156.0) / capacity);
+}
+
+TEST(Metrics, WastedSsdHelperZeroWithoutTiers) {
+  JobOutcome o = outcome(0, 0, 100, 3);
+  o.ssd_per_node_gb = 100;
+  EXPECT_DOUBLE_EQ(wasted_ssd_gb(o, machine()), 0.0);
+}
+
+TEST(Metrics, BackfilledCounting) {
+  auto a = outcome(0, 0, 10, 1);
+  a.backfilled = true;
+  auto r = result_with({a, outcome(0, 0, 10, 1)}, 0, 100);
+  EXPECT_EQ(compute_metrics(r).jobs_backfilled, 1u);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "sim/sim_result.hpp"
+
+namespace bbsched {
+namespace {
+
+TEST(JobOutcome, WaitAndSlowdown) {
+  JobOutcome o;
+  o.submit = 100;
+  o.start = 400;
+  o.runtime = 300;
+  o.end = 700;
+  EXPECT_DOUBLE_EQ(o.wait(), 300.0);
+  EXPECT_DOUBLE_EQ(o.slowdown(), 2.0);
+}
+
+TEST(JobOutcome, ZeroRuntimeSlowdownGuard) {
+  JobOutcome o;
+  o.submit = 0;
+  o.start = 100;
+  o.runtime = 0;
+  EXPECT_DOUBLE_EQ(o.slowdown(), 1.0);
+}
+
+TEST(JobOutcome, ImmediateStartSlowdownIsOne) {
+  JobOutcome o;
+  o.submit = 50;
+  o.start = 50;
+  o.runtime = 10;
+  EXPECT_DOUBLE_EQ(o.slowdown(), 1.0);
+}
+
+TEST(DecisionStats, MeansGuardEmptyRuns) {
+  DecisionStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean_solve_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_pareto_size(), 0.0);
+}
+
+TEST(DecisionStats, MeansDivideByCycles) {
+  DecisionStats stats;
+  stats.cycles = 4;
+  stats.solve_seconds_total = 2.0;
+  stats.pareto_size_sum = 10.0;
+  EXPECT_DOUBLE_EQ(stats.mean_solve_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_pareto_size(), 2.5);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,171 @@
+#include "policies/bbsched_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/problem_builder.hpp"
+
+namespace bbsched {
+namespace {
+
+JobRecord job(JobId id, NodeCount nodes, GigaBytes bb = 0,
+              GigaBytes ssd = 0) {
+  JobRecord j;
+  j.id = id;
+  j.nodes = nodes;
+  j.bb_gb = bb;
+  j.ssd_per_node_gb = ssd;
+  j.runtime = 100;
+  j.walltime = 100;
+  return j;
+}
+
+std::vector<JobRecord> table1_jobs() {
+  return {job(1, 80, tb(20)), job(2, 10, tb(85)), job(3, 40, tb(5)),
+          job(4, 10), job(5, 20)};
+}
+
+GaParams test_ga() {
+  GaParams ga;
+  ga.generations = 150;
+  ga.population_size = 20;
+  return ga;
+}
+
+WindowDecision run_bbsched(const std::vector<JobRecord>& jobs,
+                           FreeState free,
+                           std::vector<std::size_t> pinned = {}) {
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  Rng rng(11);
+  WindowContext context;
+  context.window = window;
+  context.free = free;
+  context.pinned = pinned;
+  context.rng = &rng;
+  return BBSchedPolicy(test_ga()).select(context);
+}
+
+FreeState plain_free() {
+  FreeState f;
+  f.nodes = 100;
+  f.bb_gb = tb(100);
+  return f;
+}
+
+TEST(BBSchedPolicy, Table1CommitsSolution3) {
+  // §1 / §3.2.4: the decision rule trades 20 node-points for 70 BB-points
+  // and commits {J2, J3, J4, J5}.
+  const auto decision = run_bbsched(table1_jobs(), plain_free());
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{1, 2, 3, 4}));
+  EXPECT_GE(decision.pareto_size, 2u)
+      << "the Pareto set must expose the alternative {J1, J5}";
+}
+
+TEST(BBSchedPolicy, KeepsNodeMaxWhenTradeoffInsufficient) {
+  // Grow J1's request so the BB gain of switching to {J2..J5} no longer
+  // beats 2x the node loss: {J1, J5} = (100 %, 60 %) vs {J2..J5} =
+  // (80 %, 90 %) — gain 30 < 2 * loss 20.
+  auto jobs = table1_jobs();
+  jobs[0].bb_gb = tb(60);
+  const auto decision = run_bbsched(jobs, plain_free());
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(BBSchedPolicy, HonoursPins) {
+  const auto decision = run_bbsched(table1_jobs(), plain_free(), {0});
+  bool has_j1 = false;
+  for (std::size_t pos : decision.selected) has_j1 |= pos == 0;
+  EXPECT_TRUE(has_j1);
+}
+
+TEST(BBSchedPolicy, FourObjectiveSsdWindowUsesSumRule) {
+  FreeState free;
+  free.ssd_enabled = true;
+  free.small_nodes = 50;
+  free.large_nodes = 50;
+  free.nodes = 100;
+  free.bb_gb = tb(100);
+  free.small_ssd_gb = 128;
+  free.large_ssd_gb = 256;
+  const std::vector<JobRecord> jobs{
+      job(1, 80, tb(20), 64), job(2, 10, tb(85), 200), job(3, 40, tb(5), 100),
+      job(4, 10, 0, 32), job(5, 20, 0, 128)};
+  const auto decision = run_bbsched(jobs, free);
+  ASSERT_FALSE(decision.selected.empty());
+  // SSD machines must come with committed node-tier allocations matching
+  // each job's node count.
+  ASSERT_EQ(decision.allocations.size(), decision.selected.size());
+  for (std::size_t k = 0; k < decision.selected.size(); ++k) {
+    EXPECT_EQ(decision.allocations[k].total_nodes(),
+              jobs[decision.selected[k]].nodes);
+  }
+}
+
+TEST(BBSchedPolicy, DeterministicGivenSameRngStream) {
+  const auto a = run_bbsched(table1_jobs(), plain_free());
+  const auto b = run_bbsched(table1_jobs(), plain_free());
+  EXPECT_EQ(a.selected, b.selected);
+}
+
+TEST(BBSchedPolicy, CustomDecisionRuleInjectable) {
+  std::vector<const JobRecord*> window;
+  const auto jobs = table1_jobs();
+  for (const auto& j : jobs) window.push_back(&j);
+  Rng rng(11);
+  WindowContext context;
+  context.window = window;
+  context.free = plain_free();
+  context.rng = &rng;
+  // A pure node-max rule (no trade-off) must pick {J1, J5} instead.
+  BBSchedPolicy policy(test_ga(), std::make_unique<LexicographicRule>(0));
+  const auto decision = policy.select(context);
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(ProblemBuilder, BuildsTwoObjectiveProblemWithoutSsd) {
+  const auto jobs = table1_jobs();
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  WindowContext context;
+  context.window = window;
+  context.free = plain_free();
+  const auto problem = build_window_problem(context);
+  EXPECT_EQ(problem->num_objectives(), 2u);
+  EXPECT_EQ(problem->num_vars(), 5u);
+}
+
+TEST(ProblemBuilder, BuildsFourObjectiveProblemWithSsd) {
+  const auto jobs = table1_jobs();
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  WindowContext context;
+  context.window = window;
+  FreeState free;
+  free.ssd_enabled = true;
+  free.small_nodes = 50;
+  free.large_nodes = 50;
+  free.nodes = 100;
+  free.bb_gb = tb(100);
+  free.small_ssd_gb = 128;
+  free.large_ssd_gb = 256;
+  context.free = free;
+  const auto problem = build_window_problem(context);
+  EXPECT_EQ(problem->num_objectives(), 4u);
+}
+
+TEST(ProblemBuilder, AppliesPins) {
+  const auto jobs = table1_jobs();
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  const std::vector<std::size_t> pinned{3};
+  WindowContext context;
+  context.window = window;
+  context.free = plain_free();
+  context.pinned = pinned;
+  const auto problem = build_window_problem(context);
+  ASSERT_EQ(problem->pinned().size(), 1u);
+  EXPECT_EQ(problem->pinned()[0], 3u);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,122 @@
+#include "policies/bin_packing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+JobRecord job(JobId id, NodeCount nodes, GigaBytes bb = 0) {
+  JobRecord j;
+  j.id = id;
+  j.nodes = nodes;
+  j.bb_gb = bb;
+  j.runtime = 100;
+  j.walltime = 100;
+  return j;
+}
+
+FreeState plain_free(double nodes = 100, GigaBytes bb = tb(100)) {
+  FreeState f;
+  f.nodes = nodes;
+  f.bb_gb = bb;
+  return f;
+}
+
+WindowDecision select(const std::vector<JobRecord>& jobs,
+                      FreeState free = plain_free(),
+                      std::vector<std::size_t> pinned = {}) {
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  Rng rng(1);
+  WindowContext context;
+  context.window = window;
+  context.free = free;
+  context.pinned = pinned;
+  context.rng = &rng;
+  return BinPackingPolicy().select(context);
+}
+
+TEST(BinPacking, Table1PicksJ1AndJ5) {
+  // §1: "the bin packing method selects J1 and J5 for execution" — the
+  // alignment-score greedy fills nodes but leaves 80 % of the BB wasted.
+  const std::vector<JobRecord> jobs{job(1, 80, tb(20)), job(2, 10, tb(85)),
+                                    job(3, 40, tb(5)), job(4, 10),
+                                    job(5, 20)};
+  const auto decision = select(jobs);
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(BinPacking, SelectionIsMaximal) {
+  // Greedy repeats until nothing fits: no unselected job may still fit.
+  const std::vector<JobRecord> jobs{job(1, 40, tb(10)), job(2, 35, tb(40)),
+                                    job(3, 30, tb(20)), job(4, 10, tb(5)),
+                                    job(5, 5)};
+  const auto decision = select(jobs);
+  double nodes = 0, bb = 0;
+  std::vector<bool> chosen(jobs.size(), false);
+  for (std::size_t pos : decision.selected) {
+    chosen[pos] = true;
+    nodes += static_cast<double>(jobs[pos].nodes);
+    bb += jobs[pos].bb_gb;
+  }
+  EXPECT_LE(nodes, 100);
+  EXPECT_LE(bb, tb(100));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (chosen[i]) continue;
+    EXPECT_TRUE(nodes + static_cast<double>(jobs[i].nodes) > 100 ||
+                bb + jobs[i].bb_gb > tb(100))
+        << "job " << i + 1 << " still fits but was not selected";
+  }
+}
+
+TEST(BinPacking, PrefersAlignedJob) {
+  // With nodes nearly exhausted and BB wide open, the BB-heavy job aligns
+  // better with the remaining-resource vector than the node-heavy one.
+  const std::vector<JobRecord> jobs{job(1, 9, tb(80)), job(2, 10, gb(1))};
+  FreeState free = plain_free(10, tb(100));
+  const auto decision = select(jobs, free);
+  ASSERT_FALSE(decision.selected.empty());
+  EXPECT_EQ(decision.selected[0], 0u);
+}
+
+TEST(BinPacking, RespectsPins) {
+  const std::vector<JobRecord> jobs{job(1, 80, tb(20)), job(2, 10, tb(85)),
+                                    job(3, 40, tb(5)), job(4, 10),
+                                    job(5, 20)};
+  // Pinning J2 blocks J1 on the BB axis; the greedy then packs around J2.
+  const auto decision = select(jobs, plain_free(), {1});
+  bool has_j2 = false;
+  for (std::size_t pos : decision.selected) has_j2 |= (pos == 1);
+  EXPECT_TRUE(has_j2);
+  double bb = 0;
+  for (std::size_t pos : decision.selected) bb += jobs[pos].bb_gb;
+  EXPECT_LE(bb, tb(100));
+}
+
+TEST(BinPacking, EmptyWindowOrNothingFits) {
+  EXPECT_TRUE(select({}).selected.empty());
+  const std::vector<JobRecord> jobs{job(1, 200)};
+  EXPECT_TRUE(select(jobs).selected.empty());
+}
+
+TEST(BinPacking, SsdDimensionIncluded) {
+  FreeState free;
+  free.ssd_enabled = true;
+  free.small_nodes = 4;
+  free.large_nodes = 4;
+  free.nodes = 8;
+  free.bb_gb = tb(10);
+  free.small_ssd_gb = 128;
+  free.large_ssd_gb = 256;
+  JobRecord a = job(1, 4);
+  a.ssd_per_node_gb = 200;  // large tier only
+  JobRecord b = job(2, 5);
+  b.ssd_per_node_gb = 200;  // does not fit the large tier
+  const auto decision = select({a, b}, free);
+  ASSERT_EQ(decision.selected, (std::vector<std::size_t>{0}));
+  ASSERT_EQ(decision.allocations.size(), 1u);
+  EXPECT_EQ(decision.allocations[0].large_nodes, 4);
+}
+
+}  // namespace
+}  // namespace bbsched

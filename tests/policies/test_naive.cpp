@@ -1,0 +1,122 @@
+#include "policies/naive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+JobRecord job(JobId id, NodeCount nodes, GigaBytes bb = 0,
+              GigaBytes ssd = 0) {
+  JobRecord j;
+  j.id = id;
+  j.nodes = nodes;
+  j.bb_gb = bb;
+  j.ssd_per_node_gb = ssd;
+  j.runtime = 100;
+  j.walltime = 100;
+  return j;
+}
+
+FreeState plain_free(double nodes = 100, GigaBytes bb = tb(100)) {
+  FreeState f;
+  f.nodes = nodes;
+  f.bb_gb = bb;
+  return f;
+}
+
+TEST(NaivePolicy, Table1StopsAtFirstBlockedJob) {
+  // Table 1(b): naive selects J1; J2's 85 TB blocks the queue; J3-J5 are
+  // not considered despite fitting (they reach the machine via backfill).
+  const std::vector<JobRecord> jobs{job(1, 80, tb(20)), job(2, 10, tb(85)),
+                                    job(3, 40, tb(5)), job(4, 10),
+                                    job(5, 20)};
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  Rng rng(1);
+  WindowContext context;
+  context.window = window;
+  context.free = plain_free();
+  context.rng = &rng;
+  const auto decision = NaivePolicy().select(context);
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0}));
+}
+
+TEST(NaivePolicy, AdmitsWholeWindowWhenEverythingFits) {
+  const std::vector<JobRecord> jobs{job(1, 10), job(2, 20), job(3, 30)};
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  Rng rng(1);
+  WindowContext context;
+  context.window = window;
+  context.free = plain_free();
+  context.rng = &rng;
+  const auto decision = NaivePolicy().select(context);
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(NaivePolicy, NodeExhaustionBlocksLikeBbExhaustion) {
+  const std::vector<JobRecord> jobs{job(1, 90), job(2, 20), job(3, 5)};
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  Rng rng(1);
+  WindowContext context;
+  context.window = window;
+  context.free = plain_free();
+  context.rng = &rng;
+  const auto decision = NaivePolicy().select(context);
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0}));
+}
+
+TEST(NaivePolicy, PinnedJobsAdmittedFirst) {
+  const std::vector<JobRecord> jobs{job(1, 90), job(2, 20), job(3, 5)};
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  const std::vector<std::size_t> pinned{2};
+  Rng rng(1);
+  WindowContext context;
+  context.window = window;
+  context.free = plain_free();
+  context.pinned = pinned;
+  context.rng = &rng;
+  const auto decision = NaivePolicy().select(context);
+  // J3 (pinned, 5 nodes) first, then J1 (90) fits; J2 blocks.
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(NaivePolicy, SsdMachineProducesAllocations) {
+  FreeState free;
+  free.ssd_enabled = true;
+  free.small_nodes = 4;
+  free.large_nodes = 4;
+  free.nodes = 8;
+  free.bb_gb = tb(10);
+  free.small_ssd_gb = 128;
+  free.large_ssd_gb = 256;
+  const std::vector<JobRecord> jobs{job(1, 6, 0, 64), job(2, 2, 0, 200)};
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  Rng rng(1);
+  WindowContext context;
+  context.window = window;
+  context.free = free;
+  context.rng = &rng;
+  const auto decision = NaivePolicy().select(context);
+  ASSERT_EQ(decision.selected.size(), 2u);
+  ASSERT_EQ(decision.allocations.size(), 2u);
+  // J1 takes all 4 small + 2 large; J2 (large-only) takes the last 2 large.
+  EXPECT_EQ(decision.allocations[0].small_nodes, 4);
+  EXPECT_EQ(decision.allocations[0].large_nodes, 2);
+  EXPECT_EQ(decision.allocations[1].large_nodes, 2);
+}
+
+TEST(NaivePolicy, EmptyWindow) {
+  Rng rng(1);
+  WindowContext context;
+  context.free = plain_free();
+  context.rng = &rng;
+  const auto decision = NaivePolicy().select(context);
+  EXPECT_TRUE(decision.selected.empty());
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,128 @@
+#include "policies/scalarized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/factory.hpp"
+
+namespace bbsched {
+namespace {
+
+JobRecord job(JobId id, NodeCount nodes, GigaBytes bb = 0) {
+  JobRecord j;
+  j.id = id;
+  j.nodes = nodes;
+  j.bb_gb = bb;
+  j.runtime = 100;
+  j.walltime = 100;
+  return j;
+}
+
+std::vector<JobRecord> table1_jobs() {
+  return {job(1, 80, tb(20)), job(2, 10, tb(85)), job(3, 40, tb(5)),
+          job(4, 10), job(5, 20)};
+}
+
+WindowDecision run(const std::string& method,
+                   const std::vector<JobRecord>& jobs,
+                   std::vector<std::size_t> pinned = {}) {
+  std::vector<const JobRecord*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  GaParams ga;
+  ga.generations = 150;
+  Rng rng(3);
+  WindowContext context;
+  context.window = window;
+  FreeState free;
+  free.nodes = 100;
+  free.bb_gb = tb(100);
+  context.free = free;
+  context.pinned = pinned;
+  context.rng = &rng;
+  return make_policy(method, ga)->select(context);
+}
+
+TEST(WeightSpec, EqualSplitsUniformly) {
+  const auto w = WeightSpec::equal().resolve(4);
+  ASSERT_EQ(w.size(), 4u);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(WeightSpec, FixedPadsWithZeros) {
+  const auto w = WeightSpec::fixed_weights({0.8, 0.2}).resolve(4);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 0.8);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+}
+
+TEST(WeightSpec, OnlyPlacesSingleOne) {
+  const auto w = WeightSpec::only(2).resolve(4);
+  EXPECT_EQ(w, (std::vector<double>{0, 0, 1, 0}));
+}
+
+TEST(ScalarizedPolicy, ConstrainedCpuPicksFullNodes) {
+  // Table 1: Constrained_CPU selects {J1, J5} for 100 % node utilization.
+  const auto decision = run("Constrained_CPU", table1_jobs());
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(ScalarizedPolicy, WeightedCpuPicksFullNodes) {
+  const auto decision = run("Weighted_CPU", table1_jobs());
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(ScalarizedPolicy, WeightedBbPicksBbHeavySet) {
+  // 20/80 weighting favours the J2-J5 set (80 % nodes, 90 % BB).
+  const auto decision = run("Weighted_BB", table1_jobs());
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(ScalarizedPolicy, ConstrainedBbMaximizesBb) {
+  const auto decision = run("Constrained_BB", table1_jobs());
+  double bb = 0;
+  for (std::size_t pos : decision.selected) bb += table1_jobs()[pos].bb_gb;
+  EXPECT_DOUBLE_EQ(bb, tb(90));
+}
+
+TEST(ScalarizedPolicy, HonoursPins) {
+  // Pinning J1 makes the BB-max selection exclude J2 (BB would overflow).
+  const auto decision = run("Constrained_BB", table1_jobs(), {0});
+  bool has_j1 = false, has_j2 = false;
+  for (std::size_t pos : decision.selected) {
+    has_j1 |= pos == 0;
+    has_j2 |= pos == 1;
+  }
+  EXPECT_TRUE(has_j1);
+  EXPECT_FALSE(has_j2);
+}
+
+TEST(ScalarizedPolicy, ReportsEvaluationsAndSingleSolution) {
+  const auto decision = run("Weighted", table1_jobs());
+  EXPECT_EQ(decision.pareto_size, 1u);
+  EXPECT_GT(decision.evaluations, 0u);
+}
+
+TEST(Factory, AllStandardMethodsConstruct) {
+  GaParams ga;
+  for (const auto& name : standard_method_names()) {
+    EXPECT_EQ(make_policy(name, ga)->name(), name);
+  }
+  for (const auto& name : ssd_method_names()) {
+    EXPECT_EQ(make_policy(name, ga)->name(), name);
+  }
+  EXPECT_THROW(make_policy("NoSuchMethod", ga), std::invalid_argument);
+}
+
+TEST(Factory, RosterMatchesPaper) {
+  const auto standard = standard_method_names();
+  EXPECT_EQ(standard.size(), 8u);
+  EXPECT_EQ(standard.front(), "Baseline");
+  EXPECT_EQ(standard.back(), "BBSched");
+  const auto ssd = ssd_method_names();
+  EXPECT_EQ(ssd.size(), 7u);
+  // §5 roster adds Constrained_SSD and drops the biased weighted variants.
+  EXPECT_NE(std::find(ssd.begin(), ssd.end(), "Constrained_SSD"), ssd.end());
+  EXPECT_EQ(std::find(ssd.begin(), ssd.end(), "Weighted_CPU"), ssd.end());
+}
+
+}  // namespace
+}  // namespace bbsched

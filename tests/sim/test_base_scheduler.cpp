@@ -1,0 +1,98 @@
+#include "sim/base_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+JobRecord job(JobId id, Time submit, NodeCount nodes, Time walltime) {
+  JobRecord j;
+  j.id = id;
+  j.submit_time = submit;
+  j.runtime = walltime;
+  j.walltime = walltime;
+  j.nodes = nodes;
+  return j;
+}
+
+TEST(Fcfs, OrdersBySubmitTime) {
+  const JobRecord a = job(1, 100, 4, 600);
+  const JobRecord b = job(2, 50, 4, 600);
+  std::vector<QueuedJobView> queue{{&a, 100}, {&b, 50}};
+  FcfsScheduler fcfs;
+  fcfs.sort_queue(queue, 1000);
+  EXPECT_EQ(queue[0].job->id, 2u);
+  EXPECT_EQ(queue[1].job->id, 1u);
+}
+
+TEST(Fcfs, TieBreaksById) {
+  const JobRecord a = job(7, 50, 4, 600);
+  const JobRecord b = job(3, 50, 4, 600);
+  std::vector<QueuedJobView> queue{{&a, 50}, {&b, 50}};
+  FcfsScheduler fcfs;
+  fcfs.sort_queue(queue, 1000);
+  EXPECT_EQ(queue[0].job->id, 3u);
+}
+
+TEST(Wfp, PriorityGrowsWithWaitAndSize) {
+  const JobRecord small = job(1, 0, 10, 3600);
+  const JobRecord large = job(2, 0, 1000, 3600);
+  WfpScheduler wfp;
+  const double p_small = wfp.priority({&small, 0}, 1800);
+  const double p_large = wfp.priority({&large, 0}, 1800);
+  EXPECT_GT(p_large, p_small);
+  EXPECT_GT(wfp.priority({&small, 0}, 3600), p_small);
+}
+
+TEST(Wfp, ShorterWalltimeGetsHigherPriority) {
+  // §4.4: "In WFP, shorter jobs get higher priorities to run."
+  const JobRecord short_job = job(1, 0, 100, 1800);
+  const JobRecord long_job = job(2, 0, 100, 36000);
+  WfpScheduler wfp;
+  EXPECT_GT(wfp.priority({&short_job, 0}, 900),
+            wfp.priority({&long_job, 0}, 900));
+}
+
+TEST(Wfp, ZeroWaitMeansZeroPriority) {
+  const JobRecord j = job(1, 500, 100, 3600);
+  WfpScheduler wfp;
+  EXPECT_DOUBLE_EQ(wfp.priority({&j, 500}, 500), 0.0);
+}
+
+TEST(Wfp, CubicGrowthInWaitFraction) {
+  const JobRecord j = job(1, 0, 10, 1000);
+  WfpScheduler wfp;
+  const double p1 = wfp.priority({&j, 0}, 1000);   // wait/walltime = 1
+  const double p2 = wfp.priority({&j, 0}, 2000);   // wait/walltime = 2
+  EXPECT_NEAR(p2 / p1, 8.0, 1e-9);
+}
+
+TEST(Wfp, UsesQueuedSinceNotSubmit) {
+  // Dependency-released jobs start accumulating wait when released.
+  const JobRecord j = job(1, 0, 10, 1000);
+  WfpScheduler wfp;
+  EXPECT_LT(wfp.priority({&j, 900}, 1000), wfp.priority({&j, 0}, 1000));
+}
+
+TEST(Factory, BuildsByName) {
+  EXPECT_EQ(make_base_scheduler("FCFS")->name(), "FCFS");
+  EXPECT_EQ(make_base_scheduler("fcfs")->name(), "FCFS");
+  EXPECT_EQ(make_base_scheduler("WFP")->name(), "WFP");
+  EXPECT_THROW(make_base_scheduler("nope"), std::invalid_argument);
+}
+
+TEST(SortQueue, WfpReordersOverTime) {
+  // A large job overtakes an earlier small job as its wait fraction grows.
+  const JobRecord small = job(1, 0, 10, 600);
+  const JobRecord large = job(2, 10, 2000, 600);
+  WfpScheduler wfp;
+  std::vector<QueuedJobView> queue{{&small, 0}, {&large, 10}};
+  wfp.sort_queue(queue, 11);
+  EXPECT_EQ(queue[0].job->id, 1u) << "small job has waited longer at t=11";
+  wfp.sort_queue(queue, 6000);
+  EXPECT_EQ(queue[0].job->id, 2u)
+      << "node-count factor dominates once both have waited";
+}
+
+}  // namespace
+}  // namespace bbsched

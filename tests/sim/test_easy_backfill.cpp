@@ -1,0 +1,183 @@
+#include "sim/easy_backfill.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+MachineConfig machine(NodeCount nodes = 100, GigaBytes bb = tb(100)) {
+  MachineConfig m;
+  m.name = "test";
+  m.nodes = nodes;
+  m.burst_buffer_gb = bb;
+  return m;
+}
+
+JobRecord job(JobId id, NodeCount nodes, Time walltime, GigaBytes bb = 0) {
+  JobRecord j;
+  j.id = id;
+  j.nodes = nodes;
+  j.runtime = walltime;
+  j.walltime = walltime;
+  j.bb_gb = bb;
+  return j;
+}
+
+Allocation alloc_of(NodeCount nodes, GigaBytes bb = 0) {
+  Allocation a;
+  a.small_nodes = nodes;
+  a.bb_gb = bb;
+  return a;
+}
+
+TEST(EasyBackfill, ShortJobBackfillsBeforeShadow) {
+  MachineState state(machine());
+  state.allocate(1, alloc_of(90));  // running until t=100
+  const JobRecord head = job(2, 50, 1000);      // needs 50, fits at t=100
+  const JobRecord filler = job(3, 10, 50);      // finishes before shadow
+  const std::vector<RunningJobInfo> running{{1, 100, alloc_of(90)}};
+  const std::vector<BackfillCandidate> candidates{{&filler, 0}};
+  const auto result =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  EXPECT_DOUBLE_EQ(result.shadow_time, 100);
+  ASSERT_EQ(result.started.size(), 1u);
+  EXPECT_EQ(result.started[0].key, 0u);
+}
+
+TEST(EasyBackfill, LongJobThatWouldDelayHeadIsRejected) {
+  MachineState state(machine());
+  state.allocate(1, alloc_of(90));
+  const JobRecord head = job(2, 50, 1000);
+  const JobRecord long_filler = job(3, 10, 500);  // runs past shadow t=100
+  const std::vector<RunningJobInfo> running{{1, 100, alloc_of(90)}};
+  const std::vector<BackfillCandidate> candidates{{&long_filler, 0}};
+  const auto result =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  // At shadow (t=100) the machine has 100 free, head takes 50, extra = 50;
+  // a 10-node long filler fits the extra, so it actually starts.
+  ASSERT_EQ(result.started.size(), 1u);
+}
+
+TEST(EasyBackfill, LongJobExceedingExtraIsRejected) {
+  MachineState state(machine());
+  state.allocate(1, alloc_of(90));
+  const JobRecord head = job(2, 95, 1000);        // extra at shadow = 5
+  const JobRecord long_filler = job(3, 10, 500);  // needs 10 > extra 5
+  const std::vector<RunningJobInfo> running{{1, 100, alloc_of(90)}};
+  const std::vector<BackfillCandidate> candidates{{&long_filler, 0}};
+  const auto result =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  EXPECT_TRUE(result.started.empty());
+}
+
+TEST(EasyBackfill, Table1NaiveScenario) {
+  // Naive on Table 1: J1 (80 nodes, 20 TB) runs; J2 (10 nodes, 85 TB) is the
+  // blocked head; J4 (10 nodes, no BB) backfills into the 20 spare nodes.
+  MachineState state(machine(100, tb(100)));
+  state.allocate(1, alloc_of(80, tb(20)));
+  const JobRecord head = job(2, 10, 3600, tb(85));
+  const JobRecord j3 = job(3, 40, 3600, tb(5));
+  const JobRecord j4 = job(4, 10, 3600, 0);
+  const JobRecord j5 = job(5, 20, 3600, 0);
+  const std::vector<RunningJobInfo> running{
+      {1, 3600, alloc_of(80, tb(20))}};
+  const std::vector<BackfillCandidate> candidates{
+      {&j3, 3}, {&j4, 4}, {&j5, 5}};
+  const auto result =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  // Shadow = 3600 (J2 fits once J1's BB releases).  Extra: 100-80-10=10
+  // nodes, 100-85=15 TB.  J3 needs 40 nodes (no fit now: only 20 free).
+  // J4 fits now (10 <= 20 nodes) and fits extra.  J5 would need 10 nodes of
+  // extra after J4 consumed it — rejected.
+  ASSERT_EQ(result.started.size(), 1u);
+  EXPECT_EQ(result.started[0].key, 4u);
+}
+
+TEST(EasyBackfill, NoHeadMeansEveryFittingCandidateStarts) {
+  MachineState state(machine());
+  const JobRecord a = job(1, 60, 100);
+  const JobRecord b = job(2, 60, 100);  // no longer fits after a
+  const JobRecord c = job(3, 30, 100);
+  const std::vector<BackfillCandidate> candidates{{&a, 0}, {&b, 1}, {&c, 2}};
+  const auto result = plan_easy_backfill(state, nullptr, {}, candidates, 0);
+  ASSERT_EQ(result.started.size(), 2u);
+  EXPECT_EQ(result.started[0].key, 0u);
+  EXPECT_EQ(result.started[1].key, 2u);
+}
+
+TEST(EasyBackfill, HeadFittingNowReservesImmediately) {
+  // The window policy skipped a head that fits; backfill must not consume
+  // the head's share.
+  MachineState state(machine());
+  const JobRecord head = job(1, 80, 100);
+  const JobRecord greedy = job(2, 40, 100);
+  const std::vector<BackfillCandidate> candidates{{&greedy, 0}};
+  const auto result = plan_easy_backfill(state, &head, {}, candidates, 0);
+  EXPECT_DOUBLE_EQ(result.shadow_time, 0);
+  EXPECT_TRUE(result.started.empty())
+      << "40 > 20 extra nodes and cannot finish before the shadow";
+}
+
+TEST(EasyBackfill, BurstBufferDimensionRespected) {
+  MachineState state(machine(100, tb(10)));
+  state.allocate(1, alloc_of(10, tb(8)));  // ends t=100
+  const JobRecord head = job(2, 10, 1000, tb(5));
+  const JobRecord filler = job(3, 10, 500, tb(3));
+  const std::vector<RunningJobInfo> running{{1, 100, alloc_of(10, tb(8))}};
+  const std::vector<BackfillCandidate> candidates{{&filler, 0}};
+  const auto result =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  // Shadow t=100; extra BB = 10-5 = 5 TB, extra nodes = 100-10=90.  The
+  // filler runs past shadow but fits extra (3 <= 5 TB), so it starts; it
+  // must not, however, violate *current* free BB (2 TB free now).
+  EXPECT_TRUE(result.started.empty())
+      << "filler needs 3 TB now but only 2 TB is free";
+}
+
+TEST(EasyBackfill, UnservableHeadMeansNoReservation) {
+  MachineState state(machine(100, tb(10)));
+  const JobRecord head = job(1, 200, 100);  // larger than the machine
+  const JobRecord filler = job(2, 50, 100);
+  const std::vector<BackfillCandidate> candidates{{&filler, 0}};
+  const auto result = plan_easy_backfill(state, &head, {}, candidates, 0);
+  EXPECT_EQ(result.shadow_time, kNeverFits);
+  ASSERT_EQ(result.started.size(), 1u);
+}
+
+TEST(EasyBackfill, SsdTierFeasibilityInShadowComputation) {
+  MachineConfig config = machine(100, tb(10));
+  config.small_ssd_nodes = 60;
+  config.large_ssd_nodes = 40;
+  MachineState state(config);
+  Allocation big;
+  big.large_nodes = 40;  // all large nodes busy until t=100
+  state.allocate(1, big);
+  JobRecord head = job(2, 10, 1000);
+  head.ssd_per_node_gb = 200;  // large-tier only
+  const JobRecord filler = job(3, 10, 50);  // small tier, ends before shadow
+  const std::vector<RunningJobInfo> running{{1, 100, big}};
+  const std::vector<BackfillCandidate> candidates{{&filler, 0}};
+  const auto result =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  EXPECT_DOUBLE_EQ(result.shadow_time, 100)
+      << "head must wait for large-tier nodes despite 60 small free";
+  ASSERT_EQ(result.started.size(), 1u);
+}
+
+TEST(EasyBackfill, MultipleBackfillsShrinkExtra) {
+  MachineState state(machine());
+  state.allocate(1, alloc_of(70));  // ends t=100
+  const JobRecord head = job(2, 80, 1000);  // extra at shadow: 20
+  const JobRecord f1 = job(3, 15, 500);
+  const JobRecord f2 = job(4, 15, 500);
+  const std::vector<RunningJobInfo> running{{1, 100, alloc_of(70)}};
+  const std::vector<BackfillCandidate> candidates{{&f1, 0}, {&f2, 1}};
+  const auto result =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  ASSERT_EQ(result.started.size(), 1u)
+      << "second long filler exceeds the remaining extra (20-15=5)";
+  EXPECT_EQ(result.started[0].key, 0u);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,150 @@
+#include "sim/machine_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+MachineConfig plain_machine() {
+  MachineConfig m;
+  m.name = "plain";
+  m.nodes = 100;
+  m.burst_buffer_gb = tb(10);
+  return m;
+}
+
+MachineConfig ssd_machine() {
+  MachineConfig m = plain_machine();
+  m.small_ssd_nodes = 60;
+  m.large_ssd_nodes = 40;
+  return m;
+}
+
+JobRecord job(NodeCount nodes, GigaBytes bb = 0, GigaBytes ssd = 0) {
+  JobRecord j;
+  j.id = 1;
+  j.runtime = 10;
+  j.walltime = 10;
+  j.nodes = nodes;
+  j.bb_gb = bb;
+  j.ssd_per_node_gb = ssd;
+  return j;
+}
+
+TEST(MachineState, InitialFreeMatchesConfig) {
+  const MachineState state(plain_machine());
+  EXPECT_EQ(state.free_nodes(), 100);
+  EXPECT_DOUBLE_EQ(state.free_bb(), tb(10));
+  EXPECT_EQ(state.num_running(), 0u);
+}
+
+TEST(MachineState, PersistentBbReducesSchedulablePool) {
+  auto config = plain_machine();
+  config.persistent_bb_fraction = 0.25;
+  const MachineState state(config);
+  EXPECT_DOUBLE_EQ(state.free_bb(), tb(7.5));
+}
+
+TEST(MachineState, AllocateReleaseBalances) {
+  MachineState state(plain_machine());
+  Allocation alloc;
+  alloc.small_nodes = 30;
+  alloc.bb_gb = tb(4);
+  state.allocate(1, alloc);
+  EXPECT_EQ(state.free_nodes(), 70);
+  EXPECT_DOUBLE_EQ(state.free_bb(), tb(6));
+  EXPECT_EQ(state.num_running(), 1u);
+  state.release(1);
+  EXPECT_EQ(state.free_nodes(), 100);
+  EXPECT_DOUBLE_EQ(state.free_bb(), tb(10));
+}
+
+TEST(MachineState, DoubleAllocateThrows) {
+  MachineState state(plain_machine());
+  Allocation alloc;
+  alloc.small_nodes = 1;
+  state.allocate(1, alloc);
+  EXPECT_THROW(state.allocate(1, alloc), std::logic_error);
+}
+
+TEST(MachineState, OverAllocateThrows) {
+  MachineState state(plain_machine());
+  Allocation alloc;
+  alloc.small_nodes = 101;
+  EXPECT_THROW(state.allocate(1, alloc), std::logic_error);
+}
+
+TEST(MachineState, ReleaseUnknownThrows) {
+  MachineState state(plain_machine());
+  EXPECT_THROW(state.release(9), std::logic_error);
+}
+
+TEST(MachineState, PlanSingleSimpleMachine) {
+  MachineState state(plain_machine());
+  Allocation alloc;
+  EXPECT_TRUE(state.plan_single(job(40, tb(2)), alloc));
+  EXPECT_EQ(alloc.small_nodes, 40);
+  EXPECT_EQ(alloc.large_nodes, 0);
+  EXPECT_FALSE(state.plan_single(job(101), alloc));
+  EXPECT_FALSE(state.plan_single(job(1, tb(11)), alloc));
+}
+
+TEST(MachineState, PlanSingleSsdPrefersSmallTier) {
+  MachineState state(ssd_machine());
+  Allocation alloc;
+  ASSERT_TRUE(state.plan_single(job(70, 0, 64), alloc));
+  EXPECT_EQ(alloc.small_nodes, 60);
+  EXPECT_EQ(alloc.large_nodes, 10);
+}
+
+TEST(MachineState, PlanSingleLargeOnlySsdJob) {
+  MachineState state(ssd_machine());
+  Allocation alloc;
+  ASSERT_TRUE(state.plan_single(job(30, 0, 200), alloc));
+  EXPECT_EQ(alloc.small_nodes, 0);
+  EXPECT_EQ(alloc.large_nodes, 30);
+  EXPECT_FALSE(state.plan_single(job(41, 0, 200), alloc))
+      << "only 40 large-tier nodes";
+  EXPECT_FALSE(state.plan_single(job(1, 0, 300), alloc))
+      << "request above the large tier";
+}
+
+TEST(MachineState, SsdTierAccountingAcrossAllocations) {
+  MachineState state(ssd_machine());
+  Allocation big;
+  ASSERT_TRUE(state.plan_single(job(35, 0, 200), big));
+  state.allocate(1, big);
+  Allocation alloc;
+  // 5 large nodes remain; a large-only 6-node job no longer fits.
+  EXPECT_FALSE(state.plan_single(job(6, 0, 200), alloc));
+  // But a small-capable job can still use small + remaining large.
+  EXPECT_TRUE(state.plan_single(job(65, 0, 32), alloc));
+  EXPECT_EQ(alloc.small_nodes, 60);
+  EXPECT_EQ(alloc.large_nodes, 5);
+  state.release(1);
+  EXPECT_EQ(state.free_nodes(), 100);
+}
+
+TEST(MachineState, FreeStateSnapshot) {
+  MachineState state(ssd_machine());
+  const FreeState fs = state.free_state();
+  EXPECT_TRUE(fs.ssd_enabled);
+  EXPECT_DOUBLE_EQ(fs.small_nodes, 60);
+  EXPECT_DOUBLE_EQ(fs.large_nodes, 40);
+  EXPECT_DOUBLE_EQ(fs.small_ssd_gb, 128);
+  EXPECT_DOUBLE_EQ(fs.large_ssd_gb, 256);
+
+  const MachineState plain(plain_machine());
+  const FreeState plain_fs = plain.free_state();
+  EXPECT_FALSE(plain_fs.ssd_enabled);
+  EXPECT_DOUBLE_EQ(plain_fs.nodes, 100);
+}
+
+TEST(MachineState, FitsJobMatchesPlanSingle) {
+  MachineState state(ssd_machine());
+  EXPECT_TRUE(state.fits_job(job(100, 0, 64)));
+  EXPECT_FALSE(state.fits_job(job(100, 0, 200)));
+}
+
+}  // namespace
+}  // namespace bbsched

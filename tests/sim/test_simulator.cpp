@@ -1,0 +1,250 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/factory.hpp"
+#include "policies/naive.hpp"
+
+namespace bbsched {
+namespace {
+
+MachineConfig machine(NodeCount nodes = 100, GigaBytes bb = tb(100)) {
+  MachineConfig m;
+  m.name = "test";
+  m.nodes = nodes;
+  m.burst_buffer_gb = bb;
+  return m;
+}
+
+JobRecord job(JobId id, Time submit, NodeCount nodes, Time runtime,
+              GigaBytes bb = 0, Time walltime = 0) {
+  JobRecord j;
+  j.id = id;
+  j.submit_time = submit;
+  j.runtime = runtime;
+  j.walltime = walltime > 0 ? walltime : runtime;
+  j.nodes = nodes;
+  j.bb_gb = bb;
+  return j;
+}
+
+Workload make_workload(std::vector<JobRecord> jobs,
+                       MachineConfig config = machine()) {
+  Workload w;
+  w.name = "unit";
+  w.machine = std::move(config);
+  w.jobs = std::move(jobs);
+  w.normalize();
+  return w;
+}
+
+SimConfig fast_config() {
+  SimConfig c;
+  c.window_size = 10;
+  c.warmup_fraction = 0;
+  c.cooldown_fraction = 0;
+  return c;
+}
+
+SimResult run_naive(const Workload& w, SimConfig config = fast_config()) {
+  FcfsScheduler fcfs;
+  NaivePolicy naive;
+  return simulate(w, config, fcfs, naive);
+}
+
+TEST(Simulator, SingleJobRunsImmediately) {
+  const auto w = make_workload({job(1, 0, 10, 100)});
+  const auto result = run_naive(w);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start, 0);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].end, 100);
+  EXPECT_DOUBLE_EQ(result.makespan, 100);
+}
+
+TEST(Simulator, JobsQueueWhenMachineFull) {
+  const auto w = make_workload({job(1, 0, 100, 100), job(2, 0, 100, 50)});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start, 0);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].wait(), 100);
+}
+
+TEST(Simulator, BurstBufferContentionSerializes) {
+  const auto w = make_workload(
+      {job(1, 0, 10, 100, tb(80)), job(2, 0, 10, 100, tb(80))});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100)
+      << "80+80 TB exceeds the 100 TB burst buffer";
+}
+
+TEST(Simulator, BackfillFillsNodeHoles) {
+  // J1 occupies 90 nodes for 100 s.  J2 (50 nodes) must wait; J3 (10 nodes,
+  // short) backfills around it.
+  const auto w = make_workload({job(1, 0, 90, 100), job(2, 1, 50, 100),
+                                job(3, 2, 10, 50)});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start, 2);
+  EXPECT_TRUE(result.outcomes[2].backfilled);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100);
+  EXPECT_FALSE(result.outcomes[0].backfilled);
+}
+
+TEST(Simulator, BackfillNeverDelaysHead) {
+  // A long 60-node filler would collide with the 50-node head's reservation
+  // at t=100 (extra = 100-50 = 50 nodes): rejected.
+  const auto w = make_workload({job(1, 0, 90, 100), job(2, 1, 50, 100),
+                                job(3, 2, 60, 1000)});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100);
+  EXPECT_GE(result.outcomes[2].start, 100);
+}
+
+TEST(Simulator, DependenciesGateWindowEntry) {
+  auto dependent = job(2, 0, 10, 50);
+  dependent.dependencies = {1};
+  const auto w = make_workload({job(1, 0, 10, 100), dependent});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100)
+      << "dependent job must wait for completion even though nodes are free";
+}
+
+TEST(Simulator, DependencyOnUnknownJobThrows) {
+  auto bad = job(1, 0, 10, 50);
+  bad.dependencies = {999};
+  const auto w = make_workload({bad});
+  FcfsScheduler fcfs;
+  NaivePolicy naive;
+  EXPECT_THROW(Simulator(w, fast_config(), fcfs, naive),
+               std::invalid_argument);
+}
+
+TEST(Simulator, AllJobsCompleteUnderLoad) {
+  std::vector<JobRecord> jobs;
+  for (JobId i = 1; i <= 50; ++i) {
+    jobs.push_back(job(i, static_cast<double>(i), 1 + (i % 60), 50 + i * 3,
+                       (i % 4 == 0) ? tb(30) : 0));
+  }
+  const auto w = make_workload(std::move(jobs));
+  const auto result = run_naive(w);
+  for (const auto& o : result.outcomes) {
+    EXPECT_GE(o.start, o.submit);
+    EXPECT_DOUBLE_EQ(o.end, o.start + o.runtime);
+  }
+}
+
+TEST(Simulator, ResourceCapacityNeverExceeded) {
+  std::vector<JobRecord> jobs;
+  for (JobId i = 1; i <= 80; ++i) {
+    jobs.push_back(job(i, static_cast<double>(i * 2), 1 + (i * 7) % 50,
+                       30 + (i * 13) % 200, (i % 3 == 0) ? tb(20) : 0));
+  }
+  const auto w = make_workload(std::move(jobs));
+  const auto result = run_naive(w);
+  // Sweep all start/end events and verify instantaneous usage.
+  struct Event {
+    Time t;
+    double nodes, bb;
+  };
+  std::vector<Event> events;
+  for (const auto& o : result.outcomes) {
+    events.push_back({o.start, static_cast<double>(o.nodes), o.bb_gb});
+    events.push_back({o.end, -static_cast<double>(o.nodes), -o.bb_gb});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              if (a.t != b.t) return a.t < b.t;
+              return a.nodes < b.nodes;  // releases before starts at a tie
+            });
+  double nodes = 0, bb = 0;
+  for (const auto& e : events) {
+    nodes += e.nodes;
+    bb += e.bb;
+    EXPECT_LE(nodes, 100 + 1e-9);
+    EXPECT_LE(bb, tb(100) + 1e-9);
+  }
+}
+
+TEST(Simulator, StarvationBoundForcesJob) {
+  // Two 50-node jobs saturate the machine; a 60-node job with a modest BB
+  // request then arrives ahead of a stream of further 50-node jobs.  The
+  // node-first decision rule always prefers a {50, 50} pair (node
+  // utilization 1.0) over the 60-node job (0.6), and the BB gain (0.3) is
+  // below the 2x threshold, so BBSched skips the big job every cycle — the
+  // §3.1 starvation scenario.  The residency bound must eventually pin it.
+  std::vector<JobRecord> jobs;
+  jobs.push_back(job(1, 0, 50, 300));
+  jobs.push_back(job(2, 1, 50, 300));
+  jobs.push_back(job(3, 5, 60, 600, tb(30)));  // the starving job
+  for (JobId i = 4; i <= 30; ++i) {
+    jobs.push_back(job(i, static_cast<double>(i + 2), 50, 300));
+  }
+  const auto w = make_workload(std::move(jobs));
+  SimConfig config = fast_config();
+  config.starvation_bound = 3;
+  GaParams ga;
+  ga.generations = 60;
+  ga.population_size = 12;
+  const auto policy = make_policy("BBSched", ga);
+  FcfsScheduler fcfs;
+  const auto result = simulate(w, config, fcfs, *policy);
+  EXPECT_GT(result.decisions.forced_starts, 0u);
+  for (const auto& o : result.outcomes) EXPECT_GE(o.end, o.start);
+}
+
+TEST(Simulator, DecisionStatspopulated) {
+  const auto w = make_workload({job(1, 0, 10, 100), job(2, 5, 10, 100)});
+  const auto result = run_naive(w);
+  EXPECT_GT(result.decisions.cycles, 0u);
+  EXPECT_EQ(result.decisions.policy_starts + result.decisions.backfill_starts,
+            2u);
+}
+
+TEST(Simulator, MeasurementIntervalFromFractions) {
+  SimConfig config = fast_config();
+  config.warmup_fraction = 0.25;
+  config.cooldown_fraction = 0.25;
+  const auto w = make_workload({job(1, 0, 1, 10), job(2, 100, 1, 10)});
+  FcfsScheduler fcfs;
+  NaivePolicy naive;
+  const auto result = simulate(w, config, fcfs, naive);
+  EXPECT_DOUBLE_EQ(result.measure_begin, 25);
+  EXPECT_DOUBLE_EQ(result.measure_end, 75);
+}
+
+TEST(Simulator, WindowSizeOneDegeneratesToPureFcfs) {
+  SimConfig config = fast_config();
+  config.window_size = 1;
+  const auto w = make_workload(
+      {job(1, 0, 100, 100), job(2, 1, 10, 10), job(3, 2, 10, 10)});
+  FcfsScheduler fcfs;
+  NaivePolicy naive;
+  const auto result = simulate(w, config, fcfs, naive);
+  // Jobs 2 and 3 fit only via backfill; with J1 running the machine is full,
+  // so everything serializes after J1... except backfill cannot help here
+  // (no free nodes).  Order must be strictly FCFS.
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100);
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start, 100);
+}
+
+TEST(Simulator, ConfigValidation) {
+  SimConfig config;
+  config.window_size = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = SimConfig{};
+  config.warmup_fraction = 0.6;
+  config.cooldown_fraction = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = SimConfig{};
+  config.starvation_bound = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Simulator, SimultaneousArrivalsHandledInOneCycle) {
+  const auto w = make_workload(
+      {job(1, 10, 30, 50), job(2, 10, 30, 50), job(3, 10, 30, 50)});
+  const auto result = run_naive(w);
+  for (const auto& o : result.outcomes) EXPECT_DOUBLE_EQ(o.start, 10);
+}
+
+}  // namespace
+}  // namespace bbsched

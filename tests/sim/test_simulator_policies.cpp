@@ -1,0 +1,140 @@
+// Parameterized integration sweep: every §4.3 method drives the simulator
+// over a contended workload, and the runs must uphold the scheduling
+// invariants regardless of how the method selects jobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/schedule_metrics.hpp"
+#include "policies/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bbsched {
+namespace {
+
+Workload contended_workload() {
+  // Scaled Theta with S2-style BB expansion: both resources contend.
+  auto model = theta_model(160, 0.25);
+  const Workload original = generate_workload(model, 1234);
+  BbExpansionParams s2;
+  s2.target_fraction = 0.75;
+  s2.pool_threshold = tb(5) * 0.25;
+  s2.pool = sample_bb_pool(model.bb_pareto_alpha, model.bb_min, model.bb_max,
+                           s2.pool_threshold, 512, 5);
+  return expand_bb_requests(original, s2, 99);
+}
+
+Workload ssd_workload() {
+  auto model = theta_model(120, 0.25);
+  const Workload original = generate_workload(model, 77);
+  SsdExpansionParams params;
+  params.small_request_fraction = 0.5;
+  return expand_ssd_requests(original, params, 3);
+}
+
+class AllMethodsSim : public ::testing::TestWithParam<std::string> {};
+
+SimResult run_method(const Workload& workload, const std::string& method) {
+  SimConfig config;
+  config.window_size = 10;
+  GaParams ga;
+  ga.generations = 40;
+  ga.population_size = 10;
+  const auto base = make_base_scheduler("WFP");
+  const auto policy = make_policy(method, ga);
+  return simulate(workload, config, *base, *policy);
+}
+
+void check_invariants(const Workload& workload, const SimResult& result) {
+  const MachineConfig& machine = workload.machine;
+  ASSERT_EQ(result.outcomes.size(), workload.jobs.size());
+  // Per-job sanity.
+  for (const auto& o : result.outcomes) {
+    EXPECT_GE(o.start, o.submit) << "job " << o.id;
+    EXPECT_DOUBLE_EQ(o.end, o.start + o.runtime);
+    EXPECT_EQ(o.small_tier_nodes + o.large_tier_nodes, o.nodes);
+  }
+  // Instantaneous capacity on every resource dimension.
+  struct Event {
+    Time t;
+    double nodes, bb, small_nodes, large_nodes;
+  };
+  std::vector<Event> events;
+  for (const auto& o : result.outcomes) {
+    const double sn = static_cast<double>(o.small_tier_nodes);
+    const double ln = static_cast<double>(o.large_tier_nodes);
+    events.push_back({o.start, static_cast<double>(o.nodes), o.bb_gb, sn, ln});
+    events.push_back(
+        {o.end, -static_cast<double>(o.nodes), -o.bb_gb, -sn, -ln});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.nodes < b.nodes;  // releases first at ties
+  });
+  double nodes = 0, bb = 0, small = 0, large = 0;
+  for (const auto& e : events) {
+    nodes += e.nodes;
+    bb += e.bb;
+    small += e.small_nodes;
+    large += e.large_nodes;
+    EXPECT_LE(nodes, static_cast<double>(machine.nodes) + 1e-9);
+    EXPECT_LE(bb, machine.schedulable_bb_gb() + 1e-9);
+    if (machine.has_local_ssd()) {
+      EXPECT_LE(small, static_cast<double>(machine.small_ssd_nodes) + 1e-9);
+      EXPECT_LE(large, static_cast<double>(machine.large_ssd_nodes) + 1e-9);
+    }
+  }
+}
+
+TEST_P(AllMethodsSim, InvariantsOnContendedWorkload) {
+  const Workload workload = contended_workload();
+  const SimResult result = run_method(workload, GetParam());
+  check_invariants(workload, result);
+  // Every scheduling method must complete every job.
+  EXPECT_EQ(result.decisions.policy_starts + result.decisions.backfill_starts,
+            workload.jobs.size());
+}
+
+TEST_P(AllMethodsSim, MetricsComputable) {
+  const Workload workload = contended_workload();
+  const SimResult result = run_method(workload, GetParam());
+  const ScheduleMetrics m = compute_metrics(result);
+  EXPECT_GT(m.node_usage, 0.0);
+  EXPECT_LE(m.node_usage, 1.0 + 1e-9);
+  EXPECT_GE(m.bb_usage, 0.0);
+  EXPECT_LE(m.bb_usage, 1.0 + 1e-9);
+  EXPECT_GE(m.avg_slowdown, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardMethods, AllMethodsSim,
+    ::testing::Values("Baseline", "Weighted", "Weighted_CPU", "Weighted_BB",
+                      "Constrained_CPU", "Constrained_BB", "Bin_Packing",
+                      "BBSched"));
+
+class SsdMethodsSim : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SsdMethodsSim, InvariantsOnSsdMachine) {
+  const Workload workload = ssd_workload();
+  ASSERT_TRUE(workload.machine.has_local_ssd());
+  const SimResult result = run_method(workload, GetParam());
+  check_invariants(workload, result);
+  // Jobs with large SSD requests must only occupy large-tier nodes.
+  for (const auto& o : result.outcomes) {
+    if (o.ssd_per_node_gb > workload.machine.small_ssd_gb) {
+      EXPECT_EQ(o.small_tier_nodes, 0)
+          << "job " << o.id << " needs the 256 GB tier";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SsdMethods, SsdMethodsSim,
+    ::testing::Values("Baseline", "Weighted", "Constrained_CPU",
+                      "Constrained_BB", "Constrained_SSD", "Bin_Packing",
+                      "BBSched"));
+
+}  // namespace
+}  // namespace bbsched

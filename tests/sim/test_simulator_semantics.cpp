@@ -1,0 +1,167 @@
+// Focused semantics tests: walltime-based reservations vs. actual runtimes,
+// early completions, and window bookkeeping.
+#include <gtest/gtest.h>
+
+#include "policies/bbsched_policy.hpp"
+#include "policies/naive.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbsched {
+namespace {
+
+MachineConfig machine(NodeCount nodes = 100, GigaBytes bb = tb(100)) {
+  MachineConfig m;
+  m.name = "test";
+  m.nodes = nodes;
+  m.burst_buffer_gb = bb;
+  return m;
+}
+
+JobRecord job(JobId id, Time submit, NodeCount nodes, Time runtime,
+              Time walltime, GigaBytes bb = 0) {
+  JobRecord j;
+  j.id = id;
+  j.submit_time = submit;
+  j.runtime = runtime;
+  j.walltime = walltime;
+  j.nodes = nodes;
+  j.bb_gb = bb;
+  return j;
+}
+
+Workload make_workload(std::vector<JobRecord> jobs) {
+  Workload w;
+  w.name = "unit";
+  w.machine = machine();
+  w.jobs = std::move(jobs);
+  w.normalize();
+  return w;
+}
+
+SimConfig fast_config() {
+  SimConfig c;
+  c.window_size = 10;
+  c.warmup_fraction = 0;
+  c.cooldown_fraction = 0;
+  return c;
+}
+
+SimResult run_naive(const Workload& w) {
+  FcfsScheduler fcfs;
+  NaivePolicy naive;
+  return simulate(w, fast_config(), fcfs, naive);
+}
+
+TEST(SimSemantics, EarlyCompletionFreesResourcesImmediately) {
+  // J1 claims a 1000 s walltime but finishes after 100 s; J2 must start at
+  // the *actual* completion, not the walltime horizon.
+  const auto w = make_workload({job(1, 0, 100, 100, 1000),
+                                job(2, 1, 100, 50, 50)});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100);
+}
+
+TEST(SimSemantics, BackfillDecisionUsesWalltimeNotRuntime) {
+  // J1 runs 90 nodes until t=100.  Head J2 needs 50 nodes (reserved at
+  // t=100, extra = 50).  J3 *actually* runs only 10 s but declares a 500 s
+  // walltime and needs 60 nodes > extra: EASY must reject it even though
+  // with perfect knowledge it would be harmless.
+  const auto w = make_workload({job(1, 0, 90, 100, 100),
+                                job(2, 1, 50, 100, 100),
+                                job(3, 2, 60, 10, 500)});
+  const auto result = run_naive(w);
+  EXPECT_GE(result.outcomes[2].start, 100)
+      << "reservation math must trust the walltime estimate";
+}
+
+TEST(SimSemantics, ShortWalltimeEnablesBackfill) {
+  // Same scenario but J3's walltime fits before the shadow: backfills.
+  const auto w = make_workload({job(1, 0, 90, 100, 100),
+                                job(2, 1, 50, 100, 100),
+                                job(3, 2, 10, 50, 90)});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start, 2);
+  EXPECT_TRUE(result.outcomes[2].backfilled);
+}
+
+TEST(SimSemantics, PolicyStartsAreNotMarkedBackfilled) {
+  const auto w = make_workload({job(1, 0, 10, 100, 100)});
+  const auto result = run_naive(w);
+  EXPECT_FALSE(result.outcomes[0].backfilled);
+}
+
+TEST(SimSemantics, MakespanIsLastCompletion) {
+  const auto w = make_workload({job(1, 0, 100, 50, 50),
+                                job(2, 0, 100, 200, 200)});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.makespan, 50 + 200);
+}
+
+TEST(SimSemantics, BbOnlyContentionTriggersReservation) {
+  // Nodes are plentiful; burst buffer is the only contended dimension.
+  const auto w = make_workload({job(1, 0, 1, 100, 100, tb(90)),
+                                job(2, 1, 1, 100, 100, tb(90)),
+                                job(3, 2, 1, 50, 50, tb(5))});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100);
+  // J3's 5 TB fits alongside J1 and does not delay J2's BB reservation
+  // (at t=100, J2 needs 90 TB; extra = 100-90-... with J3 ending at t=52).
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start, 2);
+}
+
+TEST(SimSemantics, IdenticalSeedsGiveIdenticalSchedules) {
+  std::vector<JobRecord> jobs;
+  for (JobId i = 1; i <= 30; ++i) {
+    jobs.push_back(job(i, static_cast<double>(i), 20 + (i * 13) % 50,
+                       60 + (i * 7) % 300, 400, (i % 3) ? 0 : tb(25)));
+  }
+  const auto w = make_workload(std::move(jobs));
+  GaParams ga;
+  ga.generations = 40;
+  ga.population_size = 10;
+  FcfsScheduler fcfs;
+  const BBSchedPolicy policy(ga);
+  const auto a = simulate(w, fast_config(), fcfs, policy);
+  const auto b = simulate(w, fast_config(), fcfs, policy);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].start, b.outcomes[i].start);
+  }
+}
+
+TEST(SimSemantics, SingleJobWindowPolicyStillWorks) {
+  GaParams ga;
+  ga.generations = 10;
+  ga.population_size = 4;
+  const BBSchedPolicy policy(ga);
+  FcfsScheduler fcfs;
+  const auto w = make_workload({job(1, 0, 10, 100, 100, tb(5))});
+  const auto result = simulate(w, fast_config(), fcfs, policy);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start, 0);
+}
+
+TEST(SimSemantics, DependencyChainRunsSequentially) {
+  auto a = job(1, 0, 10, 100, 100);
+  auto b = job(2, 0, 10, 100, 100);
+  b.dependencies = {1};
+  auto c = job(3, 0, 10, 100, 100);
+  c.dependencies = {2};
+  const auto w = make_workload({a, b, c});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start, 0);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start, 100);
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start, 200);
+}
+
+TEST(SimSemantics, DiamondDependencyReleasesAfterAllParents) {
+  auto a = job(1, 0, 10, 100, 100);
+  auto b = job(2, 0, 10, 300, 300);
+  auto c = job(3, 0, 10, 50, 50);
+  c.dependencies = {1, 2};
+  const auto w = make_workload({a, b, c});
+  const auto result = run_naive(w);
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start, 300)
+      << "child must wait for the slowest parent";
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,134 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/wl_stats.hpp"
+
+namespace bbsched {
+namespace {
+
+TEST(Generator, DeterministicUnderSeed) {
+  const auto params = cori_model(200);
+  const Workload a = generate_workload(params, 5);
+  const Workload b = generate_workload(params, 5);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].nodes, b.jobs[i].nodes);
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+    EXPECT_DOUBLE_EQ(a.jobs[i].bb_gb, b.jobs[i].bb_gb);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto params = cori_model(100);
+  const Workload a = generate_workload(params, 1);
+  const Workload b = generate_workload(params, 2);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    if (a.jobs[i].nodes != b.jobs[i].nodes) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Generator, EveryJobValidAndWithinMachine) {
+  const Workload w = generate_workload(theta_model(500), 9);
+  for (const auto& job : w.jobs) {
+    EXPECT_NO_THROW(validate_job(job));
+    EXPECT_LE(job.nodes, w.machine.nodes);
+    EXPECT_GE(job.walltime, job.runtime);
+  }
+}
+
+TEST(Generator, OfferedLoadNearTarget) {
+  auto params = cori_model(2000);
+  params.offered_load = 1.2;
+  params.diurnal_amplitude = 0;  // modulation shifts realized load slightly
+  const Workload w = generate_workload(params, 3);
+  const auto summary = summarize(w);
+  EXPECT_NEAR(summary.offered_load, 1.2, 0.25);
+}
+
+TEST(Generator, CoriBbRequestFractionMatchesTable2) {
+  const Workload w = generate_workload(cori_model(20000), 11);
+  // Table 2: 0.618 % of Cori jobs request burst buffer.
+  EXPECT_NEAR(w.bb_request_fraction(), 0.00618, 0.003);
+}
+
+TEST(Generator, ThetaBbRequestFractionMatchesPaper) {
+  const Workload w = generate_workload(theta_model(5000), 13);
+  // §4.1: 17.18 % of Theta jobs get Darshan-derived BB requests.
+  EXPECT_NEAR(w.bb_request_fraction(), 0.1718, 0.03);
+}
+
+TEST(Generator, BbRequestsWithinTable2Range) {
+  const Workload w = generate_workload(theta_model(5000), 17);
+  for (const auto& job : w.jobs) {
+    if (!job.requests_bb()) continue;
+    EXPECT_GE(job.bb_gb, gb(1));
+    EXPECT_LE(job.bb_gb, tb(285));
+  }
+}
+
+TEST(Generator, ThetaIsCapabilityComputingByNodeHours) {
+  // Job *counts* are small-job dominated (debug/backfill partitions), but
+  // capability jobs (512+ nodes) must carry a large share of node-hours.
+  const Workload w = generate_workload(theta_model(5000), 19);
+  double total = 0, capability = 0;
+  for (const auto& job : w.jobs) {
+    total += job.node_seconds();
+    if (job.nodes >= 512) capability += job.node_seconds();
+  }
+  EXPECT_GT(capability / total, 0.35);
+}
+
+TEST(Generator, CoriIsCapacityComputing) {
+  const Workload w = generate_workload(cori_model(5000), 23);
+  std::size_t small_jobs = 0;
+  for (const auto& job : w.jobs) small_jobs += job.nodes <= 64;
+  // The capacity-computing mix is dominated by small jobs.
+  EXPECT_GT(static_cast<double>(small_jobs) /
+                static_cast<double>(w.jobs.size()),
+            0.6);
+}
+
+TEST(Generator, ScaleShrinksMachineAndRequests) {
+  const auto full = cori_model(10);
+  const auto scaled = cori_model(10, 0.125);
+  EXPECT_NEAR(static_cast<double>(scaled.machine.nodes),
+              static_cast<double>(full.machine.nodes) * 0.125, 1.0);
+  EXPECT_NEAR(scaled.machine.burst_buffer_gb,
+              full.machine.burst_buffer_gb * 0.125, 1.0);
+  EXPECT_NEAR(scaled.bb_max, full.bb_max * 0.125, 1.0);
+}
+
+TEST(Generator, CoriKeepsPersistentBbReservation) {
+  const auto params = cori_model(10);
+  EXPECT_NEAR(params.machine.persistent_bb_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Generator, ValidationCatchesBadParams) {
+  auto params = cori_model(100);
+  params.offered_load = 0;
+  EXPECT_THROW(generate_workload(params, 1), std::invalid_argument);
+  params = cori_model(100);
+  params.size_buckets.clear();
+  EXPECT_THROW(generate_workload(params, 1), std::invalid_argument);
+  params = cori_model(100);
+  params.size_buckets[0].max_nodes = params.machine.nodes + 1;
+  EXPECT_THROW(generate_workload(params, 1), std::invalid_argument);
+  params = cori_model(100);
+  params.walltime_accuracy_lo = 0;
+  EXPECT_THROW(generate_workload(params, 1), std::invalid_argument);
+}
+
+TEST(Generator, SubmitTimesSortedAndPositive) {
+  const Workload w = generate_workload(cori_model(300), 29);
+  Time prev = 0;
+  for (const auto& job : w.jobs) {
+    EXPECT_GE(job.submit_time, prev);
+    prev = job.submit_time;
+  }
+}
+
+}  // namespace
+}  // namespace bbsched

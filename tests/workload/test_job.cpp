@@ -1,0 +1,64 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+JobRecord valid_job() {
+  JobRecord job;
+  job.id = 1;
+  job.submit_time = 10;
+  job.runtime = 100;
+  job.walltime = 200;
+  job.nodes = 4;
+  job.bb_gb = tb(1);
+  return job;
+}
+
+TEST(JobRecord, ValidJobPasses) { EXPECT_NO_THROW(validate_job(valid_job())); }
+
+TEST(JobRecord, RejectsNegativeSubmit) {
+  auto job = valid_job();
+  job.submit_time = -1;
+  EXPECT_THROW(validate_job(job), std::invalid_argument);
+}
+
+TEST(JobRecord, RejectsWalltimeBelowRuntime) {
+  auto job = valid_job();
+  job.walltime = job.runtime - 1;
+  EXPECT_THROW(validate_job(job), std::invalid_argument);
+}
+
+TEST(JobRecord, RejectsZeroNodes) {
+  auto job = valid_job();
+  job.nodes = 0;
+  EXPECT_THROW(validate_job(job), std::invalid_argument);
+}
+
+TEST(JobRecord, RejectsNegativeRequests) {
+  auto job = valid_job();
+  job.bb_gb = -1;
+  EXPECT_THROW(validate_job(job), std::invalid_argument);
+  job = valid_job();
+  job.ssd_per_node_gb = -1;
+  EXPECT_THROW(validate_job(job), std::invalid_argument);
+}
+
+TEST(JobRecord, RejectsSelfDependency) {
+  auto job = valid_job();
+  job.dependencies = {job.id};
+  EXPECT_THROW(validate_job(job), std::invalid_argument);
+}
+
+TEST(JobRecord, HelperPredicates) {
+  auto job = valid_job();
+  EXPECT_TRUE(job.requests_bb());
+  EXPECT_FALSE(job.requests_ssd());
+  EXPECT_DOUBLE_EQ(job.node_seconds(), 400.0);
+  job.bb_gb = 0;
+  EXPECT_FALSE(job.requests_bb());
+}
+
+}  // namespace
+}  // namespace bbsched

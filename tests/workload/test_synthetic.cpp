@@ -1,0 +1,152 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace bbsched {
+namespace {
+
+Workload base_workload(std::size_t n = 2000) {
+  return generate_workload(theta_model(n), 101);
+}
+
+TEST(BbExpansion, ReachesTargetFraction) {
+  const Workload original = base_workload();
+  BbExpansionParams params;
+  params.target_fraction = 0.5;
+  params.pool_threshold = tb(5);
+  const Workload expanded = expand_bb_requests(original, params, 7);
+  EXPECT_NEAR(expanded.bb_request_fraction(), 0.5, 0.05);
+}
+
+TEST(BbExpansion, KeepsExistingRequestsUntouched) {
+  const Workload original = base_workload();
+  BbExpansionParams params;
+  params.target_fraction = 0.75;
+  const Workload expanded = expand_bb_requests(original, params, 7);
+  ASSERT_EQ(expanded.jobs.size(), original.jobs.size());
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    if (original.jobs[i].requests_bb()) {
+      EXPECT_DOUBLE_EQ(expanded.jobs[i].bb_gb, original.jobs[i].bb_gb);
+    }
+  }
+}
+
+TEST(BbExpansion, NewRequestsComeFromThresholdPool) {
+  const Workload original = base_workload();
+  BbExpansionParams params;
+  params.target_fraction = 0.5;
+  params.pool_threshold = tb(20);
+  const Workload expanded = expand_bb_requests(original, params, 7);
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    if (!original.jobs[i].requests_bb() && expanded.jobs[i].requests_bb()) {
+      EXPECT_GT(expanded.jobs[i].bb_gb, tb(20));
+    }
+  }
+}
+
+TEST(BbExpansion, NoOpWhenAlreadyAtTarget) {
+  const Workload original = base_workload();
+  BbExpansionParams params;
+  params.target_fraction = 0.01;  // below the original ~17 %
+  const Workload expanded = expand_bb_requests(original, params, 7);
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(expanded.jobs[i].bb_gb, original.jobs[i].bb_gb);
+  }
+}
+
+TEST(BbExpansion, WorkloadWithoutRequestsUnchanged) {
+  Workload w = base_workload(100);
+  for (auto& job : w.jobs) job.bb_gb = 0;
+  BbExpansionParams params;
+  params.target_fraction = 0.5;
+  const Workload expanded = expand_bb_requests(w, params, 7);
+  EXPECT_DOUBLE_EQ(expanded.bb_request_fraction(), 0.0);
+}
+
+TEST(BbExpansion, FallsBackToTopDecileWhenThresholdTooHigh) {
+  const Workload original = base_workload();
+  BbExpansionParams params;
+  params.target_fraction = 0.5;
+  params.pool_threshold = pb(100);  // nothing above this
+  const Workload expanded = expand_bb_requests(original, params, 7);
+  EXPECT_NEAR(expanded.bb_request_fraction(), 0.5, 0.05);
+}
+
+TEST(BbExpansion, RejectsBadFraction) {
+  BbExpansionParams params;
+  params.target_fraction = 1.5;
+  EXPECT_THROW(expand_bb_requests(base_workload(10), params, 1),
+               std::invalid_argument);
+}
+
+TEST(SsdExpansion, AssignsEveryJobARequest) {
+  const Workload original = base_workload(500);
+  SsdExpansionParams params;
+  const Workload expanded = expand_ssd_requests(original, params, 9);
+  for (const auto& job : expanded.jobs) {
+    EXPECT_GT(job.ssd_per_node_gb, 0.0);
+    EXPECT_LE(job.ssd_per_node_gb, params.large_gb);
+  }
+}
+
+TEST(SsdExpansion, SmallLargeMixNearTarget) {
+  const Workload original = base_workload(3000);
+  SsdExpansionParams params;
+  params.small_request_fraction = 0.8;  // the S5 mix
+  const Workload expanded = expand_ssd_requests(original, params, 9);
+  std::size_t small = 0;
+  for (const auto& job : expanded.jobs) {
+    small += job.ssd_per_node_gb <= params.small_gb;
+  }
+  EXPECT_NEAR(static_cast<double>(small) /
+                  static_cast<double>(expanded.jobs.size()),
+              0.8, 0.05);
+}
+
+TEST(SsdExpansion, ConfiguresMachineTiers) {
+  const Workload expanded =
+      expand_ssd_requests(base_workload(100), SsdExpansionParams{}, 9);
+  EXPECT_TRUE(expanded.machine.has_local_ssd());
+  EXPECT_EQ(expanded.machine.small_ssd_nodes + expanded.machine.large_ssd_nodes,
+            expanded.machine.nodes);
+  EXPECT_NEAR(static_cast<double>(expanded.machine.small_ssd_nodes),
+              static_cast<double>(expanded.machine.nodes) * 0.5, 1.0);
+}
+
+TEST(Suites, MainSuiteHasFiveLabeledWorkloads) {
+  const auto suite = make_bb_suite(base_workload(1000), 55);
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].label, "Theta-Original");
+  EXPECT_EQ(suite[1].label, "Theta-S1");
+  EXPECT_EQ(suite[4].label, "Theta-S4");
+  // S2 has more requesting jobs than S1; S4 more than S3.
+  EXPECT_GT(suite[2].workload.bb_request_fraction(),
+            suite[1].workload.bb_request_fraction());
+  EXPECT_GT(suite[4].workload.bb_request_fraction(),
+            suite[3].workload.bb_request_fraction());
+}
+
+TEST(Suites, S3CarriesLargerRequestsThanS1) {
+  const auto suite = make_bb_suite(base_workload(3000), 55);
+  // Mean size of *newly assigned* requests: S3 samples from > 20 TB, S1
+  // from > 5 TB, so S3's aggregate volume should exceed S1's.
+  EXPECT_GT(suite[3].workload.total_bb_request(),
+            suite[1].workload.total_bb_request());
+}
+
+TEST(Suites, SsdSuiteBuiltOnS2) {
+  const auto suite = make_ssd_suite(base_workload(1000), 77);
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].label, "Theta-S5");
+  EXPECT_EQ(suite[2].label, "Theta-S7");
+  for (const auto& entry : suite) {
+    EXPECT_TRUE(entry.workload.machine.has_local_ssd());
+    // S2 base: ~75 % of jobs request burst buffer.
+    EXPECT_NEAR(entry.workload.bb_request_fraction(), 0.75, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,124 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bbsched {
+namespace {
+
+MachineConfig machine() {
+  MachineConfig m;
+  m.name = "test";
+  m.nodes = 1000;
+  m.burst_buffer_gb = tb(100);
+  return m;
+}
+
+Workload sample_workload() {
+  Workload w;
+  w.name = "sample";
+  w.machine = machine();
+  JobRecord a;
+  a.id = 1;
+  a.submit_time = 0;
+  a.runtime = 60;
+  a.walltime = 120;
+  a.nodes = 10;
+  a.bb_gb = tb(2);
+  JobRecord b;
+  b.id = 2;
+  b.submit_time = 30;
+  b.runtime = 600;
+  b.walltime = 600;
+  b.nodes = 128;
+  b.ssd_per_node_gb = 64;
+  b.dependencies = {1};
+  w.jobs = {a, b};
+  w.normalize();
+  return w;
+}
+
+TEST(TraceCsv, RoundTripPreservesAllFields) {
+  const Workload original = sample_workload();
+  std::ostringstream out;
+  write_trace_csv(original, out);
+  std::istringstream in(out.str());
+  const Workload reread = read_trace_csv(in, "sample", machine());
+  ASSERT_EQ(reread.jobs.size(), 2u);
+  const auto& a = reread.jobs[0];
+  const auto& b = reread.jobs[1];
+  EXPECT_EQ(a.id, 1u);
+  EXPECT_DOUBLE_EQ(a.bb_gb, tb(2));
+  EXPECT_EQ(b.nodes, 128);
+  EXPECT_DOUBLE_EQ(b.ssd_per_node_gb, 64);
+  ASSERT_EQ(b.dependencies.size(), 1u);
+  EXPECT_EQ(b.dependencies[0], 1u);
+}
+
+TEST(TraceCsv, MalformedNumberThrows) {
+  std::istringstream in(
+      "id,submit_s,runtime_s,walltime_s,nodes,bb_gb,ssd_per_node_gb,deps\n"
+      "1,0,60,xyz,10,0,0,\n");
+  EXPECT_THROW(read_trace_csv(in, "bad", machine()), std::runtime_error);
+}
+
+TEST(TraceCsv, ValidatesRecords) {
+  // walltime < runtime must be rejected by normalization.
+  std::istringstream in(
+      "id,submit_s,runtime_s,walltime_s,nodes,bb_gb,ssd_per_node_gb,deps\n"
+      "1,0,600,60,10,0,0,\n");
+  EXPECT_THROW(read_trace_csv(in, "bad", machine()), std::invalid_argument);
+}
+
+TEST(Swf, ParsesStandardFields) {
+  // SWF: id submit wait run procs cpu mem req_procs req_time req_mem
+  //      status user group app queue partition prev think
+  std::istringstream in(
+      "; header comment\n"
+      "1 0 5 100 64 -1 -1 64 200 -1 1 1 1 1 1 1 -1 -1\n"
+      "2 50 0 300 -1 -1 -1 128 400 -1 1 1 1 1 1 1 -1 -1\n");
+  const Workload w = read_swf(in, "swf", machine(), 1);
+  ASSERT_EQ(w.jobs.size(), 2u);
+  EXPECT_EQ(w.jobs[0].nodes, 64);
+  EXPECT_DOUBLE_EQ(w.jobs[0].runtime, 100);
+  EXPECT_DOUBLE_EQ(w.jobs[0].walltime, 200);
+  EXPECT_EQ(w.jobs[1].nodes, 128);
+  EXPECT_DOUBLE_EQ(w.jobs[1].bb_gb, 0.0) << "SWF has no burst buffer";
+}
+
+TEST(Swf, CoresPerNodeCeilingDivision) {
+  std::istringstream in(
+      "1 0 0 100 65 -1 -1 65 100 -1 1 1 1 1 1 1 -1 -1\n");
+  const Workload w = read_swf(in, "swf", machine(), 32);
+  ASSERT_EQ(w.jobs.size(), 1u);
+  EXPECT_EQ(w.jobs[0].nodes, 3);  // ceil(65/32)
+}
+
+TEST(Swf, SkipsZeroRuntimeAndZeroProcRecords) {
+  std::istringstream in(
+      "1 0 0 0 64 -1 -1 64 100 -1 1 1 1 1 1 1 -1 -1\n"
+      "2 0 0 100 -1 -1 -1 -1 100 -1 1 1 1 1 1 1 -1 -1\n"
+      "3 0 0 100 8 -1 -1 8 100 -1 1 1 1 1 1 1 -1 -1\n");
+  const Workload w = read_swf(in, "swf", machine(), 1);
+  ASSERT_EQ(w.jobs.size(), 1u);
+  EXPECT_EQ(w.jobs[0].id, 3u);
+}
+
+TEST(Swf, ShortRecordThrows) {
+  std::istringstream in("1 0 5 100\n");
+  EXPECT_THROW(read_swf(in, "swf", machine(), 1), std::runtime_error);
+}
+
+TEST(Swf, WalltimeClampedToRuntime) {
+  // Requested time below actual runtime: walltime must not drop below the
+  // runtime or validation would fail.
+  std::istringstream in(
+      "1 0 0 500 8 -1 -1 8 100 -1 1 1 1 1 1 1 -1 -1\n");
+  const Workload w = read_swf(in, "swf", machine(), 1);
+  ASSERT_EQ(w.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.jobs[0].walltime, 500);
+}
+
+}  // namespace
+}  // namespace bbsched

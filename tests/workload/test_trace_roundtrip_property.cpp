@@ -1,0 +1,80 @@
+// Property sweep: any generated workload must survive a CSV round trip
+// bit-for-bit in every scheduling-relevant field, across machine models,
+// scales and synthetic expansions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace_io.hpp"
+
+namespace bbsched {
+namespace {
+
+struct Case {
+  const char* name;
+  bool theta;
+  double scale;
+  bool expand_bb;
+  bool expand_ssd;
+};
+
+class TraceRoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TraceRoundTrip, CsvPreservesEveryField) {
+  const Case& c = GetParam();
+  const auto params = c.theta ? theta_model(150, c.scale)
+                              : cori_model(150, c.scale);
+  Workload workload = generate_workload(params, 31);
+  if (c.expand_bb) {
+    BbExpansionParams expansion;
+    expansion.target_fraction = 0.6;
+    expansion.pool_threshold = tb(5) * c.scale;
+    expansion.pool = sample_bb_pool(params.bb_pareto_alpha, params.bb_min,
+                                    params.bb_max, expansion.pool_threshold,
+                                    256, 3);
+    workload = expand_bb_requests(workload, expansion, 5);
+  }
+  if (c.expand_ssd) {
+    workload = expand_ssd_requests(workload, SsdExpansionParams{}, 7);
+  }
+
+  std::ostringstream out;
+  write_trace_csv(workload, out);
+  std::istringstream in(out.str());
+  const Workload reread =
+      read_trace_csv(in, workload.name, workload.machine);
+
+  ASSERT_EQ(reread.jobs.size(), workload.jobs.size());
+  for (std::size_t i = 0; i < workload.jobs.size(); ++i) {
+    const auto& a = workload.jobs[i];
+    const auto& b = reread.jobs[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.nodes, b.nodes);
+    // Times and capacities are doubles serialized with operator<<; the
+    // default 6-significant-digit formatting would lose precision, so the
+    // round trip tolerates only relative error below 1e-5.
+    EXPECT_NEAR(a.submit_time, b.submit_time,
+                1e-5 * std::max(1.0, a.submit_time));
+    EXPECT_NEAR(a.runtime, b.runtime, 1e-5 * a.runtime);
+    EXPECT_NEAR(a.walltime, b.walltime, 1e-5 * a.walltime);
+    EXPECT_NEAR(a.bb_gb, b.bb_gb, 1e-5 * std::max(1.0, a.bb_gb));
+    EXPECT_NEAR(a.ssd_per_node_gb, b.ssd_per_node_gb,
+                1e-5 * std::max(1.0, a.ssd_per_node_gb));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, TraceRoundTrip,
+    ::testing::Values(Case{"cori_full", false, 1.0, false, false},
+                      Case{"cori_scaled_bb", false, 0.25, true, false},
+                      Case{"theta_full", true, 1.0, false, false},
+                      Case{"theta_scaled_bb", true, 0.5, true, false},
+                      Case{"theta_ssd", true, 0.5, true, true}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,97 @@
+#include "workload/wl_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bbsched {
+namespace {
+
+Workload sample_workload() {
+  Workload w;
+  w.name = "sample";
+  w.machine.name = "m";
+  w.machine.nodes = 100;
+  w.machine.burst_buffer_gb = tb(100);
+  auto job = [&](JobId id, Time submit, NodeCount nodes, Time runtime,
+                 GigaBytes bb) {
+    JobRecord j;
+    j.id = id;
+    j.submit_time = submit;
+    j.runtime = runtime;
+    j.walltime = runtime;
+    j.nodes = nodes;
+    j.bb_gb = bb;
+    w.jobs.push_back(j);
+  };
+  job(1, 0, 10, 100, 0);
+  job(2, 50, 20, 200, tb(2));
+  job(3, 100, 30, 300, tb(15));
+  w.normalize();
+  return w;
+}
+
+TEST(Summarize, CountsAndRanges) {
+  const auto s = summarize(sample_workload());
+  EXPECT_EQ(s.num_jobs, 3u);
+  EXPECT_EQ(s.jobs_with_bb, 2u);
+  EXPECT_EQ(s.jobs_with_bb_over_1tb, 2u);
+  EXPECT_NEAR(s.bb_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.bb_min, tb(2));
+  EXPECT_DOUBLE_EQ(s.bb_max, tb(15));
+  EXPECT_DOUBLE_EQ(s.bb_total, tb(17));
+  EXPECT_DOUBLE_EQ(s.mean_nodes, 20.0);
+  EXPECT_EQ(s.max_nodes, 30);
+  EXPECT_DOUBLE_EQ(s.mean_runtime, 200.0);
+  EXPECT_DOUBLE_EQ(s.span, 100.0);
+}
+
+TEST(Summarize, OfferedLoads) {
+  const auto s = summarize(sample_workload());
+  // node-seconds: 10*100 + 20*200 + 30*300 = 14000 over 100 nodes * 100 s.
+  EXPECT_DOUBLE_EQ(s.offered_load, 1.4);
+  // bb-seconds: 2TB*200 + 15TB*300 over 100TB * 100 s.
+  EXPECT_DOUBLE_EQ(s.offered_bb_load,
+                   (tb(2) * 200 + tb(15) * 300) / (tb(100) * 100));
+}
+
+TEST(Summarize, EmptyWorkload) {
+  Workload w;
+  w.machine.nodes = 10;
+  w.machine.burst_buffer_gb = 10;
+  const auto s = summarize(w);
+  EXPECT_EQ(s.num_jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.offered_load, 0.0);
+}
+
+TEST(BbHistogram, BinsByTenTb) {
+  const auto hist = bb_request_histogram(sample_workload(), 10.0);
+  // Max request 15 TB -> 2 bins of 10 TB.
+  EXPECT_EQ(hist.num_bins(), 2u);
+  EXPECT_DOUBLE_EQ(hist.bin_count(0), 1);  // 2 TB
+  EXPECT_DOUBLE_EQ(hist.bin_count(1), 1);  // 15 TB
+  EXPECT_DOUBLE_EQ(hist.total_weight(), 2);
+}
+
+TEST(BbHistogram, NoRequestsSingleEmptyBin) {
+  Workload w = sample_workload();
+  for (auto& job : w.jobs) job.bb_gb = 0;
+  const auto hist = bb_request_histogram(w);
+  EXPECT_EQ(hist.num_bins(), 1u);
+  EXPECT_DOUBLE_EQ(hist.total_weight(), 0);
+}
+
+TEST(Printers, ProduceStableKeyContent) {
+  std::ostringstream out;
+  print_summary(sample_workload(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("offered load"), std::string::npos);
+  EXPECT_NE(text.find("17TB"), std::string::npos);
+
+  std::ostringstream hist_out;
+  print_bb_histogram(sample_workload(), hist_out);
+  EXPECT_NE(hist_out.str().find("aggregate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbsched

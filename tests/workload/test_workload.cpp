@@ -1,0 +1,88 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbsched {
+namespace {
+
+MachineConfig small_machine() {
+  MachineConfig m;
+  m.name = "test";
+  m.nodes = 100;
+  m.burst_buffer_gb = tb(10);
+  return m;
+}
+
+JobRecord job(JobId id, Time submit, NodeCount nodes, GigaBytes bb = 0) {
+  JobRecord j;
+  j.id = id;
+  j.submit_time = submit;
+  j.runtime = 100;
+  j.walltime = 100;
+  j.nodes = nodes;
+  j.bb_gb = bb;
+  return j;
+}
+
+TEST(MachineConfig, ValidatesBasics) {
+  EXPECT_NO_THROW(small_machine().validate());
+  auto m = small_machine();
+  m.nodes = 0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = small_machine();
+  m.persistent_bb_fraction = 1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(MachineConfig, SchedulableBbExcludesPersistentReservations) {
+  auto m = small_machine();
+  m.persistent_bb_fraction = 1.0 / 3.0;
+  EXPECT_NEAR(m.schedulable_bb_gb(), tb(10) * 2.0 / 3.0, 1e-9);
+}
+
+TEST(MachineConfig, SsdTiersMustCoverAllNodes) {
+  auto m = small_machine();
+  m.small_ssd_nodes = 40;
+  m.large_ssd_nodes = 50;  // 90 != 100
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.large_ssd_nodes = 60;
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_TRUE(m.has_local_ssd());
+}
+
+TEST(Workload, NormalizeSortsBySubmitThenId) {
+  Workload w;
+  w.machine = small_machine();
+  w.jobs = {job(3, 50, 1), job(1, 10, 1), job(2, 10, 1)};
+  w.normalize();
+  EXPECT_EQ(w.jobs[0].id, 1u);
+  EXPECT_EQ(w.jobs[1].id, 2u);
+  EXPECT_EQ(w.jobs[2].id, 3u);
+}
+
+TEST(Workload, NormalizeRejectsOversizedJob) {
+  Workload w;
+  w.machine = small_machine();
+  w.jobs = {job(1, 0, 200)};
+  EXPECT_THROW(w.normalize(), std::invalid_argument);
+}
+
+TEST(Workload, AggregateHelpers) {
+  Workload w;
+  w.machine = small_machine();
+  w.jobs = {job(1, 0, 1, tb(1)), job(2, 100, 1), job(3, 300, 1, tb(2))};
+  w.normalize();
+  EXPECT_DOUBLE_EQ(w.total_bb_request(), tb(3));
+  EXPECT_NEAR(w.bb_request_fraction(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.submit_span(), 300.0);
+}
+
+TEST(Workload, EmptyWorkloadHelpers) {
+  Workload w;
+  w.machine = small_machine();
+  EXPECT_DOUBLE_EQ(w.bb_request_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(w.submit_span(), 0.0);
+}
+
+}  // namespace
+}  // namespace bbsched
