@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_decision"
+  "../bench/bench_ablation_decision.pdb"
+  "CMakeFiles/bench_ablation_decision.dir/bench_ablation_decision.cpp.o"
+  "CMakeFiles/bench_ablation_decision.dir/bench_ablation_decision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_breakdown_bb"
+  "../bench/bench_fig10_breakdown_bb.pdb"
+  "CMakeFiles/bench_fig10_breakdown_bb.dir/bench_fig10_breakdown_bb.cpp.o"
+  "CMakeFiles/bench_fig10_breakdown_bb.dir/bench_fig10_breakdown_bb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_breakdown_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_breakdown_runtime.cpp" "bench-build/CMakeFiles/bench_fig11_breakdown_runtime.dir/bench_fig11_breakdown_runtime.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig11_breakdown_runtime.dir/bench_fig11_breakdown_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/bbsched_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/bbsched_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bbsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bbsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bbsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bbsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

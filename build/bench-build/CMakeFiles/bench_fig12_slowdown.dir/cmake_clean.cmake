@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_slowdown"
+  "../bench/bench_fig12_slowdown.pdb"
+  "CMakeFiles/bench_fig12_slowdown.dir/bench_fig12_slowdown.cpp.o"
+  "CMakeFiles/bench_fig12_slowdown.dir/bench_fig12_slowdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

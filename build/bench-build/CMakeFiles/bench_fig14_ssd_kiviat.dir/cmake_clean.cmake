@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_ssd_kiviat"
+  "../bench/bench_fig14_ssd_kiviat.pdb"
+  "CMakeFiles/bench_fig14_ssd_kiviat.dir/bench_fig14_ssd_kiviat.cpp.o"
+  "CMakeFiles/bench_fig14_ssd_kiviat.dir/bench_fig14_ssd_kiviat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ssd_kiviat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

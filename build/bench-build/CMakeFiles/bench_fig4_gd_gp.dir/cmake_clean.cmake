@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_gd_gp"
+  "../bench/bench_fig4_gd_gp.pdb"
+  "CMakeFiles/bench_fig4_gd_gp.dir/bench_fig4_gd_gp.cpp.o"
+  "CMakeFiles/bench_fig4_gd_gp.dir/bench_fig4_gd_gp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gd_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_bb_histograms"
+  "../bench/bench_fig5_bb_histograms.pdb"
+  "CMakeFiles/bench_fig5_bb_histograms.dir/bench_fig5_bb_histograms.cpp.o"
+  "CMakeFiles/bench_fig5_bb_histograms.dir/bench_fig5_bb_histograms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bb_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

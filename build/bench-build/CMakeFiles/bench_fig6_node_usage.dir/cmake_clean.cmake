@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_node_usage"
+  "../bench/bench_fig6_node_usage.pdb"
+  "CMakeFiles/bench_fig6_node_usage.dir/bench_fig6_node_usage.cpp.o"
+  "CMakeFiles/bench_fig6_node_usage.dir/bench_fig6_node_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_node_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_bb_usage"
+  "../bench/bench_fig7_bb_usage.pdb"
+  "CMakeFiles/bench_fig7_bb_usage.dir/bench_fig7_bb_usage.cpp.o"
+  "CMakeFiles/bench_fig7_bb_usage.dir/bench_fig7_bb_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_bb_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_walkthrough.dir/solver_walkthrough.cpp.o"
+  "CMakeFiles/solver_walkthrough.dir/solver_walkthrough.cpp.o.d"
+  "solver_walkthrough"
+  "solver_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_case_study.dir/ssd_case_study.cpp.o"
+  "CMakeFiles/ssd_case_study.dir/ssd_case_study.cpp.o.d"
+  "ssd_case_study"
+  "ssd_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

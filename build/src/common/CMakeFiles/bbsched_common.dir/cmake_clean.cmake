@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_common.dir/argparse.cpp.o"
+  "CMakeFiles/bbsched_common.dir/argparse.cpp.o.d"
+  "CMakeFiles/bbsched_common.dir/csv.cpp.o"
+  "CMakeFiles/bbsched_common.dir/csv.cpp.o.d"
+  "CMakeFiles/bbsched_common.dir/env.cpp.o"
+  "CMakeFiles/bbsched_common.dir/env.cpp.o.d"
+  "CMakeFiles/bbsched_common.dir/rng.cpp.o"
+  "CMakeFiles/bbsched_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bbsched_common.dir/stats.cpp.o"
+  "CMakeFiles/bbsched_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bbsched_common.dir/table.cpp.o"
+  "CMakeFiles/bbsched_common.dir/table.cpp.o.d"
+  "CMakeFiles/bbsched_common.dir/units.cpp.o"
+  "CMakeFiles/bbsched_common.dir/units.cpp.o.d"
+  "libbbsched_common.a"
+  "libbbsched_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_decision.cpp" "src/core/CMakeFiles/bbsched_core.dir/adaptive_decision.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/adaptive_decision.cpp.o.d"
+  "/root/repo/src/core/chromosome.cpp" "src/core/CMakeFiles/bbsched_core.dir/chromosome.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/chromosome.cpp.o.d"
+  "/root/repo/src/core/decision.cpp" "src/core/CMakeFiles/bbsched_core.dir/decision.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/decision.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/bbsched_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/ga.cpp" "src/core/CMakeFiles/bbsched_core.dir/ga.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/ga.cpp.o.d"
+  "/root/repo/src/core/ga_ops.cpp" "src/core/CMakeFiles/bbsched_core.dir/ga_ops.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/ga_ops.cpp.o.d"
+  "/root/repo/src/core/multi_resource_problem.cpp" "src/core/CMakeFiles/bbsched_core.dir/multi_resource_problem.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/multi_resource_problem.cpp.o.d"
+  "/root/repo/src/core/nsga2.cpp" "src/core/CMakeFiles/bbsched_core.dir/nsga2.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/nsga2.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/bbsched_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/bbsched_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/scalar_ga.cpp" "src/core/CMakeFiles/bbsched_core.dir/scalar_ga.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/scalar_ga.cpp.o.d"
+  "/root/repo/src/core/ssd_problem.cpp" "src/core/CMakeFiles/bbsched_core.dir/ssd_problem.cpp.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/ssd_problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bbsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

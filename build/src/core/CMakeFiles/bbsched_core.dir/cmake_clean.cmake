@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_core.dir/adaptive_decision.cpp.o"
+  "CMakeFiles/bbsched_core.dir/adaptive_decision.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/chromosome.cpp.o"
+  "CMakeFiles/bbsched_core.dir/chromosome.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/decision.cpp.o"
+  "CMakeFiles/bbsched_core.dir/decision.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/exhaustive.cpp.o"
+  "CMakeFiles/bbsched_core.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/ga.cpp.o"
+  "CMakeFiles/bbsched_core.dir/ga.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/ga_ops.cpp.o"
+  "CMakeFiles/bbsched_core.dir/ga_ops.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/multi_resource_problem.cpp.o"
+  "CMakeFiles/bbsched_core.dir/multi_resource_problem.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/nsga2.cpp.o"
+  "CMakeFiles/bbsched_core.dir/nsga2.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/pareto.cpp.o"
+  "CMakeFiles/bbsched_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/problem.cpp.o"
+  "CMakeFiles/bbsched_core.dir/problem.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/scalar_ga.cpp.o"
+  "CMakeFiles/bbsched_core.dir/scalar_ga.cpp.o.d"
+  "CMakeFiles/bbsched_core.dir/ssd_problem.cpp.o"
+  "CMakeFiles/bbsched_core.dir/ssd_problem.cpp.o.d"
+  "libbbsched_core.a"
+  "libbbsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_exp.dir/experiment.cpp.o"
+  "CMakeFiles/bbsched_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/bbsched_exp.dir/grid.cpp.o"
+  "CMakeFiles/bbsched_exp.dir/grid.cpp.o.d"
+  "libbbsched_exp.a"
+  "libbbsched_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/breakdown.cpp" "src/metrics/CMakeFiles/bbsched_metrics.dir/breakdown.cpp.o" "gcc" "src/metrics/CMakeFiles/bbsched_metrics.dir/breakdown.cpp.o.d"
+  "/root/repo/src/metrics/kiviat.cpp" "src/metrics/CMakeFiles/bbsched_metrics.dir/kiviat.cpp.o" "gcc" "src/metrics/CMakeFiles/bbsched_metrics.dir/kiviat.cpp.o.d"
+  "/root/repo/src/metrics/schedule_metrics.cpp" "src/metrics/CMakeFiles/bbsched_metrics.dir/schedule_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/bbsched_metrics.dir/schedule_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bbsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bbsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bbsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_metrics.dir/breakdown.cpp.o"
+  "CMakeFiles/bbsched_metrics.dir/breakdown.cpp.o.d"
+  "CMakeFiles/bbsched_metrics.dir/kiviat.cpp.o"
+  "CMakeFiles/bbsched_metrics.dir/kiviat.cpp.o.d"
+  "CMakeFiles/bbsched_metrics.dir/schedule_metrics.cpp.o"
+  "CMakeFiles/bbsched_metrics.dir/schedule_metrics.cpp.o.d"
+  "libbbsched_metrics.a"
+  "libbbsched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

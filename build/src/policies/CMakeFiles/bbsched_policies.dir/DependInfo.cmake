@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/bbsched_policy.cpp" "src/policies/CMakeFiles/bbsched_policies.dir/bbsched_policy.cpp.o" "gcc" "src/policies/CMakeFiles/bbsched_policies.dir/bbsched_policy.cpp.o.d"
+  "/root/repo/src/policies/bin_packing.cpp" "src/policies/CMakeFiles/bbsched_policies.dir/bin_packing.cpp.o" "gcc" "src/policies/CMakeFiles/bbsched_policies.dir/bin_packing.cpp.o.d"
+  "/root/repo/src/policies/factory.cpp" "src/policies/CMakeFiles/bbsched_policies.dir/factory.cpp.o" "gcc" "src/policies/CMakeFiles/bbsched_policies.dir/factory.cpp.o.d"
+  "/root/repo/src/policies/naive.cpp" "src/policies/CMakeFiles/bbsched_policies.dir/naive.cpp.o" "gcc" "src/policies/CMakeFiles/bbsched_policies.dir/naive.cpp.o.d"
+  "/root/repo/src/policies/problem_builder.cpp" "src/policies/CMakeFiles/bbsched_policies.dir/problem_builder.cpp.o" "gcc" "src/policies/CMakeFiles/bbsched_policies.dir/problem_builder.cpp.o.d"
+  "/root/repo/src/policies/scalarized.cpp" "src/policies/CMakeFiles/bbsched_policies.dir/scalarized.cpp.o" "gcc" "src/policies/CMakeFiles/bbsched_policies.dir/scalarized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bbsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bbsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bbsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

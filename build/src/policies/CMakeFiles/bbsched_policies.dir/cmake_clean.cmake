@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_policies.dir/bbsched_policy.cpp.o"
+  "CMakeFiles/bbsched_policies.dir/bbsched_policy.cpp.o.d"
+  "CMakeFiles/bbsched_policies.dir/bin_packing.cpp.o"
+  "CMakeFiles/bbsched_policies.dir/bin_packing.cpp.o.d"
+  "CMakeFiles/bbsched_policies.dir/factory.cpp.o"
+  "CMakeFiles/bbsched_policies.dir/factory.cpp.o.d"
+  "CMakeFiles/bbsched_policies.dir/naive.cpp.o"
+  "CMakeFiles/bbsched_policies.dir/naive.cpp.o.d"
+  "CMakeFiles/bbsched_policies.dir/problem_builder.cpp.o"
+  "CMakeFiles/bbsched_policies.dir/problem_builder.cpp.o.d"
+  "CMakeFiles/bbsched_policies.dir/scalarized.cpp.o"
+  "CMakeFiles/bbsched_policies.dir/scalarized.cpp.o.d"
+  "libbbsched_policies.a"
+  "libbbsched_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/base_scheduler.cpp" "src/sim/CMakeFiles/bbsched_sim.dir/base_scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/bbsched_sim.dir/base_scheduler.cpp.o.d"
+  "/root/repo/src/sim/easy_backfill.cpp" "src/sim/CMakeFiles/bbsched_sim.dir/easy_backfill.cpp.o" "gcc" "src/sim/CMakeFiles/bbsched_sim.dir/easy_backfill.cpp.o.d"
+  "/root/repo/src/sim/machine_state.cpp" "src/sim/CMakeFiles/bbsched_sim.dir/machine_state.cpp.o" "gcc" "src/sim/CMakeFiles/bbsched_sim.dir/machine_state.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/bbsched_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/bbsched_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bbsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bbsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bbsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_sim.dir/base_scheduler.cpp.o"
+  "CMakeFiles/bbsched_sim.dir/base_scheduler.cpp.o.d"
+  "CMakeFiles/bbsched_sim.dir/easy_backfill.cpp.o"
+  "CMakeFiles/bbsched_sim.dir/easy_backfill.cpp.o.d"
+  "CMakeFiles/bbsched_sim.dir/machine_state.cpp.o"
+  "CMakeFiles/bbsched_sim.dir/machine_state.cpp.o.d"
+  "CMakeFiles/bbsched_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bbsched_sim.dir/simulator.cpp.o.d"
+  "libbbsched_sim.a"
+  "libbbsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

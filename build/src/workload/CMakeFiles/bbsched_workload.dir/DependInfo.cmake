@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/bbsched_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/bbsched_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/bbsched_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/bbsched_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/wl_stats.cpp" "src/workload/CMakeFiles/bbsched_workload.dir/wl_stats.cpp.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/wl_stats.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/bbsched_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bbsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

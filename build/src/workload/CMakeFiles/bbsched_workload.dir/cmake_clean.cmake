@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_workload.dir/generator.cpp.o"
+  "CMakeFiles/bbsched_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/bbsched_workload.dir/job.cpp.o"
+  "CMakeFiles/bbsched_workload.dir/job.cpp.o.d"
+  "CMakeFiles/bbsched_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/bbsched_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/bbsched_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/bbsched_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/bbsched_workload.dir/wl_stats.cpp.o"
+  "CMakeFiles/bbsched_workload.dir/wl_stats.cpp.o.d"
+  "CMakeFiles/bbsched_workload.dir/workload.cpp.o"
+  "CMakeFiles/bbsched_workload.dir/workload.cpp.o.d"
+  "libbbsched_workload.a"
+  "libbbsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bbsched_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_csv.cpp" "tests/CMakeFiles/bbsched_tests.dir/common/test_csv.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/common/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_misc.cpp" "tests/CMakeFiles/bbsched_tests.dir/common/test_misc.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/common/test_misc.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/bbsched_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/bbsched_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/core/test_adaptive_decision.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_adaptive_decision.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_adaptive_decision.cpp.o.d"
+  "/root/repo/tests/core/test_chromosome.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_chromosome.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_chromosome.cpp.o.d"
+  "/root/repo/tests/core/test_decision.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_decision.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_decision.cpp.o.d"
+  "/root/repo/tests/core/test_exhaustive.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/core/test_ga.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_ga.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_ga.cpp.o.d"
+  "/root/repo/tests/core/test_ga_ops.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_ga_ops.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_ga_ops.cpp.o.d"
+  "/root/repo/tests/core/test_ga_ssd.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_ga_ssd.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_ga_ssd.cpp.o.d"
+  "/root/repo/tests/core/test_multi_resource_problem.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_multi_resource_problem.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_multi_resource_problem.cpp.o.d"
+  "/root/repo/tests/core/test_nsga2.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_nsga2.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_nsga2.cpp.o.d"
+  "/root/repo/tests/core/test_pareto.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_pareto.cpp.o.d"
+  "/root/repo/tests/core/test_scalar_ga.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_scalar_ga.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_scalar_ga.cpp.o.d"
+  "/root/repo/tests/core/test_ssd_problem.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_ssd_problem.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_ssd_problem.cpp.o.d"
+  "/root/repo/tests/core/test_three_resources.cpp" "tests/CMakeFiles/bbsched_tests.dir/core/test_three_resources.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/core/test_three_resources.cpp.o.d"
+  "/root/repo/tests/exp/test_experiment.cpp" "tests/CMakeFiles/bbsched_tests.dir/exp/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/exp/test_experiment.cpp.o.d"
+  "/root/repo/tests/exp/test_grid.cpp" "tests/CMakeFiles/bbsched_tests.dir/exp/test_grid.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/exp/test_grid.cpp.o.d"
+  "/root/repo/tests/metrics/test_breakdown.cpp" "tests/CMakeFiles/bbsched_tests.dir/metrics/test_breakdown.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/metrics/test_breakdown.cpp.o.d"
+  "/root/repo/tests/metrics/test_kiviat.cpp" "tests/CMakeFiles/bbsched_tests.dir/metrics/test_kiviat.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/metrics/test_kiviat.cpp.o.d"
+  "/root/repo/tests/metrics/test_schedule_metrics.cpp" "tests/CMakeFiles/bbsched_tests.dir/metrics/test_schedule_metrics.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/metrics/test_schedule_metrics.cpp.o.d"
+  "/root/repo/tests/metrics/test_sim_result.cpp" "tests/CMakeFiles/bbsched_tests.dir/metrics/test_sim_result.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/metrics/test_sim_result.cpp.o.d"
+  "/root/repo/tests/policies/test_bbsched_policy.cpp" "tests/CMakeFiles/bbsched_tests.dir/policies/test_bbsched_policy.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/policies/test_bbsched_policy.cpp.o.d"
+  "/root/repo/tests/policies/test_bin_packing.cpp" "tests/CMakeFiles/bbsched_tests.dir/policies/test_bin_packing.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/policies/test_bin_packing.cpp.o.d"
+  "/root/repo/tests/policies/test_naive.cpp" "tests/CMakeFiles/bbsched_tests.dir/policies/test_naive.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/policies/test_naive.cpp.o.d"
+  "/root/repo/tests/policies/test_scalarized.cpp" "tests/CMakeFiles/bbsched_tests.dir/policies/test_scalarized.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/policies/test_scalarized.cpp.o.d"
+  "/root/repo/tests/sim/test_base_scheduler.cpp" "tests/CMakeFiles/bbsched_tests.dir/sim/test_base_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/sim/test_base_scheduler.cpp.o.d"
+  "/root/repo/tests/sim/test_custom_policy.cpp" "tests/CMakeFiles/bbsched_tests.dir/sim/test_custom_policy.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/sim/test_custom_policy.cpp.o.d"
+  "/root/repo/tests/sim/test_easy_backfill.cpp" "tests/CMakeFiles/bbsched_tests.dir/sim/test_easy_backfill.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/sim/test_easy_backfill.cpp.o.d"
+  "/root/repo/tests/sim/test_machine_state.cpp" "tests/CMakeFiles/bbsched_tests.dir/sim/test_machine_state.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/sim/test_machine_state.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/bbsched_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator_policies.cpp" "tests/CMakeFiles/bbsched_tests.dir/sim/test_simulator_policies.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/sim/test_simulator_policies.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator_semantics.cpp" "tests/CMakeFiles/bbsched_tests.dir/sim/test_simulator_semantics.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/sim/test_simulator_semantics.cpp.o.d"
+  "/root/repo/tests/workload/test_generator.cpp" "tests/CMakeFiles/bbsched_tests.dir/workload/test_generator.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/workload/test_generator.cpp.o.d"
+  "/root/repo/tests/workload/test_job.cpp" "tests/CMakeFiles/bbsched_tests.dir/workload/test_job.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/workload/test_job.cpp.o.d"
+  "/root/repo/tests/workload/test_synthetic.cpp" "tests/CMakeFiles/bbsched_tests.dir/workload/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/workload/test_synthetic.cpp.o.d"
+  "/root/repo/tests/workload/test_trace_io.cpp" "tests/CMakeFiles/bbsched_tests.dir/workload/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/workload/test_trace_io.cpp.o.d"
+  "/root/repo/tests/workload/test_trace_roundtrip_property.cpp" "tests/CMakeFiles/bbsched_tests.dir/workload/test_trace_roundtrip_property.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/workload/test_trace_roundtrip_property.cpp.o.d"
+  "/root/repo/tests/workload/test_wl_stats.cpp" "tests/CMakeFiles/bbsched_tests.dir/workload/test_wl_stats.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/workload/test_wl_stats.cpp.o.d"
+  "/root/repo/tests/workload/test_workload.cpp" "tests/CMakeFiles/bbsched_tests.dir/workload/test_workload.cpp.o" "gcc" "tests/CMakeFiles/bbsched_tests.dir/workload/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/bbsched_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/bbsched_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bbsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bbsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bbsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bbsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bbsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
