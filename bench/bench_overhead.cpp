@@ -7,9 +7,20 @@
 // milliseconds; the optimization methods take longer but stay far under the
 // 15-30 s HPC response requirement — the paper reports < 2 s average even at
 // G=2000, w=50 on a 2012-class desktop.
+//
+// The main_grid/threads=N series measures the §4 campaign end to end,
+// serial versus the thread pool: the grid dispatches one task per
+// (workload x method) cell, so wall-clock should drop near-linearly with
+// cores while every cell stays bit-identical (per-cell seeding).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/grid.hpp"
 #include "policies/factory.hpp"
 #include "workload/generator.hpp"
 
@@ -51,7 +62,45 @@ void run_policy(benchmark::State& state, const std::string& method,
   }
 }
 
+/// End-to-end §4 campaign at a fixed thread count, reduced so the serial
+/// run stays in bench territory.  Cache is bypassed (compute_main_grid), so
+/// every iteration really simulates all 80 cells.
+void run_main_grid(benchmark::State& state, std::size_t threads) {
+  ExperimentConfig config;
+  config.jobs_per_workload = 150;
+  config.window_size = 10;
+  config.ga.generations = 40;
+  config.ga.population_size = 12;
+  for (auto _ : state) {
+    set_global_threads(threads);
+    const MainGridResults results = compute_main_grid(config);
+    benchmark::DoNotOptimize(results.cells.data());
+  }
+  set_global_threads(0);  // restore the default pool
+}
+
 void register_all() {
+  // Serial-vs-parallel wall-clock of the whole experiment engine.  The
+  // threads=1 / threads=N ratio is the grid speedup (expected >= 2x at 4+
+  // hardware threads; cells are bit-identical across the series).
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  // Always register the parallel series, even when 4 > hw: determinism
+  // makes oversubscription safe, and the serial/parallel pair is the
+  // measurement — on a single-core host the ratio is simply ~1.
+  std::vector<std::size_t> thread_counts{1, 4, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+  for (const std::size_t threads : thread_counts) {
+    benchmark::RegisterBenchmark(
+        ("main_grid/threads=" + std::to_string(threads)).c_str(),
+        [threads](benchmark::State& state) { run_main_grid(state, threads); })
+        ->Unit(benchmark::kSecond)
+        ->Iterations(1)
+        ->UseRealTime();
+  }
+
   for (const auto& method : standard_method_names()) {
     benchmark::RegisterBenchmark(
         (method + "/w=20/G=500").c_str(),

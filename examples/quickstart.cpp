@@ -11,6 +11,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "metrics/schedule_metrics.hpp"
 #include "policies/factory.hpp"
 #include "sim/simulator.hpp"
@@ -24,17 +25,21 @@ int main(int argc, char** argv) {
   std::int64_t window = 20;
   std::int64_t generations = 200;
   std::int64_t seed = 42;
+  std::int64_t threads = 0;
   ArgParser parser("bbsched quickstart: baseline vs BBSched on one workload");
   parser.add_int("jobs", &jobs, "jobs to generate");
   parser.add_int("window", &window, "scheduling window size");
   parser.add_int("generations", &generations, "GA generations");
   parser.add_int("seed", &seed, "workload seed");
+  parser.add_int("threads", &threads,
+                 "solver/grid threads (0 = BBSCHED_THREADS or all cores)");
   try {
     if (!parser.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  if (threads > 0) set_global_threads(static_cast<std::size_t>(threads));
 
   // 1. A Theta-like capability workload, stressed with S2-style burst-buffer
   //    expansion so the two resources actually compete.

@@ -16,6 +16,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "metrics/schedule_metrics.hpp"
 #include "policies/factory.hpp"
 #include "sim/simulator.hpp"
@@ -68,12 +69,16 @@ int main(int argc, char** argv) {
   parser.add_int("jobs", &jobs, "synthetic job count when no trace given");
   parser.add_double("expand-bb", &expand_bb,
                     "expand BB-requesting job fraction to this value (0=off)");
+  std::int64_t threads = 0;
+  parser.add_int("threads", &threads,
+                 "solver/grid threads (0 = BBSCHED_THREADS or all cores)");
   try {
     if (!parser.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  if (threads > 0) set_global_threads(static_cast<std::size_t>(threads));
 
   try {
     MachineConfig machine;

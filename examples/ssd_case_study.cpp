@@ -9,6 +9,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "metrics/schedule_metrics.hpp"
 #include "policies/factory.hpp"
 #include "sim/simulator.hpp"
@@ -27,12 +28,16 @@ int main(int argc, char** argv) {
                     "fraction of jobs with small (0-128 GB) SSD requests");
   parser.add_int("generations", &generations, "GA generations");
   parser.add_int("seed", &seed, "workload seed");
+  std::int64_t threads = 0;
+  parser.add_int("threads", &threads,
+                 "solver/grid threads (0 = BBSCHED_THREADS or all cores)");
   try {
     if (!parser.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  if (threads > 0) set_global_threads(static_cast<std::size_t>(threads));
 
   // Theta-like machine (scaled 1/2), S2 burst-buffer expansion, then SSD
   // requests per the §5 recipe with a 50/50 node-tier split.

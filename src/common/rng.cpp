@@ -22,6 +22,24 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t base, std::string_view label_a,
+                       std::string_view label_b) {
+  // FNV-1a, seeded with the base, with a separator byte between labels so
+  // ("ab", "c") and ("a", "bc") differ.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ base;
+  const auto fold = [&h](std::string_view label) {
+    for (unsigned char c : label) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0x1f;
+    h *= 0x100000001b3ULL;
+  };
+  fold(label_a);
+  fold(label_b);
+  return splitmix64(h);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -13,8 +13,21 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace bbsched {
+
+/// Deterministically derive an independent stream seed from a base seed and
+/// up to two textual labels (e.g. workload and method names): FNV-1a over
+/// the labels folded into the base, finalized through SplitMix64.  Unlike
+/// std::hash the result is identical across standard libraries, so cached
+/// results and tests agree everywhere.  This is the per-task seeding
+/// discipline that keeps parallel runs bit-identical at any thread count:
+/// every (workload, method) cell owns the stream seeded by
+/// mix_seed(master_seed, workload, method) regardless of which thread runs
+/// it (DESIGN.md §8).
+std::uint64_t mix_seed(std::uint64_t base, std::string_view label_a,
+                       std::string_view label_b = {});
 
 /// xoshiro256** engine with convenience distributions.  Satisfies
 /// UniformRandomBitGenerator so it can also feed <random> distributions.

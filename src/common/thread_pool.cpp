@@ -1,0 +1,150 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/env.hpp"
+
+namespace bbsched {
+
+namespace {
+
+/// Set while a pool worker executes a job; nested parallel_for calls on the
+/// same thread degrade to inline loops instead of re-entering the queue.
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+/// Shared state of one parallel_for call.  Indices are claimed through
+/// `next`; `done` counts finished (or skipped-after-failure) indices, and
+/// the caller waits until done == n.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr exception;
+  std::mutex mutex;              // guards `exception` and completion wakeup
+  std::condition_variable complete;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_worker = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    if (!batch.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        if (!batch.exception) batch.exception = std::current_exception();
+        batch.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+      std::lock_guard<std::mutex> lock(batch.mutex);
+      batch.complete.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty() || t_inside_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  // One queue entry per worker that can usefully help; each entry loops over
+  // the shared cursor, so an entry scheduled after the batch drained is a
+  // cheap no-op.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.push([batch] { run_batch(*batch); });
+    }
+  }
+  cv_.notify_all();
+
+  run_batch(*batch);
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->complete.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == n;
+  });
+  if (batch->exception) std::rethrow_exception(batch->exception);
+}
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mutex;
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    const auto env = env_int("BBSCHED_THREADS", 0);
+    g_pool = std::make_unique<ThreadPool>(
+        resolve_threads(env > 0 ? static_cast<std::size_t>(env) : 0));
+  }
+  return *g_pool;
+}
+
+void set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(resolve_threads(threads));
+}
+
+std::size_t global_threads() { return global_pool().num_threads(); }
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  global_pool().parallel_for(n, fn);
+}
+
+}  // namespace bbsched

@@ -1,0 +1,82 @@
+// thread_pool.hpp — fixed-size worker pool for embarrassingly parallel
+// loops.
+//
+// The experiment grid (one task per workload x method cell) and the genetic
+// solvers (one task per chromosome evaluation batch) are fan-out/fan-in
+// workloads with no cross-task communication, so a minimal pool suffices: a
+// shared queue of jobs, `parallel_for(n, fn)` fanning indices out through an
+// atomic cursor (dynamic load balancing — grid cells vary widely in cost)
+// and the calling thread working alongside the pool.
+//
+// Determinism contract: parallel_for imposes no ordering, so every task must
+// write only to its own index's slot and draw randomness only from its own
+// seed (see rng.hpp mix_seed and DESIGN.md §8).  Under that discipline
+// results are bit-identical at any thread count, including 1.
+//
+// Nesting: a parallel_for issued from inside a pool worker runs inline on
+// that worker.  The outer fan-out already owns the hardware; splitting
+// further would only add queue contention (and a naive implementation would
+// deadlock waiting on a queue it is supposed to drain).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace bbsched {
+
+/// Fixed-size thread pool.  `threads` counts total concurrency including the
+/// caller of parallel_for, so ThreadPool(1) spawns no workers and runs
+/// everything inline.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency: worker threads + the calling thread.
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Run fn(0) ... fn(n-1), in unspecified order, across the pool and the
+  /// calling thread; returns when all n calls finished.  The first exception
+  /// thrown by any fn is rethrown on the caller (remaining indices are still
+  /// claimed but skipped).  Calls from inside a pool worker run inline.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void run_batch(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool used by parallel_for below.  Sized on first use
+/// from BBSCHED_THREADS (0 or unset: hardware concurrency).
+ThreadPool& global_pool();
+
+/// Resize the global pool (0 = hardware concurrency).  Call from the main
+/// thread before parallel work starts — typically wiring a --threads flag;
+/// concurrent calls with in-flight parallel_for are undefined.
+void set_global_threads(std::size_t threads);
+
+/// Configured concurrency of the global pool.
+std::size_t global_threads();
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace bbsched

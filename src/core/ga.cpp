@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/stopwatch.hpp"
+
 namespace bbsched {
 
 MooGaSolver::MooGaSolver(GaParams params) : params_(params) {
@@ -64,6 +66,7 @@ MooResult MooGaSolver::solve(const MooProblem& problem) const {
 
 MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
   MooResult result;
+  Stopwatch watch;
   const auto population_size =
       static_cast<std::size_t>(params_.population_size);
   auto population = random_population(problem, population_size, rng);
@@ -93,6 +96,7 @@ MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
     if (!seen) unique.push_back(std::move(c));
   }
   result.pareto_set = std::move(unique);
+  result.solve_seconds = watch.elapsed_seconds();
   return result;
 }
 

@@ -36,6 +36,14 @@ struct MooResult {
   int generations = 0;
   /// Total chromosome evaluations performed (population init + children).
   std::size_t evaluations = 0;
+  /// Wall-clock of the whole solve (init through final front extraction).
+  double solve_seconds = 0;
+
+  /// Mean wall-clock per generation — the per-decision budget unit the
+  /// 15-30 s response requirement (§4.4) is spent in.
+  double mean_generation_seconds() const {
+    return generations > 0 ? solve_seconds / generations : 0.0;
+  }
 };
 
 /// Multi-objective genetic solver.  Stateless apart from parameters: each

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace bbsched {
 
 void GaParams::validate() const {
@@ -26,11 +28,15 @@ Chromosome random_chromosome(const MooProblem& problem, Rng& rng) {
 
 std::vector<Chromosome> random_population(const MooProblem& problem,
                                           std::size_t size, Rng& rng) {
-  std::vector<Chromosome> population;
-  population.reserve(size);
-  for (std::size_t i = 0; i < size; ++i) {
-    population.push_back(random_chromosome(problem, rng));
+  // Gene generation and repair consume the RNG stream and stay serial; the
+  // evaluations are pure and run as one parallel batch.
+  std::vector<Chromosome> population(size);
+  for (auto& c : population) {
+    c.genes.resize(problem.num_vars());
+    for (auto& g : c.genes) g = rng.bernoulli(0.5) ? 1 : 0;
+    problem.repair(c.genes, rng);
   }
+  evaluate_population(problem, population);
   return population;
 }
 
@@ -78,11 +84,17 @@ std::vector<Chromosome> make_children(const MooProblem& problem,
       Chromosome c;
       c.genes = std::move(*genes);
       c.age = 0;
-      problem.evaluate_into(c);
       children.push_back(std::move(c));
     }
   }
+  evaluate_population(problem, children);
   return children;
+}
+
+void evaluate_population(const MooProblem& problem,
+                         std::vector<Chromosome>& population) {
+  parallel_for(population.size(),
+               [&](std::size_t i) { problem.evaluate_into(population[i]); });
 }
 
 }  // namespace bbsched

@@ -53,4 +53,12 @@ std::vector<Chromosome> make_children(const MooProblem& problem,
                                       std::size_t count, double mutation_rate,
                                       Rng& rng);
 
+/// Evaluate every chromosome's objectives, fanned out over the global thread
+/// pool.  Evaluation is pure (MooProblem::evaluate is const and draws no
+/// randomness), so the result is independent of thread count; only the
+/// genetic operators, which consume the RNG stream, must stay on the driver
+/// thread.
+void evaluate_population(const MooProblem& problem,
+                         std::vector<Chromosome>& population);
+
 }  // namespace bbsched

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "common/stopwatch.hpp"
+
 namespace bbsched {
 
 std::vector<std::vector<std::size_t>> non_dominated_sort(
@@ -77,6 +79,7 @@ MooResult Nsga2Solver::solve(const MooProblem& problem) const {
 
 MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
   MooResult result;
+  Stopwatch watch;
   const auto population_size =
       static_cast<std::size_t>(params_.population_size);
   auto population = random_population(problem, population_size, rng);
@@ -116,7 +119,10 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
   };
 
   for (int g = 0; g < params_.generations; ++g) {
-    // Offspring via binary-tournament parents.
+    // Offspring via binary-tournament parents.  The genetic operators
+    // consume the RNG stream and stay on the driver thread; the pure fitness
+    // evaluations run as one parallel batch, so the evolution trajectory is
+    // identical at any thread count.
     std::vector<Chromosome> children;
     children.reserve(population_size);
     while (children.size() < population_size) {
@@ -127,10 +133,10 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
         problem.repair(*genes, rng);
         Chromosome c;
         c.genes = std::move(*genes);
-        problem.evaluate_into(c);
         children.push_back(std::move(c));
       }
     }
+    evaluate_population(problem, children);
     result.evaluations += children.size();
 
     // Environmental selection: fill by front, truncate the splitting front
@@ -179,6 +185,7 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
     if (!seen) unique.push_back(std::move(c));
   }
   result.pareto_set = std::move(unique);
+  result.solve_seconds = watch.elapsed_seconds();
   return result;
 }
 

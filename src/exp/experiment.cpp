@@ -29,10 +29,13 @@ ExperimentConfig ExperimentConfig::from_env() {
 
 std::string ExperimentConfig::digest() const {
   std::ostringstream key;
+  // The trailing schema tag versions the cache: v2 added per-cell seeding
+  // (mix_seed per workload x method) and the cell_wall_s column, so caches
+  // written by older builds must miss.
   key << jobs_per_workload << '|' << window_size << '|' << ga.generations
       << '|' << ga.population_size << '|' << ga.mutation_rate << '|' << seed
       << '|' << warmup_fraction << '|' << cooldown_fraction << '|'
-      << cori_scale << '|' << theta_scale;
+      << cori_scale << '|' << theta_scale << "|grid-v2";
   const auto h = std::hash<std::string>{}(key.str());
   std::ostringstream hex;
   hex << std::hex << h;

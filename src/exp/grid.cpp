@@ -1,13 +1,16 @@
 #include "exp/grid.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include "common/csv.hpp"
+#include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "policies/factory.hpp"
 
 namespace bbsched {
@@ -48,14 +51,16 @@ CsvRow cell_to_row(const GridCell& cell) {
           num_repr(cell.mean_solve_seconds),
           num_repr(cell.max_solve_seconds),
           num_repr(cell.mean_pareto_size),
-          std::to_string(cell.forced_starts)};
+          std::to_string(cell.forced_starts),
+          num_repr(cell.cell_wall_seconds)};
 }
 
 const CsvRow kGridHeader = {
     "workload",     "method",        "node_usage",   "bb_usage",
     "ssd_usage",    "ssd_waste",     "avg_wait",     "avg_slowdown",
     "p95_wait",     "max_wait",      "jobs",         "backfilled",
-    "mean_solve_s", "max_solve_s",   "mean_pareto",  "forced_starts"};
+    "mean_solve_s", "max_solve_s",   "mean_pareto",  "forced_starts",
+    "cell_wall_s"};
 
 GridCell row_to_cell(const CsvTable& table, std::size_t r) {
   GridCell cell;
@@ -81,6 +86,7 @@ GridCell row_to_cell(const CsvTable& table, std::size_t r) {
   cell.mean_pareto_size = num("mean_pareto");
   cell.forced_starts = static_cast<std::size_t>(
       parse_int_field(table.at(r, "forced_starts"), "forced_starts"));
+  cell.cell_wall_seconds = num("cell_wall_s");
   return cell;
 }
 
@@ -134,6 +140,22 @@ void append_breakdowns(const SimResult& result, double machine_scale,
 const CsvRow kBreakdownHeader = {"workload", "method",   "dimension",
                                  "label",    "avg_wait", "count"};
 
+/// Per-cell timing instrumentation emitted next to the grid cache so
+/// speedups are measurable without re-reading the full grid schema.
+void write_solver_timing(const std::string& path,
+                         const std::vector<GridCell>& cells) {
+  CsvTable timing({"workload", "method", "cell_wall_s", "mean_solve_s",
+                   "max_solve_s", "mean_pareto"});
+  for (const auto& cell : cells) {
+    timing.add_row({cell.workload, cell.method,
+                    num_repr(cell.cell_wall_seconds),
+                    num_repr(cell.mean_solve_seconds),
+                    num_repr(cell.max_solve_seconds),
+                    num_repr(cell.mean_pareto_size)});
+  }
+  timing.write_file(path);
+}
+
 }  // namespace
 
 std::optional<GridCell> find_cell(const std::vector<GridCell>& cells,
@@ -149,7 +171,79 @@ SimResult run_single(const ExperimentConfig& config, const Workload& workload,
                      const std::string& method) {
   const auto base = make_base_scheduler(base_scheduler_for(workload.name));
   const auto policy = make_policy(method, config.ga);
-  return simulate(workload, config.sim_config(), *base, *policy);
+  SimConfig sim = config.sim_config();
+  // Splittable per-cell stream: every (workload, method) cell owns the RNG
+  // stream derived from the campaign seed and its labels, so cells are
+  // decorrelated from each other and independent of the order — serial or
+  // parallel — in which the grid runs them.
+  sim.seed = mix_seed(sim.seed, workload.name, method);
+  return simulate(workload, sim, *base, *policy);
+}
+
+namespace {
+
+/// What one grid task produces; slot-per-cell so the parallel loop writes
+/// disjoint memory and the assembled order matches the serial loop's.
+struct CellOutcome {
+  GridCell cell;
+  std::vector<BreakdownCell> breakdowns;
+};
+
+std::vector<CellOutcome> compute_cells(
+    const ExperimentConfig& config, const std::vector<SuiteEntry>& workloads,
+    const std::vector<std::string>& methods, bool collect_breakdowns) {
+  const std::size_t total = workloads.size() * methods.size();
+  std::vector<CellOutcome> outcomes(total);
+  std::atomic<std::size_t> done{0};
+  Stopwatch watch;
+  parallel_for(total, [&](std::size_t idx) {
+    const SuiteEntry& entry = workloads[idx / methods.size()];
+    const std::string& method = methods[idx % methods.size()];
+    Stopwatch cell_watch;
+    const SimResult result = run_single(config, entry.workload, method);
+    CellOutcome& out = outcomes[idx];
+    out.cell = cell_from_result(result);
+    out.cell.cell_wall_seconds = cell_watch.elapsed_seconds();
+    // Figures 9-11 break down the Theta-S4 runs.
+    if (collect_breakdowns && entry.label == "Theta-S4") {
+      append_breakdowns(result, config.theta_scale, out.breakdowns);
+    }
+    std::fprintf(stderr,
+                 "[grid] %zu/%zu %s x %s (%.1fs cell, %.1fs elapsed, "
+                 "%zu threads)\n",
+                 done.fetch_add(1) + 1, total, entry.label.c_str(),
+                 method.c_str(), out.cell.cell_wall_seconds,
+                 watch.elapsed_seconds(), global_threads());
+  });
+  return outcomes;
+}
+
+}  // namespace
+
+MainGridResults compute_main_grid(const ExperimentConfig& config) {
+  auto outcomes =
+      compute_cells(config, build_main_workloads(config),
+                    standard_method_names(), /*collect_breakdowns=*/true);
+  MainGridResults results;
+  results.cells.reserve(outcomes.size());
+  for (auto& out : outcomes) {
+    results.cells.push_back(std::move(out.cell));
+    results.breakdowns.insert(
+        results.breakdowns.end(),
+        std::make_move_iterator(out.breakdowns.begin()),
+        std::make_move_iterator(out.breakdowns.end()));
+  }
+  return results;
+}
+
+std::vector<GridCell> compute_ssd_grid(const ExperimentConfig& config) {
+  auto outcomes = compute_cells(config, build_ssd_workloads(config),
+                                ssd_method_names(),
+                                /*collect_breakdowns=*/false);
+  std::vector<GridCell> cells;
+  cells.reserve(outcomes.size());
+  for (auto& out : outcomes) cells.push_back(std::move(out.cell));
+  return cells;
 }
 
 MainGridResults ensure_main_grid(const ExperimentConfig& config) {
@@ -180,25 +274,7 @@ MainGridResults ensure_main_grid(const ExperimentConfig& config) {
     return results;
   }
 
-  const auto workloads = build_main_workloads(config);
-  const auto methods = standard_method_names();
-  const std::size_t total = workloads.size() * methods.size();
-  std::size_t done = 0;
-  Stopwatch watch;
-  for (const auto& entry : workloads) {
-    for (const auto& method : methods) {
-      const SimResult result = run_single(config, entry.workload, method);
-      results.cells.push_back(cell_from_result(result));
-      // Figures 9-11 break down the Theta-S4 runs.
-      if (entry.label == "Theta-S4") {
-        append_breakdowns(result, config.theta_scale, results.breakdowns);
-      }
-      ++done;
-      std::fprintf(stderr, "[grid] %zu/%zu %s x %s (%.1fs elapsed)\n", done,
-                   total, entry.label.c_str(), method.c_str(),
-                   watch.elapsed_seconds());
-    }
-  }
+  results = compute_main_grid(config);
 
   fs::create_directories(config.cache_dir);
   CsvTable grid(kGridHeader);
@@ -211,6 +287,8 @@ MainGridResults ensure_main_grid(const ExperimentConfig& config) {
                         std::to_string(cell.count)});
   }
   breakdowns.write_file(breakdown_path);
+  write_solver_timing(grid_cache_path(config, "main_solver_timing"),
+                      results.cells);
   return results;
 }
 
@@ -226,25 +304,12 @@ std::vector<GridCell> ensure_ssd_grid(const ExperimentConfig& config) {
                  cells.size());
     return cells;
   }
-  const auto workloads = build_ssd_workloads(config);
-  const auto methods = ssd_method_names();
-  const std::size_t total = workloads.size() * methods.size();
-  std::size_t done = 0;
-  Stopwatch watch;
-  for (const auto& entry : workloads) {
-    for (const auto& method : methods) {
-      const SimResult result = run_single(config, entry.workload, method);
-      cells.push_back(cell_from_result(result));
-      ++done;
-      std::fprintf(stderr, "[grid] %zu/%zu %s x %s (%.1fs elapsed)\n", done,
-                   total, entry.label.c_str(), method.c_str(),
-                   watch.elapsed_seconds());
-    }
-  }
+  cells = compute_ssd_grid(config);
   fs::create_directories(config.cache_dir);
   CsvTable grid(kGridHeader);
   for (const auto& cell : cells) grid.add_row(cell_to_row(cell));
   grid.write_file(path);
+  write_solver_timing(grid_cache_path(config, "ssd_solver_timing"), cells);
   return cells;
 }
 

@@ -26,6 +26,9 @@ struct GridCell {
   double max_solve_seconds = 0;
   double mean_pareto_size = 0;
   std::size_t forced_starts = 0;
+  /// Wall-clock of the whole cell simulation (workload replay + every
+  /// policy decision); the unit of the grid's parallel speedup accounting.
+  double cell_wall_seconds = 0;
 };
 
 /// One bin of a cached Figure 9/10/11 breakdown.
@@ -44,11 +47,22 @@ struct MainGridResults {
   std::vector<BreakdownCell> breakdowns;   ///< Theta-S4, all methods
 };
 
-/// Compute-or-load the §4 grid.
+/// Compute-or-load the §4 grid.  On compute, cells run in parallel over the
+/// global thread pool and a `main_solver_timing_<digest>.csv` with per-cell
+/// wall-clock and solver timings is written next to the grid cache.
 MainGridResults ensure_main_grid(const ExperimentConfig& config);
 
 /// Compute-or-load the §5 SSD grid (6 workloads x 7 methods).
 std::vector<GridCell> ensure_ssd_grid(const ExperimentConfig& config);
+
+/// Run the §4 campaign unconditionally, bypassing the cache — one task per
+/// (workload, method) cell on the global thread pool.  Every cell draws from
+/// its own mix_seed(seed, workload, method) stream, so the grid is
+/// bit-identical at any thread count (see DESIGN.md §8).
+MainGridResults compute_main_grid(const ExperimentConfig& config);
+
+/// As compute_main_grid, for the §5 SSD campaign.
+std::vector<GridCell> compute_ssd_grid(const ExperimentConfig& config);
 
 /// Look up a cell (nullopt when missing).
 std::optional<GridCell> find_cell(const std::vector<GridCell>& cells,

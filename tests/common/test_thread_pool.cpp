@@ -1,0 +1,106 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bbsched {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SlotWritesMatchSerialReference) {
+  constexpr std::size_t n = 517;
+  std::vector<double> serial(n), pooled(n);
+  const auto fn = [](std::size_t i) {
+    return static_cast<double>(i * i) + 0.5;
+  };
+  for (std::size_t i = 0; i < n; ++i) serial[i] = fn(i);
+  ThreadPool pool(8);
+  pool.parallel_for(n, [&](std::size_t i) { pooled[i] = fn(i); });
+  EXPECT_EQ(pooled, serial);
+}
+
+TEST(ThreadPool, ZeroAndOneIndexAndSingleThread) {
+  ThreadPool pool(1);  // no workers: everything inline
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::size_t calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1u);
+  pool.parallel_for(7, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 8u);
+}
+
+TEST(ThreadPool, MoreTasksThanThreadsAndViceVersa) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(3, [&](std::size_t i) { sum += i; });  // n < threads
+  EXPECT_EQ(sum.load(), 3u);
+  sum = 0;
+  pool.parallel_for(1000, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i % 2 == 1) {
+                            throw std::runtime_error("task failed");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::atomic<std::size_t> ok{0};
+  pool.parallel_for(16, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 16u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr std::size_t outer = 16, inner = 32;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.parallel_for(outer, [&](std::size_t o) {
+    // Nested call on a worker thread: must degrade to an inline loop, not
+    // wait on the queue it is itself supposed to drain.
+    pool.parallel_for(inner, [&](std::size_t i) { ++hits[o * inner + i]; });
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReentrantBatchesFromManyCallers) {
+  // Two sequential batches reuse the same workers.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(20, [&](std::size_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50u * (19u * 20u / 2));
+}
+
+TEST(GlobalPool, ResizeAndQuery) {
+  set_global_threads(3);
+  EXPECT_EQ(global_threads(), 3u);
+  std::atomic<std::size_t> count{0};
+  parallel_for(100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100u);
+  set_global_threads(0);  // auto: hardware concurrency, at least 1
+  EXPECT_GE(global_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace bbsched

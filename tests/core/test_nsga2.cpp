@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.hpp"
 #include "core/exhaustive.hpp"
 #include "core/multi_resource_problem.hpp"
 
@@ -152,6 +153,96 @@ TEST_P(Nsga2VsExhaustive, LowGenerationalDistance) {
 
 INSTANTIATE_TEST_SUITE_P(RandomWindows, Nsga2VsExhaustive,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// Property suite on random windows of <= 12 jobs, where exhaustive
+// enumeration (2^w points) is cheap enough to serve as ground truth.
+class Nsga2Invariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static MultiResourceProblem random_problem(std::uint64_t seed) {
+    Rng rng(seed * 977 + 13);
+    const std::size_t w = 6 + seed % 7;  // 6..12 jobs
+    std::vector<double> nodes(w), bb(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      nodes[i] = static_cast<double>(rng.uniform_int(1, 40));
+      bb[i] = rng.bernoulli(0.6) ? rng.uniform(0.0, 60.0) : 0.0;
+    }
+    return MultiResourceProblem::cpu_bb(nodes, bb, 100, 100);
+  }
+
+  static GaParams generous_params(std::uint64_t seed) {
+    GaParams p;
+    p.generations = 800;
+    p.population_size = 32;
+    p.mutation_rate = 0.02;
+    p.seed = seed * 7 + 3;
+    return p;
+  }
+};
+
+TEST_P(Nsga2Invariants, FrontIsFeasibleAndMutuallyNonDominated) {
+  const auto problem = random_problem(GetParam());
+  const auto result = Nsga2Solver(generous_params(GetParam())).solve(problem);
+  ASSERT_FALSE(result.pareto_set.empty());
+  for (const auto& c : result.pareto_set) {
+    EXPECT_TRUE(problem.feasible(c.genes));
+  }
+  for (std::size_t i = 0; i < result.pareto_set.size(); ++i) {
+    for (std::size_t j = 0; j < result.pareto_set.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(result.pareto_set[i].objectives,
+                             result.pareto_set[j].objectives))
+          << "front members " << i << " and " << j << " not incomparable";
+    }
+  }
+}
+
+TEST_P(Nsga2Invariants, AgreesWithExhaustiveTruth) {
+  const auto problem = random_problem(GetParam());
+  const auto truth = ExhaustiveSolver().solve(problem);
+  const auto approx =
+      Nsga2Solver(generous_params(GetParam())).solve(problem);
+  ASSERT_FALSE(truth.pareto_set.empty());
+  for (const auto& t : truth.pareto_set) {
+    for (const auto& a : approx.pareto_set) {
+      // Soundness of the exhaustive front: nothing feasible — including
+      // anything NSGA-II returns — may dominate a true Pareto point.
+      EXPECT_FALSE(dominates(a.objectives, t.objectives))
+          << "NSGA-II point dominates an 'exhaustive' Pareto point";
+      // Convergence on these windows: at <= 12 jobs and generous budget the
+      // returned front must have reached true Pareto quality, so no truth
+      // point may dominate any returned point.
+      EXPECT_FALSE(dominates(t.objectives, a.objectives))
+          << "true Pareto point dominates an NSGA-II point";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWindows, Nsga2Invariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Nsga2, BitIdenticalAcrossThreadCounts) {
+  // Fitness evaluation fans out over the global pool but genetic operators
+  // (the only RNG consumers) stay on the driver thread, so the evolution
+  // trajectory — and therefore the front — cannot depend on thread count.
+  const auto problem = table1_problem();
+  const Nsga2Solver solver(small_params());
+  set_global_threads(1);
+  const auto reference = solver.solve(problem);
+  for (const std::size_t threads : {2u, 8u}) {
+    set_global_threads(threads);
+    const auto replay = solver.solve(problem);
+    ASSERT_EQ(reference.pareto_set.size(), replay.pareto_set.size())
+        << "at " << threads << " threads";
+    for (std::size_t i = 0; i < reference.pareto_set.size(); ++i) {
+      EXPECT_EQ(reference.pareto_set[i].genes, replay.pareto_set[i].genes);
+      EXPECT_EQ(reference.pareto_set[i].objectives,
+                replay.pareto_set[i].objectives);
+    }
+    EXPECT_EQ(reference.evaluations, replay.evaluations);
+    EXPECT_EQ(reference.generations, replay.generations);
+  }
+  set_global_threads(0);
+}
 
 }  // namespace
 }  // namespace bbsched

@@ -1,0 +1,205 @@
+// Invariant tests for EASY backfilling, beyond the worked examples in
+// test_easy_backfill.cpp:
+//
+//  1. Head-never-delayed: committing a pass's backfill starts and
+//     recomputing the head's shadow time must never move the reservation
+//     later — on any randomly generated scenario.
+//  2. Capacity-never-exceeded: replaying the outcomes of full simulations
+//     as a timed event sweep, the sum of allocated nodes, burst buffer and
+//     SSD-tier nodes must stay within machine capacity at every instant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "policies/factory.hpp"
+#include "sim/easy_backfill.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bbsched {
+namespace {
+
+JobRecord make_job(JobId id, NodeCount nodes, Time walltime, GigaBytes bb) {
+  JobRecord j;
+  j.id = id;
+  j.nodes = nodes;
+  j.runtime = walltime;
+  j.walltime = walltime;
+  j.bb_gb = bb;
+  return j;
+}
+
+// Property 1: a backfill pass must not delay the head's reservation.
+class BackfillHeadProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackfillHeadProperty, CommittedBackfillsNeverDelayHead) {
+  Rng rng(GetParam() * 131 + 17);
+  const NodeCount machine_nodes = rng.uniform_int(50, 200);
+  MachineConfig config;
+  config.name = "prop";
+  config.nodes = machine_nodes;
+  config.burst_buffer_gb = tb(static_cast<double>(rng.uniform_int(5, 50)));
+  MachineState state(config);
+
+  // Random running jobs, allocated within whatever is still free.  At
+  // least one, so the head below genuinely has to wait.
+  std::vector<RunningJobInfo> running;
+  std::vector<JobRecord> storage;  // keep candidate JobRecords alive
+  const int n_running = static_cast<int>(rng.uniform_int(1, 4));
+  for (int r = 0; r < n_running; ++r) {
+    if (state.free_nodes() < 1) break;
+    Allocation alloc;
+    alloc.small_nodes = rng.uniform_int(1, std::max<NodeCount>(
+        1, state.free_nodes() / 2));
+    alloc.bb_gb = rng.uniform(0.0, state.free_bb() / 2);
+    const JobId id = 1000 + r;
+    state.allocate(id, alloc);
+    running.push_back({id, rng.uniform(10.0, 500.0), alloc});
+  }
+
+  // A head that does not fit right now (otherwise shadow is trivially
+  // `now` and nothing can delay it).
+  const JobRecord head = make_job(
+      1, rng.uniform_int(state.free_nodes() + 1, machine_nodes),
+      rng.uniform(100.0, 2000.0), rng.uniform(0.0, config.burst_buffer_gb));
+
+  // Random candidate pool: a mix of short and long, small and large.
+  std::vector<BackfillCandidate> candidates;
+  for (std::size_t k = 0; k < 6; ++k) {
+    storage.push_back(make_job(
+        static_cast<JobId>(10 + k),
+        rng.uniform_int(1, std::max<NodeCount>(1, machine_nodes / 3)),
+        rng.uniform(10.0, 800.0),
+        rng.bernoulli(0.5) ? rng.uniform(0.0, config.burst_buffer_gb / 4)
+                           : 0.0));
+  }
+  for (std::size_t k = 0; k < storage.size(); ++k) {
+    candidates.push_back({&storage[k], k});
+  }
+
+  const Time now = 0;
+  const auto pass =
+      plan_easy_backfill(state, &head, running, candidates, now);
+
+  // Every planned start must fit the free capacity it was planned against.
+  auto post = running;
+  for (const auto& start : pass.started) {
+    ASSERT_TRUE(state.fits(start.alloc))
+        << "candidate " << start.key << " does not fit current capacity";
+    const JobRecord& job = storage[start.key];
+    state.allocate(100 + static_cast<JobId>(start.key), start.alloc);
+    post.push_back({100 + static_cast<JobId>(start.key),
+                    now + job.walltime, start.alloc});
+  }
+
+  // Recompute the reservation with the backfills committed and no further
+  // candidates: the head must be startable no later than before.
+  const auto after = plan_easy_backfill(state, &head, post, {}, now);
+  EXPECT_LE(after.shadow_time, pass.shadow_time)
+      << "backfill pass delayed the head's reservation";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, BackfillHeadProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+// Property 2: replay all outcomes of a simulation as a timed event sweep
+// and check capacity at every event instant.  Completions are processed
+// before starts at equal timestamps, matching the simulator's event order.
+void sweep_capacity(const SimResult& result) {
+  struct Event {
+    Time time;
+    int delta;  // +1 start, -1 end
+    const JobOutcome* job;
+  };
+  std::vector<Event> events;
+  for (const auto& outcome : result.outcomes) {
+    events.push_back({outcome.start, +1, &outcome});
+    events.push_back({outcome.end, -1, &outcome});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;  // releases before starts
+  });
+
+  const MachineConfig& m = result.machine;
+  const bool ssd = m.small_ssd_nodes > 0 || m.large_ssd_nodes > 0;
+  const double small_cap =
+      ssd ? static_cast<double>(m.small_ssd_nodes)
+          : static_cast<double>(m.nodes);
+  const double large_cap = static_cast<double>(m.large_ssd_nodes);
+  const double bb_cap = m.schedulable_bb_gb();
+  constexpr double eps = 1e-6;
+
+  double small_used = 0, large_used = 0, bb_used = 0;
+  for (const auto& e : events) {
+    const double sign = e.delta;
+    small_used += sign * static_cast<double>(e.job->small_tier_nodes);
+    large_used += sign * static_cast<double>(e.job->large_tier_nodes);
+    bb_used += sign * e.job->bb_gb;
+    ASSERT_GE(small_used, -eps);
+    ASSERT_GE(large_used, -eps);
+    ASSERT_GE(bb_used, -eps);
+    ASSERT_LE(small_used, small_cap + eps)
+        << "small-tier nodes over capacity at t=" << e.time << " (job "
+        << e.job->id << ")";
+    ASSERT_LE(large_used, large_cap + eps)
+        << "large-tier nodes over capacity at t=" << e.time;
+    ASSERT_LE(bb_used, bb_cap + eps)
+        << "burst buffer over capacity at t=" << e.time;
+    // Tier splits must account for the job's full node demand.
+    ASSERT_EQ(e.job->small_tier_nodes + e.job->large_tier_nodes,
+              e.job->nodes)
+        << "job " << e.job->id << " tier split != node demand";
+  }
+  EXPECT_NEAR(small_used, 0, eps) << "unbalanced allocate/release";
+  EXPECT_NEAR(large_used, 0, eps);
+  EXPECT_NEAR(bb_used, 0, eps);
+}
+
+SimResult simulate_small(const Workload& workload,
+                         const std::string& method) {
+  SimConfig config;
+  config.window_size = 8;
+  GaParams ga;
+  ga.generations = 30;
+  ga.population_size = 12;
+  const auto base = make_base_scheduler("FCFS");
+  const auto policy = make_policy(method, ga);
+  return simulate(workload, config, *base, *policy);
+}
+
+TEST(CapacityInvariant, CpuBbWorkloadNeverOverAllocates) {
+  const Workload base =
+      generate_workload(theta_model(120), 42);
+  BbExpansionParams expansion;
+  expansion.target_fraction = 0.75;
+  const Workload workload = expand_bb_requests(base, expansion, 7);
+  for (const std::string method : {"Baseline", "BBSched"}) {
+    SCOPED_TRACE(method);
+    sweep_capacity(simulate_small(workload, method));
+  }
+}
+
+TEST(CapacityInvariant, SsdWorkloadNeverOverAllocates) {
+  const Workload base =
+      generate_workload(theta_model(100, 0.5), 42);
+  BbExpansionParams s2;
+  s2.target_fraction = 0.75;
+  s2.pool_threshold = tb(5) * 0.5;
+  s2.pool = sample_bb_pool(0.25, gb(1), tb(140), s2.pool_threshold, 512, 9);
+  SsdExpansionParams ssd;
+  ssd.small_request_fraction = 0.5;
+  const Workload workload =
+      expand_ssd_requests(expand_bb_requests(base, s2, 11), ssd, 13);
+  ASSERT_GT(workload.machine.small_ssd_nodes, 0);
+  for (const std::string method : {"Baseline", "BBSched"}) {
+    SCOPED_TRACE(method);
+    sweep_capacity(simulate_small(workload, method));
+  }
+}
+
+}  // namespace
+}  // namespace bbsched
