@@ -18,10 +18,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "exp/grid.hpp"
 #include "policies/factory.hpp"
+#include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -79,7 +82,51 @@ void run_main_grid(benchmark::State& state, std::size_t threads) {
   set_global_threads(0);  // restore the default pool
 }
 
+/// Telemetry overhead: one full BBSched simulation with the instrumentation
+/// disabled (the default), tracing armed, and tracing + metrics armed.  The
+/// off-series must stay within noise of the seed build — every hot-path
+/// emission site is a single relaxed atomic load when disabled.
+void run_simulate_telemetry(benchmark::State& state, bool trace,
+                            bool metrics) {
+  const Workload workload = generate_workload(theta_model(200), 42);
+  SimConfig config;
+  config.window_size = 10;
+  GaParams ga;
+  ga.generations = 60;
+  const auto base = make_base_scheduler("FCFS");
+  const auto policy = make_policy("BBSched", ga);
+  for (auto _ : state) {
+    set_trace_enabled(trace);
+    set_metrics_enabled(metrics);
+    const SimResult result = simulate(workload, config, *base, *policy);
+    benchmark::DoNotOptimize(result.outcomes.data());
+    set_trace_enabled(false);
+    set_metrics_enabled(false);
+    trace_clear();
+    MetricsRegistry::global().reset();
+  }
+}
+
 void register_all() {
+  benchmark::RegisterBenchmark(
+      "simulate/telemetry=off",
+      [](benchmark::State& state) {
+        run_simulate_telemetry(state, false, false);
+      })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "simulate/telemetry=trace",
+      [](benchmark::State& state) {
+        run_simulate_telemetry(state, true, false);
+      })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "simulate/telemetry=trace+metrics",
+      [](benchmark::State& state) {
+        run_simulate_telemetry(state, true, true);
+      })
+      ->Unit(benchmark::kMillisecond);
+
   // Serial-vs-parallel wall-clock of the whole experiment engine.  The
   // threads=1 / threads=N ratio is the grid speedup (expected >= 2x at 4+
   // hardware threads; cells are bit-identical across the series).

@@ -11,6 +11,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "metrics/schedule_metrics.hpp"
 #include "policies/factory.hpp"
@@ -33,8 +34,11 @@ int main(int argc, char** argv) {
   parser.add_int("seed", &seed, "workload seed");
   parser.add_int("threads", &threads,
                  "solver/grid threads (0 = BBSCHED_THREADS or all cores)");
+  TelemetryOptions telemetry;
+  telemetry.register_flags(parser);
   try {
     if (!parser.parse(argc, argv)) return 0;
+    telemetry.apply();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -81,5 +85,6 @@ int main(int argc, char** argv) {
   table.add_row({"avg slowdown", ConsoleTable::num(metrics[0].avg_slowdown),
                  ConsoleTable::num(metrics[1].avg_slowdown)});
   table.print(std::cout);
+  telemetry.finish();
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "metrics/schedule_metrics.hpp"
 #include "policies/factory.hpp"
@@ -72,8 +73,11 @@ int main(int argc, char** argv) {
   std::int64_t threads = 0;
   parser.add_int("threads", &threads,
                  "solver/grid threads (0 = BBSCHED_THREADS or all cores)");
+  TelemetryOptions telemetry;
+  telemetry.register_flags(parser);
   try {
     if (!parser.parse(argc, argv)) return 0;
+    telemetry.apply();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -153,6 +157,7 @@ int main(int argc, char** argv) {
                          result.decisions.mean_solve_seconds() * 1e3, 2)});
     }
     table.print(std::cout);
+    telemetry.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "replay_trace: %s\n", e.what());
     return 1;

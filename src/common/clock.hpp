@@ -1,0 +1,34 @@
+// clock.hpp — the single monotonic-clock helper shared by every timing
+// consumer: Stopwatch (bench/solver timing), TraceSpan (Chrome trace spans)
+// and the structured-log timestamps.  One clock and one process epoch mean
+// the three timelines cannot drift apart — a span's ts and a stopwatch's
+// elapsed_seconds measured over the same region agree to clock resolution.
+#pragma once
+
+#include <chrono>
+
+namespace bbsched {
+
+/// The project-wide monotonic clock.
+using MonoClock = std::chrono::steady_clock;
+
+inline MonoClock::time_point mono_now() { return MonoClock::now(); }
+
+/// Fixed process-wide epoch, captured on first use (thread-safe static
+/// initialization).  All wall timestamps — log `ts=` fields and trace event
+/// `ts` values — are seconds since this point.
+inline MonoClock::time_point process_epoch() {
+  static const MonoClock::time_point epoch = MonoClock::now();
+  return epoch;
+}
+
+/// Seconds between two time points.
+inline double seconds_between(MonoClock::time_point from,
+                              MonoClock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Seconds since the process epoch.
+inline double mono_seconds() { return seconds_between(process_epoch(), mono_now()); }
+
+}  // namespace bbsched

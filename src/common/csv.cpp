@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/log.hpp"
+
 namespace bbsched {
 
 CsvRow parse_csv_line(std::string_view line) {
@@ -89,8 +91,13 @@ CsvTable CsvTable::read(std::istream& in) {
 
 CsvTable CsvTable::read_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("csv: cannot open " + path);
-  return read(in);
+  if (!in) {
+    log_error("csv", "cannot open file", {{"path", path}});
+    throw std::runtime_error("csv: cannot open " + path);
+  }
+  CsvTable table = read(in);
+  log_debug("csv", "read file", {{"path", path}, {"rows", table.num_rows()}});
+  return table;
 }
 
 std::optional<std::size_t> CsvTable::column(std::string_view name) const {
@@ -120,8 +127,12 @@ void CsvTable::write(std::ostream& out) const {
 
 void CsvTable::write_file(const std::string& path) const {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("csv: cannot write " + path);
+  if (!out) {
+    log_error("csv", "cannot write file", {{"path", path}});
+    throw std::runtime_error("csv: cannot write " + path);
+  }
   write(out);
+  log_debug("csv", "wrote file", {{"path", path}, {"rows", rows_.size()}});
 }
 
 double parse_double_field(const std::string& value, std::string_view field) {

@@ -1,7 +1,8 @@
 #include "common/env.hpp"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "common/log.hpp"
 
 namespace bbsched {
 
@@ -11,7 +12,7 @@ std::int64_t env_int(const char* name, std::int64_t def) {
   char* end = nullptr;
   const long long parsed = std::strtoll(value, &end, 10);
   if (end == value || *end != '\0') {
-    std::fprintf(stderr, "warning: ignoring malformed %s='%s'\n", name, value);
+    log_warn("env", "ignoring malformed value", {{"name", name}, {"value", value}});
     return def;
   }
   return parsed;
@@ -23,7 +24,7 @@ double env_double(const char* name, double def) {
   char* end = nullptr;
   const double parsed = std::strtod(value, &end);
   if (end == value || *end != '\0') {
-    std::fprintf(stderr, "warning: ignoring malformed %s='%s'\n", name, value);
+    log_warn("env", "ignoring malformed value", {{"name", name}, {"value", value}});
     return def;
   }
   return parsed;

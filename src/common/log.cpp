@@ -1,0 +1,153 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/clock.hpp"
+
+namespace bbsched {
+
+namespace {
+
+/// BBSCHED_LOG is read with getenv directly (not env.hpp) because env.hpp's
+/// malformed-value warning itself routes through the logger.
+LogLevel initial_level() {
+  const char* value = std::getenv("BBSCHED_LOG");
+  if (value && *value) {
+    try {
+      return parse_log_level(value);
+    } catch (const std::invalid_argument&) {
+      std::fprintf(stderr, "warning: ignoring malformed BBSCHED_LOG='%s'\n",
+                   value);
+    }
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_flag() {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+std::mutex g_sink_mutex;
+std::ostream* g_sink = nullptr;  // nullptr: stderr via fwrite
+
+/// key=value needs quoting when the value could be mis-tokenized.
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void append_value(std::string& out, std::string_view v) {
+  if (!needs_quoting(v)) {
+    out.append(v);
+    return;
+  }
+  out.push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+LogField::LogField(std::string_view k, double v) : key(k) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  value = buf;
+  numeric = std::isfinite(v);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_flag().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_flag().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         level_flag().load(std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    if (lower == log_level_name(level)) return level;
+  }
+  throw std::invalid_argument("log: unknown level '" + std::string(name) +
+                              "' (trace|debug|info|warn|error|off)");
+}
+
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = sink;
+}
+
+void log_record(LogLevel level, std::string_view component,
+                std::string_view message,
+                std::initializer_list<LogField> fields) {
+  if (!log_enabled(level) || level == LogLevel::kOff) return;
+
+  // Per-thread line buffer: formatting is lock-free, only the final write
+  // shares state.
+  thread_local std::string line;
+  line.clear();
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "ts=%.6f", mono_seconds());
+  line += ts;
+  line += " level=";
+  line += log_level_name(level);
+  line += " comp=";
+  append_value(line, component);
+  line += " msg=";
+  append_value(line, message);
+  for (const LogField& field : fields) {
+    line.push_back(' ');
+    line.append(field.key);
+    line.push_back('=');
+    append_value(line, field.value);
+  }
+  line.push_back('\n');
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink->write(line.data(), static_cast<std::streamsize>(line.size()));
+    if (level >= LogLevel::kWarn) g_sink->flush();
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+}  // namespace bbsched

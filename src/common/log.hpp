@@ -1,0 +1,100 @@
+// log.hpp — leveled, thread-safe structured logging.
+//
+// Records are key=value lines on one sink (stderr by default):
+//
+//   ts=1.234567 level=info comp=grid msg="cell done" workload=Theta-S4 wall_s=1.2
+//
+// Levels: trace < debug < info < warn < error < off.  The threshold defaults
+// to `info` (warnings and the grid progress lines keep printing exactly as
+// before this layer existed) and is controlled by the BBSCHED_LOG environment
+// variable or set_log_level() — examples wire a --log-level flag.  Hot-path
+// telemetry lives in trace.hpp/metrics.hpp, not here; logging below the
+// threshold costs one relaxed atomic load plus the caller-side field
+// construction, so guard tight loops with log_enabled().
+//
+// Thread safety: each thread formats into its own thread-local buffer; only
+// the final line write takes the sink mutex, so concurrent records never
+// interleave within a line.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace bbsched {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug,
+  kInfo,
+  kWarn,
+  kError,
+  kOff,
+};
+
+/// Current threshold (records below it are dropped).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Whether a record at `level` would be emitted; the cheap guard for
+/// call sites that build fields eagerly.
+bool log_enabled(LogLevel level);
+
+/// Parse "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive).  Throws std::invalid_argument on anything else.
+LogLevel parse_log_level(std::string_view name);
+
+/// Lower-case name of a level ("info", ...).
+const char* log_level_name(LogLevel level);
+
+/// Redirect the sink (tests, file logging).  nullptr restores stderr.  The
+/// stream must outlive all logging through it.
+void set_log_sink(std::ostream* sink);
+
+/// One key=value field of a structured record (also reused as a trace-event
+/// argument, where `numeric` selects raw JSON numbers over quoted strings).
+struct LogField {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  LogField(std::string_view k, double v);
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  LogField(std::string_view k, T v)
+      : key(k),
+        value(std::is_signed_v<T>
+                  ? std::to_string(static_cast<long long>(v))
+                  : std::to_string(static_cast<unsigned long long>(v))),
+        numeric(true) {}
+};
+
+/// Emit one structured record; no-op below the threshold.
+void log_record(LogLevel level, std::string_view component,
+                std::string_view message,
+                std::initializer_list<LogField> fields = {});
+
+inline void log_debug(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  log_record(LogLevel::kDebug, component, message, fields);
+}
+inline void log_info(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  log_record(LogLevel::kInfo, component, message, fields);
+}
+inline void log_warn(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  log_record(LogLevel::kWarn, component, message, fields);
+}
+inline void log_error(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  log_record(LogLevel::kError, component, message, fields);
+}
+
+}  // namespace bbsched

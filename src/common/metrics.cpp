@@ -1,0 +1,165 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace bbsched {
+
+namespace telemetry_detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace telemetry_detail
+
+void set_metrics_enabled(bool enabled) {
+  telemetry_detail::g_metrics_enabled.store(enabled,
+                                            std::memory_order_relaxed);
+}
+
+MetricHistogram::MetricHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("metrics: histogram needs >= 1 bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "metrics: histogram bounds must be strictly increasing");
+  }
+}
+
+void MetricHistogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  telemetry_detail::atomic_add(sum_, v);
+  telemetry_detail::atomic_min(min_, v);
+  telemetry_detail::atomic_max(max_, v);
+}
+
+double MetricHistogram::min() const {
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double MetricHistogram::max() const {
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+void MetricHistogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> default_seconds_bounds() {
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10, 30, 100};
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.counter) {
+    if (entry.gauge || entry.histogram) {
+      throw std::logic_error("metrics: '" + name +
+                             "' already registered with another kind");
+    }
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.gauge) {
+    if (entry.counter || entry.histogram) {
+      throw std::logic_error("metrics: '" + name +
+                             "' already registered with another kind");
+    }
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+MetricHistogram& MetricsRegistry::histogram(const std::string& name,
+                                            std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.histogram) {
+    if (entry.counter || entry.gauge) {
+      throw std::logic_error("metrics: '" + name +
+                             "' already registered with another kind");
+    }
+    entry.histogram = std::make_unique<MetricHistogram>(
+        upper_bounds.empty() ? default_seconds_bounds()
+                             : std::move(upper_bounds));
+  }
+  return *entry.histogram;
+}
+
+namespace {
+
+std::string metric_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "metric,kind,field,value\n";
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter) {
+      out << name << ",counter,value," << entry.counter->value() << '\n';
+    } else if (entry.gauge) {
+      out << name << ",gauge,value," << metric_num(entry.gauge->value())
+          << '\n';
+    } else if (entry.histogram) {
+      const MetricHistogram& h = *entry.histogram;
+      out << name << ",histogram,count," << h.count() << '\n';
+      out << name << ",histogram,sum," << metric_num(h.sum()) << '\n';
+      out << name << ",histogram,min," << metric_num(h.min()) << '\n';
+      out << name << ",histogram,max," << metric_num(h.max()) << '\n';
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        out << name << ",histogram,le_" << metric_num(h.bounds()[i]) << ','
+            << h.bucket_count(i) << '\n';
+      }
+      out << name << ",histogram,le_inf,"
+          << h.bucket_count(h.bounds().size()) << '\n';
+    }
+  }
+}
+
+void MetricsRegistry::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("metrics: cannot write " + path);
+  write_csv(out);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+}  // namespace bbsched

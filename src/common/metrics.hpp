@@ -1,0 +1,165 @@
+// metrics.hpp — process-wide registry of named counters, gauges and
+// fixed-bucket histograms.
+//
+// Hot-path contract: updates are single relaxed atomic RMWs (a CAS loop for
+// doubles) on objects resolved once — look a metric up by name one time and
+// keep the reference; references stay valid for the life of the process
+// (reset() zeroes values, it never removes entries).  Thread-pool workers
+// can therefore update concurrently with no locks and no coordination.
+//
+// Collection is off by default: guard update sites with metrics_enabled()
+// (one relaxed atomic load) so a disabled run pays nothing measurable.
+// Enable with set_metrics_enabled(true) — the examples wire a --metrics-out
+// flag and the BBSCHED_METRICS environment variable to it — and dump a
+// snapshot with write_csv():
+//
+//   metric,kind,field,value
+//   sim.solve_seconds,histogram,count,412
+//   sim.solve_seconds,histogram,le_0.01,398
+//   ...
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bbsched {
+
+namespace telemetry_detail {
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Relaxed CAS add for pre-C++20-style portability across libstdc++ versions.
+inline void atomic_add(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace telemetry_detail
+
+/// Whether metric collection is on; update sites guard on this.
+inline bool metrics_enabled() {
+  return telemetry_detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool enabled);
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket cumulative histogram (Prometheus-style `le` buckets): bucket
+/// i counts observations <= bounds[i]; one implicit +inf bucket absorbs the
+/// rest.  Tracks count/sum/min/max alongside.  Named MetricHistogram to stay
+/// clear of the sample-storing stats.hpp Histogram.
+class MetricHistogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit MetricHistogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Observations in bucket i (i == bounds().size() is the +inf bucket).
+  /// Non-cumulative: each observation lands in exactly one bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Exponential bounds suited to solver/cell wall-clock seconds:
+/// 100 us ... ~100 s.
+std::vector<double> default_seconds_bounds();
+
+/// Name -> metric registry.  Lookup takes a mutex (do it once per call
+/// site); updates through the returned references are lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& global();
+
+  /// Find-or-create.  A histogram's bounds are fixed by whichever call
+  /// created it; later calls' bounds are ignored.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  MetricHistogram& histogram(const std::string& name,
+                             std::vector<double> upper_bounds = {});
+
+  /// Snapshot every metric as CSV (rows sorted by name; see header comment).
+  void write_csv(std::ostream& out) const;
+  void write_csv_file(const std::string& path) const;
+
+  /// Zero every value.  Entries (and references to them) survive.
+  void reset();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<MetricHistogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shorthands on the global registry.
+inline Counter& metric_counter(const std::string& name) {
+  return MetricsRegistry::global().counter(name);
+}
+inline Gauge& metric_gauge(const std::string& name) {
+  return MetricsRegistry::global().gauge(name);
+}
+inline MetricHistogram& metric_histogram(const std::string& name,
+                                         std::vector<double> bounds = {}) {
+  return MetricsRegistry::global().histogram(name, std::move(bounds));
+}
+
+}  // namespace bbsched

@@ -5,25 +5,23 @@
 // measurement, not an afterthought.
 #pragma once
 
-#include <chrono>
+#include "common/clock.hpp"
 
 namespace bbsched {
 
-/// Monotonic wall-clock stopwatch.
+/// Monotonic wall-clock stopwatch on the shared MonoClock (clock.hpp), the
+/// same timeline the trace spans use, so bench and trace timings agree.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(mono_now()) {}
 
-  void restart() { start_ = Clock::now(); }
+  void restart() { start_ = mono_now(); }
 
   /// Seconds elapsed since construction or last restart().
-  double elapsed_seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double elapsed_seconds() const { return seconds_between(start_, mono_now()); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  MonoClock::time_point start_;
 };
 
 }  // namespace bbsched

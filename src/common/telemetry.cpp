@@ -1,0 +1,43 @@
+#include "common/telemetry.hpp"
+
+#include "common/argparse.hpp"
+#include "common/env.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace bbsched {
+
+void TelemetryOptions::register_flags(ArgParser& parser) {
+  parser.add_string("log-level", &log_level,
+                    "log threshold: trace|debug|info|warn|error|off "
+                    "(default BBSCHED_LOG or info)");
+  parser.add_string("trace-out", &trace_out,
+                    "write Chrome trace JSON here (view at ui.perfetto.dev; "
+                    "default BBSCHED_TRACE or off)");
+  parser.add_string("metrics-out", &metrics_out,
+                    "write metrics snapshot CSV here "
+                    "(default BBSCHED_METRICS or off)");
+}
+
+void TelemetryOptions::apply() {
+  if (!log_level.empty()) set_log_level(parse_log_level(log_level));
+  if (trace_out.empty()) trace_out = env_string("BBSCHED_TRACE", "");
+  if (metrics_out.empty()) metrics_out = env_string("BBSCHED_METRICS", "");
+  if (!trace_out.empty()) set_trace_enabled(true);
+  if (!metrics_out.empty()) set_metrics_enabled(true);
+}
+
+void TelemetryOptions::finish() const {
+  if (!trace_out.empty()) {
+    write_trace_json_file(trace_out);
+    log_info("telemetry", "trace written",
+             {{"path", trace_out}, {"events", trace_event_count()}});
+  }
+  if (!metrics_out.empty()) {
+    MetricsRegistry::global().write_csv_file(metrics_out);
+    log_info("telemetry", "metrics snapshot written", {{"path", metrics_out}});
+  }
+}
+
+}  // namespace bbsched

@@ -1,0 +1,36 @@
+// telemetry.hpp — one-call wiring of the telemetry surface for the example
+// binaries: --log-level / --trace-out / --metrics-out flags with
+// BBSCHED_LOG / BBSCHED_TRACE / BBSCHED_METRICS environment fallbacks.
+//
+//   TelemetryOptions telemetry;
+//   telemetry.register_flags(parser);
+//   ... parser.parse(...) ...
+//   telemetry.apply();      // set level, arm trace/metrics collection
+//   ... run the campaign ...
+//   telemetry.finish();     // write trace JSON / metrics CSV if requested
+#pragma once
+
+#include <string>
+
+namespace bbsched {
+
+class ArgParser;
+
+struct TelemetryOptions {
+  std::string log_level;    ///< empty: BBSCHED_LOG or "info"
+  std::string trace_out;    ///< empty: BBSCHED_TRACE or tracing off
+  std::string metrics_out;  ///< empty: BBSCHED_METRICS or collection off
+
+  /// Register --log-level, --trace-out and --metrics-out.
+  void register_flags(ArgParser& parser);
+
+  /// Resolve env fallbacks and arm the requested subsystems.  Call after
+  /// parse() and before any work that should be observed.  Throws
+  /// std::invalid_argument on a malformed log level.
+  void apply();
+
+  /// Write the trace / metrics outputs that were requested; no-op otherwise.
+  void finish() const;
+};
+
+}  // namespace bbsched

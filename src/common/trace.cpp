@@ -1,0 +1,322 @@
+#include "common/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace bbsched {
+
+namespace telemetry_detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace telemetry_detail
+
+namespace {
+
+struct TraceEvent {
+  char ph = 'X';
+  int pid = kTraceWallPid;
+  int tid = 0;
+  double ts_us = 0;
+  double dur_us = 0;
+  std::string name;
+  std::string category;
+  std::vector<LogField> args;
+};
+
+/// Owned by one thread for appends; the writer locks `mutex` to copy.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+
+  ThreadBuffer();
+  ~ThreadBuffer();
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> buffers;       ///< live threads
+  std::vector<TraceEvent> orphans;          ///< events of exited threads
+  std::vector<std::string> process_labels;  ///< index i -> pid i + 1
+  int next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives thread_locals
+  return *r;
+}
+
+ThreadBuffer::ThreadBuffer() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  tid = r.next_tid++;
+  r.buffers.push_back(this);
+}
+
+ThreadBuffer::~ThreadBuffer() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.orphans.insert(r.orphans.end(),
+                   std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
+  for (auto it = r.buffers.begin(); it != r.buffers.end(); ++it) {
+    if (*it == this) {
+      r.buffers.erase(it);
+      break;
+    }
+  }
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+void record(TraceEvent event) {
+  ThreadBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  json_escape(out, s);
+  out.push_back('"');
+}
+
+void append_args_object(std::string& out, const std::vector<LogField>& args) {
+  out.push_back('{');
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out.push_back(',');
+    append_json_string(out, args[i].key);
+    out.push_back(':');
+    // Numeric fields format as raw JSON numbers; LogField already demotes
+    // non-finite doubles to strings, keeping the JSON valid.
+    if (args[i].numeric) {
+      out += args[i].value;
+    } else {
+      append_json_string(out, args[i].value);
+    }
+  }
+  out.push_back('}');
+}
+
+std::string trace_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void append_event_json(std::string& out, const TraceEvent& event) {
+  out += "{\"name\":";
+  append_json_string(out, event.name);
+  if (!event.category.empty()) {
+    out += ",\"cat\":";
+    append_json_string(out, event.category);
+  }
+  out += ",\"ph\":\"";
+  out.push_back(event.ph);
+  out += "\",\"ts\":";
+  out += trace_num(event.ts_us);
+  if (event.ph == 'X') {
+    out += ",\"dur\":";
+    out += trace_num(event.dur_us);
+  }
+  if (event.ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  out += ",\"pid\":";
+  out += std::to_string(event.pid);
+  out += ",\"tid\":";
+  out += std::to_string(event.tid);
+  if (!event.args.empty()) {
+    out += ",\"args\":";
+    append_args_object(out, event.args);
+  }
+  out.push_back('}');
+}
+
+TraceEvent metadata_event(const char* what, int pid, int tid,
+                          std::string label) {
+  TraceEvent event;
+  event.ph = 'M';
+  event.pid = pid;
+  event.tid = tid;
+  event.name = what;
+  event.args.emplace_back("name", label);
+  return event;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  telemetry_detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void trace_clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (ThreadBuffer* buffer : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  r.orphans.clear();
+  r.process_labels.clear();
+}
+
+std::size_t trace_event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t count = r.orphans.size();
+  for (ThreadBuffer* buffer : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+int trace_register_process(std::string label) {
+  if (!trace_enabled()) return kTraceWallPid;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.process_labels.push_back(std::move(label));
+  return static_cast<int>(r.process_labels.size());
+}
+
+void trace_complete(std::string_view name, std::string_view category,
+                    double start_s, double duration_s,
+                    std::initializer_list<LogField> args) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.ph = 'X';
+  event.pid = kTraceWallPid;
+  event.ts_us = start_s * 1e6;
+  event.dur_us = duration_s * 1e6;
+  event.name.assign(name);
+  event.category.assign(category);
+  event.args.assign(args);
+  record(std::move(event));
+}
+
+void trace_instant(std::string_view name, std::string_view category,
+                   double ts_s, int pid, std::initializer_list<LogField> args) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.ph = 'i';
+  event.pid = pid;
+  event.ts_us = ts_s * 1e6;
+  event.name.assign(name);
+  event.category.assign(category);
+  event.args.assign(args);
+  record(std::move(event));
+}
+
+void trace_counter(std::string_view name, double ts_s, int pid,
+                   std::initializer_list<LogField> series) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.ph = 'C';
+  event.pid = pid;
+  event.ts_us = ts_s * 1e6;
+  event.name.assign(name);
+  event.args.assign(series);
+  record(std::move(event));
+}
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view category,
+                     std::initializer_list<LogField> args) {
+  if (!trace_enabled()) return;
+  armed_ = true;
+  name_.assign(name);
+  category_.assign(category);
+  args_.assign(args);
+  start_ = mono_now();
+}
+
+void TraceSpan::add_arg(LogField field) {
+  if (!armed_) return;
+  args_.push_back(std::move(field));
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  TraceEvent event;
+  event.ph = 'X';
+  event.pid = kTraceWallPid;
+  event.ts_us = seconds_between(process_epoch(), start_) * 1e6;
+  event.dur_us = seconds_between(start_, mono_now()) * 1e6;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.args = std::move(args_);
+  record(std::move(event));
+}
+
+void write_trace_json(std::ostream& out) {
+  Registry& r = registry();
+  std::vector<TraceEvent> events;
+  std::vector<std::string> labels;
+  std::map<int, bool> seen_tids;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    events = r.orphans;
+    for (ThreadBuffer* buffer : r.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+    labels = r.process_labels;
+  }
+  for (const TraceEvent& event : events) seen_tids[event.tid] = true;
+
+  std::string line;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const TraceEvent& event) {
+    line.clear();
+    if (!first) line += ",\n";
+    first = false;
+    append_event_json(line, event);
+    out << line;
+  };
+  emit(metadata_event("process_name", kTraceWallPid, 0, "wall-clock"));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    emit(metadata_event("process_name", static_cast<int>(i) + 1, 0,
+                        labels[i]));
+  }
+  for (const auto& [tid, _] : seen_tids) {
+    emit(metadata_event("thread_name", kTraceWallPid, tid,
+                        "thread-" + std::to_string(tid)));
+  }
+  for (const TraceEvent& event : events) emit(event);
+  out << "\n]}\n";
+}
+
+void write_trace_json_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  write_trace_json(out);
+}
+
+}  // namespace bbsched

@@ -1,0 +1,109 @@
+// trace.hpp — scoped span timers and an event recorder that exports Chrome
+// trace-format JSON (load the file at ui.perfetto.dev or chrome://tracing).
+//
+// Two timelines share one file, separated by trace "process" lanes:
+//
+//   pid 0 ("wall-clock")  — wall-time spans: solver solves, GA generations,
+//                           window-selection decisions, grid cells.  Span ts
+//                           comes from the shared MonoClock (clock.hpp), the
+//                           same clock Stopwatch uses, so trace and bench
+//                           timings cannot drift apart.
+//   pid >= 1              — one lane per registered simulation
+//                           (trace_register_process), carrying *simulated*
+//                           time: schedule events (submit, start, finish,
+//                           ...) and node/BB occupancy counter series.
+//
+// Threads map to small stable tids in first-use order (pool workers from
+// thread_pool.hpp each get their own lane).  Recording is buffered per
+// thread — appending takes only that thread's uncontended buffer mutex.
+//
+// Off by default: every emitter early-returns on one relaxed atomic load,
+// so a disabled run pays nothing measurable (bench_overhead's telemetry
+// series pins this).  Determinism: the recorder consumes no RNG and never
+// feeds back into scheduling decisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"  // LogField doubles as the trace-arg type
+
+namespace bbsched {
+
+namespace telemetry_detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace telemetry_detail
+
+/// The wall-clock span lane.
+constexpr int kTraceWallPid = 0;
+
+/// Whether event recording is on; one relaxed atomic load.
+inline bool trace_enabled() {
+  return telemetry_detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool enabled);
+
+/// Drop every buffered event and registered process label (tests, or
+/// between campaigns when reusing one process).
+void trace_clear();
+
+/// Events currently buffered across all threads.
+std::size_t trace_event_count();
+
+/// Allocate a trace lane (pid) labeled `label` — one per simulation, so
+/// concurrent grid cells do not interleave their schedule events.  Returns
+/// kTraceWallPid when tracing is disabled (callers then skip emission).
+int trace_register_process(std::string label);
+
+/// Complete ("X") wall-clock span; start_s/duration_s in seconds on the
+/// MonoClock process-epoch timeline.
+void trace_complete(std::string_view name, std::string_view category,
+                    double start_s, double duration_s,
+                    std::initializer_list<LogField> args = {});
+
+/// Instant ("i") event at `ts_s` seconds on lane `pid` (simulated time for
+/// sim lanes, process-epoch wall time for kTraceWallPid).
+void trace_instant(std::string_view name, std::string_view category,
+                   double ts_s, int pid,
+                   std::initializer_list<LogField> args = {});
+
+/// Counter ("C") sample: each numeric arg is one series plotted over time
+/// on lane `pid` (e.g. nodes_used / bb_used_gb occupancy).
+void trace_counter(std::string_view name, double ts_s, int pid,
+                   std::initializer_list<LogField> series);
+
+/// Scoped wall-clock span: records a complete event on the wall lane at
+/// destruction.  Arms itself only if tracing was enabled at construction;
+/// a disabled construction costs one atomic load.
+class TraceSpan {
+ public:
+  TraceSpan(std::string_view name, std::string_view category,
+            std::initializer_list<LogField> args = {});
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a result discovered during the span (no-op when disarmed).
+  void add_arg(LogField field);
+
+ private:
+  bool armed_ = false;
+  MonoClock::time_point start_;
+  std::string name_;
+  std::string category_;
+  std::vector<LogField> args_;
+};
+
+/// Serialize everything recorded so far as Chrome trace JSON (object form:
+/// {"traceEvents": [...]}, with process/thread-name metadata).
+void write_trace_json(std::ostream& out);
+void write_trace_json_file(const std::string& path);
+
+}  // namespace bbsched

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/stopwatch.hpp"
+#include "core/solver_telemetry.hpp"
 
 namespace bbsched {
 
@@ -66,6 +67,10 @@ MooResult MooGaSolver::solve(const MooProblem& problem) const {
 
 MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
   MooResult result;
+  TraceSpan solve_span("moo_ga.solve", "solver",
+                       {{"vars", problem.num_vars()},
+                        {"objectives", problem.num_objectives()}});
+  const bool tracing = trace_enabled();
   Stopwatch watch;
   const auto population_size =
       static_cast<std::size_t>(params_.population_size);
@@ -73,6 +78,7 @@ MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
   result.evaluations += population.size();
 
   for (int g = 0; g < params_.generations; ++g) {
+    const double gen_start = tracing ? mono_seconds() : 0.0;
     auto children = make_children(problem, population, population_size,
                                   params_.mutation_rate, rng);
     result.evaluations += children.size();
@@ -83,6 +89,10 @@ MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
                                         params_.dedupe_survivors);
     for (auto& c : population) ++c.age;
     ++result.generations;
+    if (tracing) {
+      trace_generation("moo_ga.generation", g, gen_start, mono_seconds(),
+                       generation_telemetry(population));
+    }
   }
 
   // Final Pareto set: non-dominated members of the last generation,
@@ -97,6 +107,9 @@ MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
   }
   result.pareto_set = std::move(unique);
   result.solve_seconds = watch.elapsed_seconds();
+  solve_span.add_arg({"pareto_size", result.pareto_set.size()});
+  solve_span.add_arg({"evaluations", result.evaluations});
+  if (metrics_enabled()) record_solver_metrics(result);
   return result;
 }
 

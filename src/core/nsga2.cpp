@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/stopwatch.hpp"
+#include "core/solver_telemetry.hpp"
 
 namespace bbsched {
 
@@ -79,6 +80,10 @@ MooResult Nsga2Solver::solve(const MooProblem& problem) const {
 
 MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
   MooResult result;
+  TraceSpan solve_span("nsga2.solve", "solver",
+                       {{"vars", problem.num_vars()},
+                        {"objectives", problem.num_objectives()}});
+  const bool tracing = trace_enabled();
   Stopwatch watch;
   const auto population_size =
       static_cast<std::size_t>(params_.population_size);
@@ -119,6 +124,7 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
   };
 
   for (int g = 0; g < params_.generations; ++g) {
+    const double gen_start = tracing ? mono_seconds() : 0.0;
     // Offspring via binary-tournament parents.  The genetic operators
     // consume the RNG stream and stay on the driver thread; the pure fitness
     // evaluations run as one parallel batch, so the evolution trajectory is
@@ -174,6 +180,24 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
     population = std::move(next);
     recompute_metadata(population);
     ++result.generations;
+    if (tracing) {
+      // Rank metadata is already current: front size falls out of rank==0
+      // rather than a second dominance pass.
+      GenerationTelemetry t;
+      t.front_size = static_cast<std::size_t>(
+          std::count(rank.begin(), rank.end(), std::size_t{0}));
+      t.best_node_util = -std::numeric_limits<double>::infinity();
+      t.best_bb_util = -std::numeric_limits<double>::infinity();
+      for (const auto& c : population) {
+        if (!c.objectives.empty()) {
+          t.best_node_util = std::max(t.best_node_util, c.objectives[0]);
+        }
+        if (c.objectives.size() > 1) {
+          t.best_bb_util = std::max(t.best_bb_util, c.objectives[1]);
+        }
+      }
+      trace_generation("nsga2.generation", g, gen_start, mono_seconds(), t);
+    }
   }
 
   auto front = pareto_front(population);
@@ -186,6 +210,9 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
   }
   result.pareto_set = std::move(unique);
   result.solve_seconds = watch.elapsed_seconds();
+  solve_span.add_arg({"pareto_size", result.pareto_set.size()});
+  solve_span.add_arg({"evaluations", result.evaluations});
+  if (metrics_enabled()) record_solver_metrics(result);
   return result;
 }
 

@@ -1,0 +1,79 @@
+// solver_telemetry.hpp — shared trace/metrics instrumentation of the
+// genetic solvers (MooGaSolver, Nsga2Solver).
+//
+// Both solvers emit the same per-generation convergence record — size of
+// the current non-dominated set and the best node-util / BB-util objective
+// values — and fold the same per-solve counters into the metrics registry,
+// so the helpers live here rather than twice.  Everything is gated by the
+// caller on trace_enabled() / metrics_enabled(); none of it consumes RNG.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/chromosome.hpp"
+#include "core/ga.hpp"
+#include "core/pareto.hpp"
+
+namespace bbsched {
+
+/// Convergence snapshot of one generation.  Costs an O(P^2) dominance pass;
+/// compute only while tracing.
+struct GenerationTelemetry {
+  std::size_t front_size = 0;
+  double best_node_util = 0;  ///< best objectives[0] (node-util fraction)
+  double best_bb_util = 0;    ///< best objectives[1] (BB-util fraction)
+};
+
+inline GenerationTelemetry generation_telemetry(
+    const std::vector<Chromosome>& population) {
+  GenerationTelemetry t;
+  Front points;
+  points.reserve(population.size());
+  for (const auto& c : population) points.push_back(c.objectives);
+  t.front_size = non_dominated_indices(points).size();
+  t.best_node_util = -std::numeric_limits<double>::infinity();
+  t.best_bb_util = -std::numeric_limits<double>::infinity();
+  for (const auto& c : population) {
+    if (!c.objectives.empty()) {
+      t.best_node_util = std::max(t.best_node_util, c.objectives[0]);
+    }
+    if (c.objectives.size() > 1) {
+      t.best_bb_util = std::max(t.best_bb_util, c.objectives[1]);
+    }
+  }
+  return t;
+}
+
+/// Trace one generation as a wall-clock span with its convergence record.
+inline void trace_generation(const char* solver_name, int generation,
+                             double start_s, double end_s,
+                             const GenerationTelemetry& t) {
+  trace_complete(solver_name, "solver", start_s, end_s - start_s,
+                 {{"generation", generation},
+                  {"front_size", t.front_size},
+                  {"best_node_util", t.best_node_util},
+                  {"best_bb_util", t.best_bb_util}});
+}
+
+/// Fold one finished solve into the metrics registry.  References resolve
+/// once (function-local statics); updates are lock-free atomics, safe from
+/// concurrent thread-pool workers.
+inline void record_solver_metrics(const MooResult& result) {
+  static Counter& solves = metric_counter("solver.solves");
+  static Counter& generations = metric_counter("solver.generations");
+  static Counter& evaluations = metric_counter("solver.evaluations");
+  static MetricHistogram& seconds = metric_histogram("solver.solve_seconds");
+  static MetricHistogram& pareto =
+      metric_histogram("solver.pareto_size", {1, 2, 3, 5, 8, 12, 20, 50});
+  solves.add(1);
+  generations.add(static_cast<std::uint64_t>(result.generations));
+  evaluations.add(static_cast<std::uint64_t>(result.evaluations));
+  seconds.observe(result.solve_seconds);
+  pareto.observe(static_cast<double>(result.pareto_set.size()));
+}
+
+}  // namespace bbsched

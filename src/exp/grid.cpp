@@ -8,9 +8,12 @@
 #include <fstream>
 
 #include "common/csv.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "policies/factory.hpp"
 
 namespace bbsched {
@@ -199,6 +202,10 @@ std::vector<CellOutcome> compute_cells(
   parallel_for(total, [&](std::size_t idx) {
     const SuiteEntry& entry = workloads[idx / methods.size()];
     const std::string& method = methods[idx % methods.size()];
+    // One wall-clock span per grid cell — the unit of the parallel speedup
+    // accounting — labeled so Perfetto shows which cell ran on which worker.
+    TraceSpan cell_span("grid.cell", "exp",
+                        {{"workload", entry.label}, {"method", method}});
     Stopwatch cell_watch;
     const SimResult result = run_single(config, entry.workload, method);
     CellOutcome& out = outcomes[idx];
@@ -208,12 +215,28 @@ std::vector<CellOutcome> compute_cells(
     if (collect_breakdowns && entry.label == "Theta-S4") {
       append_breakdowns(result, config.theta_scale, out.breakdowns);
     }
-    std::fprintf(stderr,
-                 "[grid] %zu/%zu %s x %s (%.1fs cell, %.1fs elapsed, "
-                 "%zu threads)\n",
-                 done.fetch_add(1) + 1, total, entry.label.c_str(),
-                 method.c_str(), out.cell.cell_wall_seconds,
-                 watch.elapsed_seconds(), global_threads());
+    if (metrics_enabled()) {
+      // Folds the per-cell solver-timing data (the *_solver_timing_*.csv
+      // columns) into the metrics snapshot.
+      static Counter& cells = metric_counter("grid.cells");
+      static MetricHistogram& wall = metric_histogram("grid.cell_wall_seconds");
+      static MetricHistogram& mean_solve =
+          metric_histogram("grid.cell_mean_solve_seconds");
+      static MetricHistogram& max_solve =
+          metric_histogram("grid.cell_max_solve_seconds");
+      cells.add(1);
+      wall.observe(out.cell.cell_wall_seconds);
+      mean_solve.observe(out.cell.mean_solve_seconds);
+      max_solve.observe(out.cell.max_solve_seconds);
+    }
+    log_info("grid", "cell done",
+             {{"cell", done.fetch_add(1) + 1},
+              {"total", total},
+              {"workload", entry.label},
+              {"method", method},
+              {"cell_wall_s", out.cell.cell_wall_seconds},
+              {"elapsed_s", watch.elapsed_seconds()},
+              {"threads", global_threads()}});
   });
   return outcomes;
 }
@@ -269,8 +292,8 @@ MainGridResults ensure_main_grid(const ExperimentConfig& config) {
           parse_int_field(breakdowns.at(r, "count"), "count"));
       results.breakdowns.push_back(std::move(cell));
     }
-    std::fprintf(stderr, "[grid] loaded cached main grid (%zu cells)\n",
-                 results.cells.size());
+    log_info("grid", "loaded cached main grid",
+             {{"cells", results.cells.size()}, {"path", grid_path}});
     return results;
   }
 
@@ -300,8 +323,8 @@ std::vector<GridCell> ensure_ssd_grid(const ExperimentConfig& config) {
     for (std::size_t r = 0; r < grid.num_rows(); ++r) {
       cells.push_back(row_to_cell(grid, r));
     }
-    std::fprintf(stderr, "[grid] loaded cached SSD grid (%zu cells)\n",
-                 cells.size());
+    log_info("grid", "loaded cached SSD grid",
+             {{"cells", cells.size()}, {"path", path}});
     return cells;
   }
   cells = compute_ssd_grid(config);

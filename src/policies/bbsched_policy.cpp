@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/trace.hpp"
 #include "policies/problem_builder.hpp"
 
 namespace bbsched {
@@ -15,6 +16,12 @@ const DecisionRule& BBSchedPolicy::rule_for(std::size_t num_objectives) const {
 }
 
 WindowDecision BBSchedPolicy::select(const WindowContext& context) const {
+  // Wall-clock span of one full BBSched decision (Figure 1): problem build,
+  // Pareto approximation, decision rule.  The solver nests its own
+  // moo_ga.solve span inside this one.
+  TraceSpan span("bbsched.decision", "policy",
+                 {{"window", context.window.size()},
+                  {"pinned", context.pinned.size()}});
   const auto problem = build_window_problem(context);
   const MooGaSolver solver(params_);
   const MooResult result = solver.solve(*problem, *context.rng);
@@ -24,6 +31,9 @@ WindowDecision BBSchedPolicy::select(const WindowContext& context) const {
       context, *problem, result.pareto_set[choice].genes);
   decision.pareto_size = result.pareto_set.size();
   decision.evaluations = result.evaluations;
+  span.add_arg({"pareto_size", decision.pareto_size});
+  span.add_arg({"chosen", choice});
+  span.add_arg({"selected", decision.selected.size()});
   return decision;
 }
 

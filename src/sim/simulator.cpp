@@ -5,7 +5,10 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
+#include "common/trace.hpp"
 
 namespace bbsched {
 
@@ -96,6 +99,24 @@ std::vector<RunningJobInfo> Simulator::running_infos() const {
   return infos;
 }
 
+void Simulator::emit_occupancy(Time now) const {
+  const MachineConfig& machine = machine_.config();
+  const FreeState free = machine_.free_state();
+  const double nodes_used =
+      static_cast<double>(machine.nodes) - free.nodes;
+  const double bb_used = machine.schedulable_bb_gb() - free.bb_gb;
+  if (free.ssd_enabled) {
+    trace_counter("occupancy", now, trace_pid_,
+                  {{"nodes_used", nodes_used},
+                   {"bb_used_gb", bb_used},
+                   {"small_tier_free", free.small_nodes},
+                   {"large_tier_free", free.large_nodes}});
+  } else {
+    trace_counter("occupancy", now, trace_pid_,
+                  {{"nodes_used", nodes_used}, {"bb_used_gb", bb_used}});
+  }
+}
+
 void Simulator::start_job(std::size_t slot_index, Time now,
                           const Allocation& alloc, bool backfilled) {
   JobSlot& slot = slots_[slot_index];
@@ -107,6 +128,15 @@ void Simulator::start_job(std::size_t slot_index, Time now,
   slot.end = now + slot.record->runtime;
   slot.backfilled = backfilled;
   completions_.push({slot.end, slot_index});
+  if (tracing_) {
+    trace_instant(backfilled ? "backfill-start" : "start", "sched", now,
+                  trace_pid_,
+                  {{"job", slot.record->id},
+                   {"nodes", slot.record->nodes},
+                   {"bb_gb", slot.record->bb_gb},
+                   {"wait_s", now - slot.queued_since}});
+    emit_occupancy(now);
+  }
 }
 
 void Simulator::complete_job(std::size_t slot_index) {
@@ -114,6 +144,13 @@ void Simulator::complete_job(std::size_t slot_index) {
   assert(slot.state == JobState::kRunning);
   machine_.release(slot.record->id);
   slot.state = JobState::kDone;
+  if (tracing_) {
+    trace_instant("finish", "sched", slot.end, trace_pid_,
+                  {{"job", slot.record->id},
+                   {"runtime_s", slot.record->runtime},
+                   {"backfilled", slot.backfilled}});
+    emit_occupancy(slot.end);
+  }
   for (std::size_t dep_index : dependents_[slot_index]) {
     JobSlot& dependent = slots_[dep_index];
     assert(dependent.open_deps > 0);
@@ -188,6 +225,10 @@ std::size_t Simulator::schedule_pass(Time now) {
     (void)any_over_bound;
   }
   stats_.forced_starts += pinned.size();
+  if (tracing_ && !pinned.empty()) {
+    trace_instant("starvation-promotion", "sched", now, trace_pid_,
+                  {{"pinned", pinned.size()}, {"window", window_len}});
+  }
 
   // --- window selection (§3.2) ---------------------------------------------
   WindowDecision decision;
@@ -198,15 +239,35 @@ std::size_t Simulator::schedule_pass(Time now) {
     context.pinned = pinned;
     context.rng = &rng_;
 
+    TraceSpan select_span("policy.select", "sched",
+                          {{"policy", policy_.name()},
+                           {"window", window_len},
+                           {"pinned", pinned.size()}});
     Stopwatch watch;
     decision = policy_.select(context);
     if (config_.time_decisions) {
       const double elapsed = watch.elapsed_seconds();
       stats_.solve_seconds_total += elapsed;
       stats_.solve_seconds_max = std::max(stats_.solve_seconds_max, elapsed);
+      if (metrics_enabled()) {
+        static MetricHistogram& solve_hist =
+            metric_histogram("sim.solve_seconds");
+        solve_hist.observe(elapsed);
+      }
     }
     stats_.evaluations += decision.evaluations;
     stats_.pareto_size_sum += static_cast<double>(decision.pareto_size);
+    select_span.add_arg({"selected", decision.selected.size()});
+    select_span.add_arg({"pareto_size", decision.pareto_size});
+    select_span.add_arg({"evaluations", decision.evaluations});
+    if (tracing_) {
+      trace_instant("window-select", "sched", now, trace_pid_,
+                    {{"window", window_len},
+                     {"pinned", pinned.size()},
+                     {"selected", decision.selected.size()},
+                     {"pareto_size", decision.pareto_size},
+                     {"evaluations", decision.evaluations}});
+    }
   }
 
   if (!decision.allocations.empty() &&
@@ -282,6 +343,14 @@ std::size_t Simulator::schedule_pass(Time now) {
 }
 
 SimResult Simulator::run() {
+  // Latch telemetry once: runs are all-or-nothing traced, and a run with
+  // telemetry off takes exactly one atomic load extra per emission site.
+  tracing_ = trace_enabled();
+  if (tracing_) {
+    trace_pid_ =
+        trace_register_process("sim " + workload_.name + "/" + policy_.name());
+  }
+
   std::size_t next_arrival = 0;
   const std::size_t total = slots_.size();
   std::size_t done = 0;
@@ -339,6 +408,13 @@ SimResult Simulator::run() {
       JobSlot& slot = slots_[next_arrival];
       slot.state = JobState::kWaiting;
       slot.queued_since = slot.record->submit_time;
+      if (tracing_) {
+        trace_instant("submit", "sched", slot.record->submit_time, trace_pid_,
+                      {{"job", slot.record->id},
+                       {"nodes", slot.record->nodes},
+                       {"bb_gb", slot.record->bb_gb},
+                       {"deps", slot.record->dependencies.size()}});
+      }
       ++next_arrival;
     }
 
@@ -379,6 +455,33 @@ SimResult Simulator::run() {
   result.measure_end =
       first_submit + span - config_.cooldown_fraction * span;
   result.decisions = stats_;
+
+  if (metrics_enabled()) {
+    static Counter& runs = metric_counter("sim.runs");
+    static Counter& cycles = metric_counter("sim.cycles");
+    static Counter& policy_starts = metric_counter("sim.policy_starts");
+    static Counter& backfill_starts = metric_counter("sim.backfill_starts");
+    static Counter& forced_starts = metric_counter("sim.forced_starts");
+    static Counter& evaluations = metric_counter("sim.evaluations");
+    runs.add(1);
+    cycles.add(stats_.cycles);
+    policy_starts.add(stats_.policy_starts);
+    backfill_starts.add(stats_.backfill_starts);
+    forced_starts.add(stats_.forced_starts);
+    evaluations.add(stats_.evaluations);
+  }
+  if (log_enabled(LogLevel::kDebug)) {
+    log_debug("sim", "run complete",
+              {{"workload", workload_.name},
+               {"policy", policy_.name()},
+               {"jobs", total},
+               {"cycles", stats_.cycles},
+               {"policy_starts", stats_.policy_starts},
+               {"backfill_starts", stats_.backfill_starts},
+               {"forced_starts", stats_.forced_starts},
+               {"makespan_s", result.makespan},
+               {"mean_solve_s", stats_.mean_solve_seconds()}});
+  }
   return result;
 }
 

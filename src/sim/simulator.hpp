@@ -81,6 +81,8 @@ class Simulator {
   void start_job(std::size_t slot_index, Time now, const Allocation& alloc,
                  bool backfilled);
   void complete_job(std::size_t slot_index);
+  /// Emit node/BB(/SSD) occupancy counter samples on the sim trace lane.
+  void emit_occupancy(Time now) const;
   std::vector<std::size_t> sorted_waiting(Time now) const;
   std::vector<RunningJobInfo> running_infos() const;
 
@@ -102,6 +104,11 @@ class Simulator {
   Rng rng_;
   DecisionStats stats_;
   Time last_event_time_ = 0;  ///< timestamp of the last processed event
+
+  // Telemetry (trace.hpp): latched once per run() so the whole run either
+  // traces or doesn't; consumes no RNG and never alters scheduling.
+  bool tracing_ = false;
+  int trace_pid_ = 0;  ///< sim-time trace lane of this run
 };
 
 /// Convenience wrapper: build and run in one call.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/csv.hpp"
+#include "common/log.hpp"
 
 namespace bbsched {
 
@@ -57,6 +58,8 @@ Workload read_trace_csv(std::istream& in, std::string name,
   workload.name = std::move(name);
   workload.machine = std::move(machine);
   workload.jobs.reserve(table.num_rows());
+  log_debug("trace_io", "parsed trace CSV",
+            {{"rows", table.num_rows()}, {"trace", workload.name}});
   for (std::size_t r = 0; r < table.num_rows(); ++r) {
     JobRecord job;
     job.id = static_cast<JobId>(parse_int_field(table.at(r, "id"), "id"));
@@ -91,6 +94,8 @@ Workload read_swf(std::istream& in, std::string name, MachineConfig machine,
   workload.name = std::move(name);
   workload.machine = std::move(machine);
   std::string line;
+  std::size_t skipped_no_procs = 0;
+  std::size_t skipped_zero_runtime = 0;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == ';') continue;
     std::istringstream fields(line);
@@ -106,14 +111,27 @@ Workload read_swf(std::istream& in, std::string name, MachineConfig machine,
     job.submit_time = f[1];
     job.runtime = f[3] > 0 ? f[3] : 0;
     const double procs = f[7] > 0 ? f[7] : f[4];  // requested else allocated
-    if (procs <= 0) continue;  // cancelled-before-start records
+    if (procs <= 0) {  // cancelled-before-start records
+      ++skipped_no_procs;
+      continue;
+    }
     job.nodes = static_cast<NodeCount>(
         (static_cast<std::int64_t>(procs) + cores_per_node - 1) /
         cores_per_node);
     const double requested_time = f[8] > 0 ? f[8] : job.runtime;
     job.walltime = std::max(requested_time, job.runtime);
-    if (job.runtime <= 0) continue;  // zero-length records carry no load
+    if (job.runtime <= 0) {  // zero-length records carry no load
+      ++skipped_zero_runtime;
+      continue;
+    }
     workload.jobs.push_back(std::move(job));
+  }
+  if (skipped_no_procs + skipped_zero_runtime > 0) {
+    log_warn("trace_io", "skipped unusable SWF records",
+             {{"no_procs", skipped_no_procs},
+              {"zero_runtime", skipped_zero_runtime},
+              {"kept", workload.jobs.size()},
+              {"trace", workload.name}});
   }
   workload.normalize();
   return workload;

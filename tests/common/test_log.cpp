@@ -1,0 +1,112 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace bbsched {
+namespace {
+
+/// Captures the sink and restores stderr + the previous level on exit so
+/// tests do not leak state into each other.
+class SinkCapture {
+ public:
+  SinkCapture() : saved_level_(log_level()) { set_log_sink(&stream_); }
+  ~SinkCapture() {
+    set_log_sink(nullptr);
+    set_log_level(saved_level_);
+  }
+  std::string text() const { return stream_.str(); }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::istringstream in(stream_.str());
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel saved_level_;
+};
+
+TEST(LogLevelParse, RoundTripsEveryLevel) {
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST(LogLevelParse, CaseInsensitive) {
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+}
+
+TEST(LogLevelParse, RejectsUnknownNames) {
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_log_level(""), std::invalid_argument);
+}
+
+TEST(LogFilter, ThresholdDropsLowerLevels) {
+  SinkCapture capture;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  log_info("test", "dropped");
+  log_warn("test", "kept");
+  log_error("test", "also kept");
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("level=warn"), std::string::npos);
+  EXPECT_NE(lines[1].find("level=error"), std::string::npos);
+}
+
+TEST(LogFilter, OffSilencesEverything) {
+  SinkCapture capture;
+  set_log_level(LogLevel::kOff);
+  log_error("test", "nothing");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(LogFormat, KeyValueFieldsAndQuoting) {
+  SinkCapture capture;
+  set_log_level(LogLevel::kInfo);
+  log_info("comp", "two words",
+           {{"n", 42}, {"ratio", 0.5}, {"label", "has space"}});
+  const std::string line = capture.text();
+  EXPECT_NE(line.find("comp=comp"), std::string::npos);
+  EXPECT_NE(line.find("msg=\"two words\""), std::string::npos);
+  EXPECT_NE(line.find("n=42"), std::string::npos);
+  EXPECT_NE(line.find("ratio=0.5"), std::string::npos);
+  EXPECT_NE(line.find("label=\"has space\""), std::string::npos);
+}
+
+TEST(LogConcurrency, LinesNeverInterleave) {
+  SinkCapture capture;
+  set_log_level(LogLevel::kInfo);
+  constexpr std::size_t kRecords = 200;
+  parallel_for(kRecords, [](std::size_t i) {
+    log_info("worker", "tick", {{"i", i}, {"pad", "xxxxxxxxxxxxxxxx"}});
+  });
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), kRecords);
+  // Every line must be a complete record carrying its own index exactly once.
+  std::set<std::string> seen;
+  for (const auto& line : lines) {
+    EXPECT_NE(line.find("msg=tick"), std::string::npos) << line;
+    EXPECT_NE(line.find("pad=xxxxxxxxxxxxxxxx"), std::string::npos) << line;
+    const auto pos = line.find(" i=");
+    ASSERT_NE(pos, std::string::npos) << line;
+    seen.insert(line.substr(pos));
+  }
+  EXPECT_EQ(seen.size(), kRecords);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,143 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/thread_pool.hpp"
+
+namespace bbsched {
+namespace {
+
+TEST(MetricCounter, ConcurrentAddsAreExact) {
+  Counter counter;
+  constexpr std::size_t kTasks = 1000;
+  parallel_for(kTasks, [&](std::size_t i) { counter.add(i % 3 + 1); });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kTasks; ++i) expected += i % 3 + 1;
+  EXPECT_EQ(counter.value(), expected);
+}
+
+TEST(MetricGauge, LastWriteWins) {
+  Gauge gauge;
+  gauge.set(1.5);
+  gauge.set(-2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricHistogramTest, BucketsCountAndStats) {
+  MetricHistogram h({1.0, 10.0, 100.0});
+  for (double v : {0.5, 0.7, 1.0, 5.0, 50.0, 1000.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 0.7 + 1.0 + 5.0 + 50.0 + 1000.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_EQ(h.bucket_count(0), 3u);  // <= 1.0 (boundary is inclusive)
+  EXPECT_EQ(h.bucket_count(1), 1u);  // <= 10.0
+  EXPECT_EQ(h.bucket_count(2), 1u);  // <= 100.0
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +inf
+}
+
+TEST(MetricHistogramTest, EmptyReportsZeroMinMax) {
+  MetricHistogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(MetricHistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(MetricHistogram({}), std::invalid_argument);
+  EXPECT_THROW(MetricHistogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(MetricHistogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricHistogramTest, ConcurrentObservationsSumExactly) {
+  MetricHistogram h(default_seconds_bounds());
+  constexpr std::size_t kTasks = 2000;
+  parallel_for(kTasks, [&](std::size_t i) {
+    h.observe(static_cast<double>(i % 7) * 0.01);
+  });
+  EXPECT_EQ(h.count(), kTasks);
+  std::uint64_t bucketed = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    bucketed += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucketed, kTasks);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsSameObject) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("reg.hits");
+  Counter& b = registry.counter("reg.hits");
+  EXPECT_EQ(&a, &b);
+  MetricHistogram& h1 = registry.histogram("reg.lat", {1.0, 2.0});
+  MetricHistogram& h2 = registry.histogram("reg.lat", {5.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("metric.x");
+  EXPECT_THROW(registry.gauge("metric.x"), std::logic_error);
+  EXPECT_THROW(registry.histogram("metric.x"), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, ResetKeepsReferencesValid) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("reset.count");
+  MetricHistogram& h = registry.histogram("reset.lat", {1.0});
+  counter.add(5);
+  h.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  counter.add(1);  // still wired to the registry entry
+  EXPECT_EQ(registry.counter("reset.count").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, CsvSnapshotParsesBack) {
+  MetricsRegistry registry;
+  registry.counter("snap.count").add(3);
+  registry.gauge("snap.level").set(0.25);
+  MetricHistogram& h = registry.histogram("snap.lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(20.0);
+
+  std::ostringstream out;
+  registry.write_csv(out);
+  std::istringstream in(out.str());
+  const CsvTable table = CsvTable::read(in);
+  EXPECT_EQ(table.header(), (CsvRow{"metric", "kind", "field", "value"}));
+
+  auto find = [&](const std::string& metric,
+                  const std::string& field) -> std::string {
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      if (table.at(r, "metric") == metric && table.at(r, "field") == field) {
+        return table.at(r, "value");
+      }
+    }
+    return "<missing>";
+  };
+  EXPECT_EQ(find("snap.count", "value"), "3");
+  EXPECT_DOUBLE_EQ(parse_double_field(find("snap.level", "value"), "value"),
+                   0.25);
+  EXPECT_EQ(find("snap.lat", "count"), "2");
+  EXPECT_EQ(find("snap.lat", "le_1"), "1");
+  EXPECT_EQ(find("snap.lat", "le_inf"), "1");
+}
+
+TEST(MetricsEnabled, TogglesGlobalFlag) {
+  EXPECT_FALSE(metrics_enabled());  // off by default
+  set_metrics_enabled(true);
+  EXPECT_TRUE(metrics_enabled());
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,342 @@
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace bbsched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON parser — enough to prove the trace export is
+// well-formed and to inspect the events, without external dependencies.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object.emplace(key.string, value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': v.string.push_back('"'); break;
+          case '\\': v.string.push_back('\\'); break;
+          case '/': v.string.push_back('/'); break;
+          case 'b': v.string.push_back('\b'); break;
+          case 'f': v.string.push_back('\f'); break;
+          case 'n': v.string.push_back('\n'); break;
+          case 'r': v.string.push_back('\r'); break;
+          case 't': v.string.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("short \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + static_cast<std::size_t>(i)]))) {
+                fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            v.string.push_back('?');  // codepoint value irrelevant here
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        v.string.push_back(c);
+      }
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNull;
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Arms tracing for one test and restores a clean disabled recorder after.
+class TraceSession {
+ public:
+  TraceSession() {
+    trace_clear();
+    set_trace_enabled(true);
+  }
+  ~TraceSession() {
+    set_trace_enabled(false);
+    trace_clear();
+  }
+
+  JsonValue export_json() const {
+    std::ostringstream out;
+    write_trace_json(out);
+    return JsonParser(out.str()).parse();
+  }
+};
+
+std::vector<const JsonValue*> events_named(const JsonValue& root,
+                                           const std::string& name) {
+  std::vector<const JsonValue*> out;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("name").string == name) out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  trace_clear();
+  ASSERT_FALSE(trace_enabled());  // off by default
+  trace_instant("submit", "sched", 1.0, kTraceWallPid, {{"job", 7}});
+  trace_complete("solve", "solver", 0.0, 0.5);
+  trace_counter("occupancy", 1.0, kTraceWallPid, {{"nodes_used", 3}});
+  { TraceSpan span("scoped", "test"); }
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_register_process("ignored"), kTraceWallPid);
+}
+
+TEST(Trace, ExportIsWellFormedJson) {
+  TraceSession session;
+  const int pid = trace_register_process("sim test/BBSched");
+  EXPECT_GE(pid, 1);
+  trace_instant("submit", "sched", 10.0, pid,
+                {{"job", 1}, {"note", "quote \" backslash \\ done"}});
+  trace_complete("moo_ga.solve", "solver", 0.25, 0.5, {{"pareto_size", 4}});
+  trace_counter("occupancy", 10.0, pid,
+                {{"nodes_used", 12}, {"bb_used_gb", 3.5}});
+  { TraceSpan span("policy.select", "sched", {{"window", 20}}); }
+
+  const JsonValue root = session.export_json();
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  EXPECT_TRUE(root.has("displayTimeUnit"));
+  const auto& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  for (const JsonValue& e : events.array) {
+    EXPECT_EQ(e.kind, JsonValue::Kind::kObject);
+    EXPECT_EQ(e.at("ph").kind, JsonValue::Kind::kString);
+    EXPECT_EQ(e.at("pid").kind, JsonValue::Kind::kNumber);
+    EXPECT_EQ(e.at("name").kind, JsonValue::Kind::kString);
+  }
+
+  const auto submits = events_named(root, "submit");
+  ASSERT_EQ(submits.size(), 1u);
+  EXPECT_EQ(submits[0]->at("ph").string, "i");
+  EXPECT_EQ(submits[0]->at("pid").number, pid);
+  EXPECT_DOUBLE_EQ(submits[0]->at("ts").number, 10.0 * 1e6);  // microseconds
+  EXPECT_EQ(submits[0]->at("args").at("job").number, 1.0);
+  EXPECT_EQ(submits[0]->at("args").at("note").string,
+            "quote \" backslash \\ done");
+
+  const auto solves = events_named(root, "moo_ga.solve");
+  ASSERT_EQ(solves.size(), 1u);
+  EXPECT_EQ(solves[0]->at("ph").string, "X");
+  EXPECT_EQ(solves[0]->at("pid").number, kTraceWallPid);
+  EXPECT_DOUBLE_EQ(solves[0]->at("dur").number, 0.5 * 1e6);
+
+  const auto counters = events_named(root, "occupancy");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0]->at("ph").string, "C");
+  EXPECT_DOUBLE_EQ(counters[0]->at("args").at("bb_used_gb").number, 3.5);
+
+  EXPECT_EQ(events_named(root, "policy.select").size(), 1u);
+
+  // Process metadata names both the wall lane and the registered sim lane.
+  bool wall_named = false;
+  bool sim_named = false;
+  for (const JsonValue& e : events.array) {
+    if (e.at("name").string != "process_name") continue;
+    const std::string& label = e.at("args").at("name").string;
+    if (e.at("pid").number == kTraceWallPid && label == "wall-clock") {
+      wall_named = true;
+    }
+    if (e.at("pid").number == pid && label == "sim test/BBSched") {
+      sim_named = true;
+    }
+  }
+  EXPECT_TRUE(wall_named);
+  EXPECT_TRUE(sim_named);
+}
+
+TEST(Trace, NonFiniteArgsStayValidJson) {
+  TraceSession session;
+  trace_instant("weird", "test", 0.0, kTraceWallPid,
+                {{"nan", std::nan("")}, {"ok", 1.0}});
+  const JsonValue root = session.export_json();  // parse must not throw
+  const auto events = events_named(root, "weird");
+  ASSERT_EQ(events.size(), 1u);
+  // Non-finite numbers have no JSON literal; they are demoted to strings.
+  EXPECT_EQ(events[0]->at("args").at("nan").kind, JsonValue::Kind::kString);
+  EXPECT_EQ(events[0]->at("args").at("ok").kind, JsonValue::Kind::kNumber);
+}
+
+TEST(Trace, ConcurrentRecordingLosesNoEvents) {
+  TraceSession session;
+  constexpr std::size_t kTasks = 500;
+  parallel_for(kTasks, [](std::size_t i) {
+    trace_instant("tick", "test", static_cast<double>(i), kTraceWallPid,
+                  {{"i", i}});
+  });
+  EXPECT_GE(trace_event_count(), kTasks);
+  const JsonValue root = session.export_json();
+  const auto ticks = events_named(root, "tick");
+  ASSERT_EQ(ticks.size(), kTasks);
+  std::vector<bool> seen(kTasks, false);
+  for (const JsonValue* e : ticks) {
+    const auto i = static_cast<std::size_t>(e->at("args").at("i").number);
+    ASSERT_LT(i, kTasks);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Trace, ClearDropsEverything) {
+  TraceSession session;
+  trace_instant("gone", "test", 0.0, kTraceWallPid);
+  EXPECT_GT(trace_event_count(), 0u);
+  trace_clear();
+  EXPECT_EQ(trace_event_count(), 0u);
+  const JsonValue root = session.export_json();
+  EXPECT_TRUE(events_named(root, "gone").empty());
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -22,7 +22,12 @@ ExperimentConfig tiny_config(const std::string& cache_dir) {
 class GridTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    cache_dir_ = (fs::temp_directory_path() / "bbsched_grid_test").string();
+    // Unique per test case: ctest -j runs cases as concurrent processes,
+    // and a shared directory would let them clobber each other's cache.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    cache_dir_ = (fs::temp_directory_path() /
+                  (std::string("bbsched_grid_test_") + info->name()))
+                     .string();
     fs::remove_all(cache_dir_);
   }
   void TearDown() override { fs::remove_all(cache_dir_); }
