@@ -19,11 +19,13 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/planner.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "exp/grid.hpp"
 #include "policies/factory.hpp"
+#include "sim/easy_backfill.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
@@ -107,7 +109,128 @@ void run_simulate_telemetry(benchmark::State& state, bool trace,
   }
 }
 
+/// One EASY-backfill invocation at a given queue depth: `running` jobs hold
+/// one node each, the head fits after three releases, and a short candidate
+/// pool follows.  The legacy path re-sorts every running job per call; the
+/// planner path reads the incrementally maintained release index and stops
+/// at the third entry — the asymmetry the planner refactor targets.
+struct BackfillFixture {
+  static constexpr int kBaseRunning = 32;
+  static constexpr std::size_t kCandidates = 8;
+
+  MachineConfig config;
+  MachineState legacy;
+  MachineState planned;
+  std::vector<RunningJobInfo> running;
+  std::vector<JobRecord> storage;
+  std::vector<BackfillCandidate> candidates;
+  JobRecord head;
+
+  explicit BackfillFixture(int depth)
+      : config(make_config(depth)), legacy(config), planned(config) {
+    planned.enable_planner();
+    const int n_running = kBaseRunning * depth;
+    // Release times land in shuffled order so the legacy per-call sort does
+    // real work, exactly as in a live simulation.
+    std::vector<Time> ends(static_cast<std::size_t>(n_running));
+    for (int i = 0; i < n_running; ++i) {
+      ends[static_cast<std::size_t>(i)] = 100.0 + i;
+    }
+    Rng rng(mix_seed(99, "bench-backfill"));
+    for (std::size_t i = ends.size(); i > 1; --i) {
+      std::swap(ends[i - 1], ends[static_cast<std::size_t>(rng.uniform_int(
+                                 0, static_cast<std::int64_t>(i) - 1))]);
+    }
+    for (int i = 0; i < n_running; ++i) {
+      Allocation alloc;
+      alloc.small_nodes = 1;
+      const JobId id = static_cast<JobId>(1000 + i);
+      const Time end = ends[static_cast<std::size_t>(i)];
+      legacy.allocate(id, alloc);
+      planned.allocate_timed(id, alloc, 0, end);
+      running.push_back({id, end, alloc});
+    }
+    // 4 nodes stay free; the head needs 7, so it fits after 3 releases.
+    head.id = 1;
+    head.nodes = 7;
+    head.runtime = head.walltime = 5000;
+    storage.reserve(kCandidates);  // BackfillCandidate keeps pointers
+    for (std::size_t k = 0; k < kCandidates; ++k) {
+      JobRecord j;
+      j.id = static_cast<JobId>(10 + k);
+      j.nodes = 2;
+      j.runtime = j.walltime = 50;  // finishes before the shadow
+      storage.push_back(j);
+    }
+    for (std::size_t k = 0; k < kCandidates; ++k) {
+      candidates.push_back({&storage[k], k});
+    }
+  }
+
+  static MachineConfig make_config(int depth) {
+    MachineConfig m;
+    m.name = "bench";
+    m.nodes = static_cast<NodeCount>(kBaseRunning) * depth + 4;
+    m.burst_buffer_gb = tb(100);
+    return m;
+  }
+};
+
+void run_backfill(benchmark::State& state, bool use_planner, int depth) {
+  const BackfillFixture f(depth);
+  for (auto _ : state) {
+    const BackfillResult result =
+        use_planner
+            ? plan_easy_backfill(f.planned, &f.head, f.candidates, 0)
+            : plan_easy_backfill(f.legacy, &f.head, f.running, f.candidates,
+                                 0);
+    benchmark::DoNotOptimize(result.shadow_time);
+  }
+}
+
+/// Timeline maintenance cost: rolling add/remove churn against `live`
+/// resident spans (the planner's O(log n) amortized claim under load).
+void run_planner_churn(benchmark::State& state, int live) {
+  Planner planner(std::vector<double>{1e9, 1e9, 1e9});
+  const std::vector<double> request{4, 1, 128};
+  std::vector<SpanId> spans;
+  Time clock = 0;
+  for (int i = 0; i < live; ++i) {
+    spans.push_back(planner.add_span(clock, 500, request, 0));
+    clock += 1;
+  }
+  std::size_t oldest = 0;
+  for (auto _ : state) {
+    planner.remove_span(spans[oldest]);
+    spans[oldest] = planner.add_span(clock, 500, request, 0);
+    clock += 1;
+    oldest = (oldest + 1) % spans.size();
+  }
+}
+
 void register_all() {
+  // Planner-vs-legacy backfill hot path at 1x / 10x / 100x queue depth.
+  // Acceptance: planner >= 5x faster than legacy at depth=100x.
+  for (const int depth : {1, 10, 100}) {
+    for (const bool use_planner : {false, true}) {
+      const std::string name =
+          std::string("backfill/impl=") + (use_planner ? "planner" : "legacy") +
+          "/depth=" + std::to_string(depth) + "x";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [use_planner, depth](benchmark::State& state) {
+            run_backfill(state, use_planner, depth);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  for (const int live : {32, 320, 3200}) {
+    benchmark::RegisterBenchmark(
+        ("planner_churn/live=" + std::to_string(live)).c_str(),
+        [live](benchmark::State& state) { run_planner_churn(state, live); })
+        ->Unit(benchmark::kMicrosecond);
+  }
+
   benchmark::RegisterBenchmark(
       "simulate/telemetry=off",
       [](benchmark::State& state) {

@@ -1,0 +1,304 @@
+#include "common/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace bbsched {
+
+namespace {
+
+void check_request(std::span<const double> request, std::size_t k) {
+  if (request.size() != k) {
+    throw std::invalid_argument("planner: request has " +
+                                std::to_string(request.size()) +
+                                " resources, timeline has " +
+                                std::to_string(k));
+  }
+  for (double r : request) {
+    if (std::isnan(r) || r < 0) {
+      throw std::invalid_argument("planner: request must be >= 0");
+    }
+  }
+}
+
+// Span starts and query times must be finite: a span cannot begin "at
+// infinity", and availability exactly at t = +inf is ill-defined (every
+// half-open span [t0, inf) excludes the point inf itself).  Durations may be
+// infinite; +inf only ever appears as an exclusive interval end.
+void check_time(Time t, const char* what) {
+  if (!std::isfinite(t)) {
+    throw std::invalid_argument(std::string("planner: ") + what +
+                                " must be finite");
+  }
+}
+
+void check_duration(Time d) {
+  if (std::isnan(d) || d < 0) {
+    throw std::invalid_argument("planner: duration must be >= 0");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+Planner::Planner(std::vector<double> capacity)
+    : capacity_(std::move(capacity)) {
+  if (capacity_.empty()) {
+    throw std::invalid_argument("planner: need >= 1 resource");
+  }
+  for (double c : capacity_) {
+    if (std::isnan(c) || c < 0) {
+      throw std::invalid_argument("planner: capacity must be >= 0");
+    }
+  }
+}
+
+Planner::PointMap::iterator Planner::ref_point(Time t) {
+  auto it = points_.lower_bound(t);
+  if (it != points_.end() && it->first == t) {
+    ++it->second.refs;
+    return it;
+  }
+  // New point: availability continues the covering interval's value.
+  std::vector<double> value =
+      it == points_.begin() ? capacity_ : std::prev(it)->second.remaining;
+  return points_.emplace_hint(it, t, Point{std::move(value), 1});
+}
+
+void Planner::unref_point(Time t) {
+  const auto it = points_.find(t);
+  if (it == points_.end()) return;  // defensive; refs keep points alive
+  if (--it->second.refs <= 0) points_.erase(it);
+}
+
+SpanId Planner::add_span(Time t0, Time duration,
+                         std::span<const double> request, std::uint64_t tag) {
+  check_request(request, capacity_.size());
+  check_time(t0, "span start");
+  check_duration(duration);
+
+  const Time t1 = t0 + duration;  // +inf for never-ending spans
+  const SpanId id = next_id_++;
+  const auto [span_it, inserted] = spans_.emplace(
+      id, SpanInfo{t0, t1, tag,
+                   std::vector<double>(request.begin(), request.end())});
+  (void)inserted;
+  ends_.emplace(std::make_tuple(t1, tag, id), &span_it->second);
+
+  if (t1 > t0) {
+    auto first = ref_point(t0);
+    if (t1 != kPlannerNever) ref_point(t1);
+    for (auto p = first; p != points_.end() && p->first < t1; ++p) {
+      for (std::size_t i = 0; i < request.size(); ++i) {
+        p->second.remaining[i] -= request[i];
+      }
+    }
+  }
+  return id;
+}
+
+void Planner::remove_span(SpanId id) {
+  const auto it = spans_.find(id);
+  if (it == spans_.end()) {
+    throw std::logic_error("planner: unknown span " + std::to_string(id));
+  }
+  const SpanInfo& s = it->second;
+  ends_.erase(std::make_tuple(s.end, s.tag, id));
+  if (s.end > s.start) {
+    for (auto p = points_.find(s.start);
+         p != points_.end() && p->first < s.end; ++p) {
+      for (std::size_t i = 0; i < s.request.size(); ++i) {
+        p->second.remaining[i] += s.request[i];
+      }
+    }
+    unref_point(s.start);
+    if (s.end != kPlannerNever) unref_point(s.end);
+  }
+  spans_.erase(it);
+}
+
+void Planner::avail_at(Time t, std::span<double> out) const {
+  check_time(t, "query time");
+  if (out.size() != capacity_.size()) {
+    throw std::invalid_argument("planner: avail_at output size mismatch");
+  }
+  const auto it = points_.upper_bound(t);
+  const std::vector<double>& value =
+      it == points_.begin() ? capacity_ : std::prev(it)->second.remaining;
+  std::copy(value.begin(), value.end(), out.begin());
+}
+
+std::vector<double> Planner::avail_at(Time t) const {
+  std::vector<double> out(capacity_.size());
+  avail_at(t, out);
+  return out;
+}
+
+void Planner::avail_during(Time t, Time duration,
+                           std::span<double> out) const {
+  check_duration(duration);
+  avail_at(t, out);
+  const Time t1 = t + duration;
+  for (auto it = points_.upper_bound(t);
+       it != points_.end() && it->first < t1; ++it) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::min(out[i], it->second.remaining[i]);
+    }
+  }
+}
+
+std::vector<double> Planner::avail_during(Time t, Time duration) const {
+  std::vector<double> out(capacity_.size());
+  avail_during(t, duration, out);
+  return out;
+}
+
+bool Planner::fits_during(Time t, Time duration,
+                          std::span<const double> request) const {
+  check_request(request, capacity_.size());
+  check_time(t, "query time");
+  check_duration(duration);
+  auto it = points_.upper_bound(t);
+  const std::vector<double>& base =
+      it == points_.begin() ? capacity_ : std::prev(it)->second.remaining;
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    if (request[i] > base[i]) return false;
+  }
+  const Time t1 = t + duration;
+  for (; it != points_.end() && it->first < t1; ++it) {
+    for (std::size_t i = 0; i < request.size(); ++i) {
+      if (request[i] > it->second.remaining[i]) return false;
+    }
+  }
+  return true;
+}
+
+Time Planner::earliest_fit(Time after, Time duration,
+                           std::span<const double> request) const {
+  check_request(request, capacity_.size());
+  check_time(after, "query time");
+  check_duration(duration);
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    if (request[i] > capacity_[i]) return kPlannerNever;
+  }
+  // Availability is piecewise constant, so only `after` and change-points can
+  // be earliest fits (sliding left inside an interval never hurts).
+  Time candidate = after;
+  while (true) {
+    if (fits_during(candidate, duration, request)) return candidate;
+    const auto it = points_.upper_bound(candidate);
+    if (it == points_.end()) return kPlannerNever;
+    candidate = it->first;
+  }
+}
+
+const Planner::SpanInfo& Planner::span(SpanId id) const {
+  const auto it = spans_.find(id);
+  if (it == spans_.end()) {
+    throw std::logic_error("planner: unknown span " + std::to_string(id));
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// NaivePlanner
+// ---------------------------------------------------------------------------
+
+NaivePlanner::NaivePlanner(std::vector<double> capacity)
+    : capacity_(std::move(capacity)) {
+  if (capacity_.empty()) {
+    throw std::invalid_argument("planner: need >= 1 resource");
+  }
+  for (double c : capacity_) {
+    if (std::isnan(c) || c < 0) {
+      throw std::invalid_argument("planner: capacity must be >= 0");
+    }
+  }
+}
+
+SpanId NaivePlanner::add_span(Time t0, Time duration,
+                              std::span<const double> request,
+                              std::uint64_t tag) {
+  check_request(request, capacity_.size());
+  check_time(t0, "span start");
+  check_duration(duration);
+  const SpanId id = next_id_++;
+  spans_.emplace(id, Planner::SpanInfo{
+                         t0, t0 + duration, tag,
+                         std::vector<double>(request.begin(), request.end())});
+  return id;
+}
+
+void NaivePlanner::remove_span(SpanId id) {
+  if (spans_.erase(id) == 0) {
+    throw std::logic_error("planner: unknown span " + std::to_string(id));
+  }
+}
+
+std::vector<double> NaivePlanner::avail_at(Time t) const {
+  check_time(t, "query time");
+  std::vector<double> out = capacity_;
+  for (const auto& [id, s] : spans_) {
+    if (s.start <= t && t < s.end) {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] -= s.request[i];
+    }
+  }
+  return out;
+}
+
+std::vector<Time> NaivePlanner::boundaries_between(Time t, Time limit) const {
+  std::vector<Time> times;
+  for (const auto& [id, s] : spans_) {
+    if (s.start > t && s.start < limit) times.push_back(s.start);
+    if (s.end > t && s.end < limit && std::isfinite(s.end)) {
+      times.push_back(s.end);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+std::vector<double> NaivePlanner::avail_during(Time t, Time duration) const {
+  check_duration(duration);
+  std::vector<double> out = avail_at(t);
+  for (const Time u : boundaries_between(t, t + duration)) {
+    const std::vector<double> at = avail_at(u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::min(out[i], at[i]);
+    }
+  }
+  return out;
+}
+
+bool NaivePlanner::fits_during(Time t, Time duration,
+                               std::span<const double> request) const {
+  check_request(request, capacity_.size());
+  const std::vector<double> avail = avail_during(t, duration);
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    if (request[i] > avail[i]) return false;
+  }
+  return true;
+}
+
+Time NaivePlanner::earliest_fit(Time after, Time duration,
+                                std::span<const double> request) const {
+  check_request(request, capacity_.size());
+  check_time(after, "query time");
+  check_duration(duration);
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    if (request[i] > capacity_[i]) return kPlannerNever;
+  }
+  if (fits_during(after, duration, request)) return after;
+  for (const Time u : boundaries_between(after, kPlannerNever)) {
+    if (fits_during(u, duration, request)) return u;
+  }
+  return kPlannerNever;
+}
+
+}  // namespace bbsched

@@ -1,0 +1,183 @@
+// planner.hpp — time-indexed multi-resource availability timeline.
+//
+// Modeled on flux-sched's resource/planner: the timeline keeps *scheduled
+// points* — the instants where available capacity changes — in an ordered
+// balanced structure (std::map, a red-black tree).  Each point stores the
+// remaining capacity vector on the half-open interval from that point to the
+// next one; before the first point the full capacity is available.  A *span*
+// reserves a request vector over [t0, t0 + duration) and can be removed
+// later (jobs that finish early release their walltime reservation), which
+// restores exactly the capacity it took and erases any change-point no live
+// span references anymore.
+//
+// Complexity with n live spans and k resources: avail_at is O(log n);
+// add_span / remove_span are O(log n + p·k) where p is the number of points
+// the span overlaps; avail_during / earliest_fit are O(log n + w·k) with w
+// points in the inspected window.  For the simulator's use — spans enter and
+// leave in event order and queries scan to the first fit — the amortized
+// per-operation cost is O(log n) plus the touched points.
+//
+// Numerical contract: the planner is a *ledger*.  It never rejects a span
+// (callers gate on avail_during when they need admission control), and it
+// restores capacity by adding back the exact request that was subtracted.
+// With integer-valued requests below 2^53 every stored value is exact, which
+// is what the differential harness (tests/common/test_planner_differential)
+// relies on to demand bit-identical answers from the NaivePlanner reference.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace bbsched {
+
+/// Handle of one reservation span; unique per planner instance.
+using SpanId = std::int64_t;
+
+/// "No time at which the request fits" sentinel of earliest_fit.
+inline constexpr Time kPlannerNever = std::numeric_limits<Time>::infinity();
+
+/// Ordered multi-resource availability timeline (see file comment).
+class Planner {
+ public:
+  /// One live reservation: [start, end) taking `request` of each resource.
+  struct SpanInfo {
+    Time start = 0;
+    Time end = 0;            ///< start + duration; may be +inf (never ends)
+    std::uint64_t tag = 0;   ///< caller-defined tie-break key (e.g. job id)
+    std::vector<double> request;
+  };
+
+  /// `capacity[r]` is the total capacity of resource r; fixed for the
+  /// planner's lifetime.
+  explicit Planner(std::vector<double> capacity);
+
+  std::size_t num_resources() const { return capacity_.size(); }
+  const std::vector<double>& capacity() const { return capacity_; }
+
+  /// Reserve `request` over [t0, t0 + duration).  `duration` >= 0; a
+  /// zero-duration span occupies nothing but is registered (and shows up in
+  /// for_each_release with end == t0).  Returns the span's handle.
+  SpanId add_span(Time t0, Time duration, std::span<const double> request,
+                  std::uint64_t tag = 0);
+
+  /// Remove a live span, restoring the capacity it reserved over its whole
+  /// interval.  Throws std::logic_error for unknown ids.
+  void remove_span(SpanId id);
+
+  /// Available capacity vector at instant t (capacity before the first
+  /// change-point).  O(log n).
+  std::vector<double> avail_at(Time t) const;
+  void avail_at(Time t, std::span<double> out) const;
+
+  /// Component-wise minimum availability over [t, t + duration); for
+  /// duration == 0 this is avail_at(t).
+  std::vector<double> avail_during(Time t, Time duration) const;
+  void avail_during(Time t, Time duration, std::span<double> out) const;
+
+  /// Whether `request` fits availability throughout [t, t + duration).
+  bool fits_during(Time t, Time duration,
+                   std::span<const double> request) const;
+
+  /// Earliest t >= after such that fits_during(t, duration, request); only
+  /// change-points can improve availability, so candidates are `after` and
+  /// every change-point beyond it.  Returns kPlannerNever when no such time
+  /// exists (request over capacity, or capacity held forever).
+  Time earliest_fit(Time after, Time duration,
+                    std::span<const double> request) const;
+
+  /// Visit live spans in ascending (end, tag, id) order — the planner's
+  /// release schedule.  `visit(end_time, span_info)` returns false to stop.
+  /// This is the EASY-backfill hot path: the shadow-time walk consumes
+  /// releases in exactly this order without re-sorting per pass.
+  template <typename Visitor>
+  void for_each_release(Visitor&& visit) const {
+    for (const auto& [key, info] : ends_) {
+      if (!visit(std::get<0>(key), *info)) return;
+    }
+  }
+
+  const SpanInfo& span(SpanId id) const;
+  std::size_t num_spans() const { return spans_.size(); }
+  std::size_t num_points() const { return points_.size(); }
+
+ private:
+  struct Point {
+    std::vector<double> remaining;  ///< available on [time, next point)
+    int refs = 0;                   ///< live span boundaries at this time
+  };
+  using PointMap = std::map<Time, Point>;
+
+  /// Get-or-create the change-point at t (value copied from the covering
+  /// interval) and take a boundary reference on it.
+  PointMap::iterator ref_point(Time t);
+  /// Drop a boundary reference; the point disappears with its last one.
+  void unref_point(Time t);
+
+  std::vector<double> capacity_;
+  PointMap points_;
+  std::unordered_map<SpanId, SpanInfo> spans_;
+  /// Release order index: (end, tag, id) -> span.  Pointers are stable
+  /// (unordered_map nodes never move).
+  std::map<std::tuple<Time, std::uint64_t, SpanId>, const SpanInfo*> ends_;
+  SpanId next_id_ = 1;
+};
+
+/// Reference implementation for differential testing: a flat span list, all
+/// queries by linear scan over live spans in id order.  Obviously correct,
+/// O(n) per query; answers are bit-identical to Planner for integer-valued
+/// requests (see the numerical contract above).
+class NaivePlanner {
+ public:
+  explicit NaivePlanner(std::vector<double> capacity);
+
+  std::size_t num_resources() const { return capacity_.size(); }
+  const std::vector<double>& capacity() const { return capacity_; }
+
+  SpanId add_span(Time t0, Time duration, std::span<const double> request,
+                  std::uint64_t tag = 0);
+  void remove_span(SpanId id);
+
+  std::vector<double> avail_at(Time t) const;
+  std::vector<double> avail_during(Time t, Time duration) const;
+  bool fits_during(Time t, Time duration,
+                   std::span<const double> request) const;
+  Time earliest_fit(Time after, Time duration,
+                    std::span<const double> request) const;
+
+  std::size_t num_spans() const { return spans_.size(); }
+
+  /// Same contract as Planner::for_each_release; sorts per call.
+  template <typename Visitor>
+  void for_each_release(Visitor&& visit) const {
+    std::vector<const std::pair<const SpanId, Planner::SpanInfo>*> order;
+    order.reserve(spans_.size());
+    for (const auto& entry : spans_) order.push_back(&entry);
+    std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+      if (a->second.end != b->second.end) return a->second.end < b->second.end;
+      if (a->second.tag != b->second.tag) return a->second.tag < b->second.tag;
+      return a->first < b->first;
+    });
+    for (const auto* entry : order) {
+      if (!visit(entry->second.end, entry->second)) return;
+    }
+  }
+
+ private:
+  /// Change points (span starts and finite ends) inside (t, limit), sorted.
+  std::vector<Time> boundaries_between(Time t, Time limit) const;
+
+  std::vector<double> capacity_;
+  std::map<SpanId, Planner::SpanInfo> spans_;  ///< ordered: scans in id order
+  SpanId next_id_ = 1;
+};
+
+}  // namespace bbsched

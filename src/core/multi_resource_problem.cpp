@@ -44,6 +44,13 @@ MultiResourceProblem MultiResourceProblem::cpu_bb(
   return MultiResourceProblem(std::move(demands), {free_nodes, free_bb});
 }
 
+MultiResourceProblem MultiResourceProblem::with_free(
+    std::vector<double> free) const {
+  MultiResourceProblem other(demands_, std::move(free));
+  for (std::size_t index : pinned()) other.pin(index);
+  return other;
+}
+
 void MultiResourceProblem::evaluate(std::span<const std::uint8_t> genes,
                                     std::span<double> objectives) const {
   assert(genes.size() == num_vars_);

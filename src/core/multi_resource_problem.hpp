@@ -46,6 +46,11 @@ class MultiResourceProblem : public MooProblem {
   /// Raw (unnormalized) resource consumption of a selection.
   std::vector<double> consumption(std::span<const std::uint8_t> genes) const;
 
+  /// The same demand matrix and pins re-capacitated against a different free
+  /// vector — how planner-based lookahead (Planner::avail_during) re-checks
+  /// window feasibility at a future instant without rebuilding the problem.
+  MultiResourceProblem with_free(std::vector<double> free) const;
+
   double free_capacity(std::size_t resource) const {
     return free_.at(resource);
   }

@@ -43,6 +43,14 @@ std::unique_ptr<MooProblem> build_window_problem(
   return problem;
 }
 
+std::unique_ptr<MooProblem> build_window_problem_during(
+    const WindowContext& context, const MachineState& machine, Time t,
+    Time duration) {
+  WindowContext future = context;
+  future.free = machine.free_state_during(t, duration);
+  return build_window_problem(future);
+}
+
 WindowDecision decision_from_genes(const WindowContext& context,
                                    const MooProblem& problem,
                                    const Genes& genes) {

@@ -18,6 +18,15 @@ namespace bbsched {
 /// variables index window positions.
 std::unique_ptr<MooProblem> build_window_problem(const WindowContext& context);
 
+/// Build the window problem against the machine's *projected* free capacity
+/// over the future window [t, t + duration) instead of the instantaneous
+/// snapshot in `context.free` — the planner-based lookahead entry point
+/// (requires MachineState::enable_planner).  Window jobs and pins come from
+/// `context` unchanged.
+std::unique_ptr<MooProblem> build_window_problem_during(
+    const WindowContext& context, const MachineState& machine, Time t,
+    Time duration);
+
 /// Translate a feasible gene vector into a WindowDecision: selected
 /// positions plus — on SSD machines — committed node-tier allocations.
 WindowDecision decision_from_genes(const WindowContext& context,

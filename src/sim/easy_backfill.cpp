@@ -50,6 +50,58 @@ void give(Free& free, const Allocation& alloc) {
   free.bb += alloc.bb_gb;
 }
 
+/// Free counters at `now`, shaped exactly like the legacy event walk.
+Free initial_free(const MachineState& machine) {
+  const FreeState fs = machine.free_state();
+  return {static_cast<NodeCount>(fs.ssd_enabled ? fs.small_nodes : fs.nodes),
+          static_cast<NodeCount>(fs.ssd_enabled ? fs.large_nodes : 0.0),
+          fs.bb_gb};
+}
+
+/// The head's reservation: shadow time plus the per-resource surplus there.
+struct Reservation {
+  Time shadow = kNeverFits;
+  Free extra{};
+  bool have = false;
+};
+
+/// Scan candidates in priority order against the current free capacity and
+/// the head's reservation; shared by the legacy and planner paths (their
+/// results differ only in how the Reservation was computed — and it never
+/// does, see tests/sim/test_backfill_invariants.cpp).
+void scan_candidates(const MachineConfig& config, Free free, Reservation res,
+                     std::span<const BackfillCandidate> candidates, Time now,
+                     BackfillResult& result) {
+  for (const auto& candidate : candidates) {
+    Allocation alloc;
+    if (!plan_against(*candidate.job, config, free, alloc)) continue;
+    // Expected completion under the user walltime.  The sum saturates to
+    // +inf for oversized walltimes; a job whose completion time cannot be
+    // bounded never "finishes before" the shadow, even an infinite one
+    // (without the kNeverFits exclusion such a job would slip past an
+    // unreachable reservation and eat the surplus the head depends on).
+    const Time end_bound = now + candidate.job->walltime;
+    const bool finishes_before_shadow =
+        end_bound <= res.shadow && end_bound != kNeverFits;
+    bool fits_extra = false;
+    if (res.have) {
+      fits_extra = alloc.small_nodes <= res.extra.small &&
+                   alloc.large_nodes <= res.extra.large &&
+                   alloc.bb_gb <= res.extra.bb;
+    }
+    if (!finishes_before_shadow && res.have && !fits_extra) continue;
+    // Start the candidate: consume current capacity, and if it may still be
+    // running at the shadow time, the reservation surplus as well.
+    take(free, alloc);
+    if (res.have && !finishes_before_shadow) {
+      res.extra.small -= alloc.small_nodes;
+      res.extra.large -= alloc.large_nodes;
+      res.extra.bb -= alloc.bb_gb;
+    }
+    result.started.push_back({candidate.key, alloc});
+  }
+}
+
 }  // namespace
 
 BackfillResult plan_easy_backfill(
@@ -58,25 +110,21 @@ BackfillResult plan_easy_backfill(
     std::span<const BackfillCandidate> candidates, Time now) {
   BackfillResult result;
   const MachineConfig& config = machine.config();
-  const FreeState fs = machine.free_state();
-  Free free{static_cast<NodeCount>(fs.ssd_enabled ? fs.small_nodes : fs.nodes),
-            static_cast<NodeCount>(fs.ssd_enabled ? fs.large_nodes : 0.0),
-            fs.bb_gb};
+  const Free free = initial_free(machine);
 
   // --- 1. shadow time: earliest moment the head fits -----------------------
-  Free extra{};
-  bool have_reservation = false;
+  Reservation res;
   if (head != nullptr) {
     Allocation head_alloc;
     if (plan_against(*head, config, free, head_alloc)) {
       // The head fits right now (the window policy skipped it as a
       // trade-off); its reservation is "now", so backfill may only consume
       // what the head leaves over.
-      result.shadow_time = now;
+      res.shadow = now;
       Free at_shadow = free;
       take(at_shadow, head_alloc);
-      extra = at_shadow;
-      have_reservation = true;
+      res.extra = at_shadow;
+      res.have = true;
     } else {
       // Walk future releases in expected-end order until the head fits.
       std::vector<const RunningJobInfo*> by_end;
@@ -93,46 +141,76 @@ BackfillResult plan_easy_backfill(
         give(projected, r->alloc);
         Allocation alloc;
         if (plan_against(*head, config, projected, alloc)) {
-          result.shadow_time = r->expected_end;
+          res.shadow = r->expected_end;
           Free at_shadow = projected;
           take(at_shadow, alloc);
-          extra = at_shadow;
-          have_reservation = true;
+          res.extra = at_shadow;
+          res.have = true;
           break;
         }
       }
-      if (!have_reservation) {
-        // The head cannot run even on an empty machine (oversized request);
-        // no reservation constrains backfill.
-        result.shadow_time = kNeverFits;
-      }
+      // When the head cannot run even on an empty machine (oversized
+      // request) no reservation constrains backfill: shadow stays
+      // kNeverFits with res.have == false.
     }
-  } else {
-    result.shadow_time = kNeverFits;  // nothing to protect
   }
+  result.shadow_time = res.shadow;
 
   // --- 2. scan candidates in priority order --------------------------------
-  for (const auto& candidate : candidates) {
-    Allocation alloc;
-    if (!plan_against(*candidate.job, config, free, alloc)) continue;
-    const bool finishes_before_shadow =
-        now + candidate.job->walltime <= result.shadow_time;
-    bool fits_extra = false;
-    if (have_reservation) {
-      fits_extra = alloc.small_nodes <= extra.small &&
-                   alloc.large_nodes <= extra.large && alloc.bb_gb <= extra.bb;
+  scan_candidates(config, free, res, candidates, now, result);
+  return result;
+}
+
+BackfillResult plan_easy_backfill(const MachineState& machine,
+                                  const JobRecord* head,
+                                  std::span<const BackfillCandidate> candidates,
+                                  Time now) {
+  BackfillResult result;
+  const MachineConfig& config = machine.config();
+  const Planner& planner = machine.planner();
+  const Free free = initial_free(machine);
+
+  // --- 1. shadow time from the availability timeline -----------------------
+  // The planner's release index is kept in (expected_end, job id) order, so
+  // walking it replays the legacy event walk — same additions on the same
+  // counters in the same order — without the per-pass O(R log R) sort over
+  // every running job.
+  Reservation res;
+  if (head != nullptr) {
+    Allocation head_alloc;
+    if (plan_against(*head, config, free, head_alloc)) {
+      res.shadow = now;
+      Free at_shadow = free;
+      take(at_shadow, head_alloc);
+      res.extra = at_shadow;
+      res.have = true;
+    } else {
+      Free projected = free;
+      planner.for_each_release([&](Time end, const Planner::SpanInfo& span) {
+        Allocation released;
+        released.small_nodes =
+            static_cast<NodeCount>(span.request[MachineState::kPlanSmall]);
+        released.large_nodes =
+            static_cast<NodeCount>(span.request[MachineState::kPlanLarge]);
+        released.bb_gb = span.request[MachineState::kPlanBb];
+        give(projected, released);
+        Allocation alloc;
+        if (plan_against(*head, config, projected, alloc)) {
+          res.shadow = end;
+          Free at_shadow = projected;
+          take(at_shadow, alloc);
+          res.extra = at_shadow;
+          res.have = true;
+          return false;
+        }
+        return true;
+      });
     }
-    if (!finishes_before_shadow && have_reservation && !fits_extra) continue;
-    // Start the candidate: consume current capacity, and if it may still be
-    // running at the shadow time, the reservation surplus as well.
-    take(free, alloc);
-    if (have_reservation && !finishes_before_shadow) {
-      extra.small -= alloc.small_nodes;
-      extra.large -= alloc.large_nodes;
-      extra.bb -= alloc.bb_gb;
-    }
-    result.started.push_back({candidate.key, alloc});
   }
+  result.shadow_time = res.shadow;
+
+  // --- 2. scan candidates in priority order --------------------------------
+  scan_candidates(config, free, res, candidates, now, result);
   return result;
 }
 

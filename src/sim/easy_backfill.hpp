@@ -69,4 +69,15 @@ BackfillResult plan_easy_backfill(
     std::span<const RunningJobInfo> running,
     std::span<const BackfillCandidate> candidates, Time now);
 
+/// Planner-backed overload: the shadow time and reservation surplus come
+/// from the machine's availability timeline (MachineState::enable_planner),
+/// so no `running` list is needed — the timeline already holds every live
+/// walltime span in release order.  Produces bit-identical results to the
+/// event-walk overload (enforced by the differential tests); the win is
+/// asymptotic: no per-pass sort over all running jobs, and the release walk
+/// stops at the shadow.
+BackfillResult plan_easy_backfill(
+    const MachineState& machine, const JobRecord* head,
+    std::span<const BackfillCandidate> candidates, Time now);
+
 }  // namespace bbsched

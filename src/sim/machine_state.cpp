@@ -65,7 +65,79 @@ bool MachineState::plan_single(const JobRecord& job, Allocation& out) const {
   return true;
 }
 
+void MachineState::enable_planner() {
+  if (!allocations_.empty()) {
+    throw std::logic_error(
+        "machine: enable_planner requires an empty machine");
+  }
+  std::vector<double> capacity(kPlanResources, 0.0);
+  if (config_.has_local_ssd()) {
+    capacity[kPlanSmall] = static_cast<double>(config_.small_ssd_nodes);
+    capacity[kPlanLarge] = static_cast<double>(config_.large_ssd_nodes);
+  } else {
+    capacity[kPlanSmall] = static_cast<double>(config_.nodes);
+  }
+  capacity[kPlanBb] = config_.schedulable_bb_gb();
+  planner_.emplace(std::move(capacity));
+}
+
+const Planner& MachineState::planner() const {
+  if (!planner_) {
+    throw std::logic_error("machine: no availability planner attached");
+  }
+  return *planner_;
+}
+
+FreeState MachineState::free_state_during(Time t, Time duration) const {
+  const std::vector<double> avail = planner().avail_during(t, duration);
+  FreeState s;
+  s.nodes = avail[kPlanSmall] + avail[kPlanLarge];
+  s.bb_gb = avail[kPlanBb];
+  s.ssd_enabled = config_.has_local_ssd();
+  s.small_nodes = avail[kPlanSmall];
+  if (s.ssd_enabled) {
+    s.large_nodes = avail[kPlanLarge];
+    s.small_ssd_gb = config_.small_ssd_gb;
+    s.large_ssd_gb = config_.large_ssd_gb;
+  }
+  return s;
+}
+
+void MachineState::allocate_timed(JobId job_id, const Allocation& alloc,
+                                  Time start, Time expected_end) {
+  if (!planner_) {
+    allocate(job_id, alloc);
+    return;
+  }
+  // Plain allocate() throws below when a planner is attached, so commit the
+  // counters inline and mirror the walltime span.
+  if (allocations_.contains(job_id)) {
+    throw std::logic_error("machine: job " + std::to_string(job_id) +
+                           " already allocated");
+  }
+  if (!fits(alloc)) {
+    throw std::logic_error("machine: allocation for job " +
+                           std::to_string(job_id) +
+                           " exceeds free capacity");
+  }
+  free_small_ -= alloc.small_nodes;
+  free_large_ -= alloc.large_nodes;
+  free_bb_ -= alloc.bb_gb;
+  allocations_.emplace(job_id, alloc);
+  const double request[kPlanResources] = {
+      static_cast<double>(alloc.small_nodes),
+      static_cast<double>(alloc.large_nodes), alloc.bb_gb};
+  const Time duration = std::max<Time>(0, expected_end - start);
+  spans_.emplace(job_id,
+                 planner_->add_span(start, duration, request, job_id));
+}
+
 void MachineState::allocate(JobId job_id, const Allocation& alloc) {
+  if (planner_) {
+    throw std::logic_error(
+        "machine: planner attached — use allocate_timed so the availability "
+        "timeline stays in sync");
+  }
   if (allocations_.contains(job_id)) {
     throw std::logic_error("machine: job " + std::to_string(job_id) +
                            " already allocated");
@@ -91,6 +163,11 @@ void MachineState::release(JobId job_id) {
   free_large_ += it->second.large_nodes;
   free_bb_ += it->second.bb_gb;
   allocations_.erase(it);
+  const auto span_it = spans_.find(job_id);
+  if (span_it != spans_.end()) {
+    planner_->remove_span(span_it->second);
+    spans_.erase(span_it);
+  }
 }
 
 const Allocation& MachineState::allocation_of(JobId job_id) const {

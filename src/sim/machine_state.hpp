@@ -9,8 +9,10 @@
 // free count.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 
+#include "common/planner.hpp"
 #include "core/ssd_problem.hpp"
 #include "workload/workload.hpp"
 
@@ -63,12 +65,44 @@ class MachineState {
   bool plan_single(const JobRecord& job, Allocation& out) const;
 
   /// Commit an allocation for `job_id`.  Throws std::logic_error if it does
-  /// not fit or the id is already allocated.
+  /// not fit or the id is already allocated.  With the planner attached use
+  /// allocate_timed instead (this overload throws, to keep the walltime
+  /// timeline in sync with the counters).
   void allocate(JobId job_id, const Allocation& alloc);
 
-  /// Release the allocation of `job_id`.  Throws std::logic_error when the
-  /// id has no allocation.
+  /// Commit an allocation and record its walltime-horizon reservation span
+  /// [start, expected_end) on the availability planner.  Without an attached
+  /// planner this is plain allocate().
+  void allocate_timed(JobId job_id, const Allocation& alloc, Time start,
+                      Time expected_end);
+
+  /// Release the allocation of `job_id` (and its planner span, if any).
+  /// Throws std::logic_error when the id has no allocation.
   void release(JobId job_id);
+
+  // --- availability planner (ROADMAP item 1) -------------------------------
+  // Resource vector convention of the attached planner: index 0 = small-tier
+  // free nodes (all nodes on non-SSD machines), 1 = large-tier free nodes,
+  // 2 = schedulable burst buffer GB.
+
+  static constexpr std::size_t kPlanSmall = 0;
+  static constexpr std::size_t kPlanLarge = 1;
+  static constexpr std::size_t kPlanBb = 2;
+  static constexpr std::size_t kPlanResources = 3;
+
+  /// Attach a walltime-horizon availability timeline mirroring every
+  /// allocation.  Must be called while nothing is allocated.
+  void enable_planner();
+  bool planner_enabled() const { return planner_.has_value(); }
+
+  /// The attached planner (throws std::logic_error when not enabled).
+  const Planner& planner() const;
+
+  /// Projected free capacity over the whole future window [t, t + duration),
+  /// assuming running jobs hold their allocations until their walltime
+  /// expires.  Shaped like free_state() so window problems can be built
+  /// against a future instant (planner required).
+  FreeState free_state_during(Time t, Time duration) const;
 
   /// The allocation currently held by a job (must exist).
   const Allocation& allocation_of(JobId job_id) const;
@@ -81,6 +115,8 @@ class MachineState {
   NodeCount free_large_ = 0;
   GigaBytes free_bb_ = 0;
   std::unordered_map<JobId, Allocation> allocations_;
+  std::optional<Planner> planner_;            ///< walltime-horizon timeline
+  std::unordered_map<JobId, SpanId> spans_;   ///< job -> planner span
 };
 
 }  // namespace bbsched

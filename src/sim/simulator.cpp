@@ -32,6 +32,7 @@ Simulator::Simulator(const Workload& workload, SimConfig config,
       machine_(workload.machine),
       rng_(config.seed) {
   config_.validate();
+  if (config_.use_planner) machine_.enable_planner();
   slots_.resize(workload_.jobs.size());
   dependents_.resize(workload_.jobs.size());
   std::unordered_map<JobId, std::size_t> by_id;
@@ -121,7 +122,9 @@ void Simulator::start_job(std::size_t slot_index, Time now,
                           const Allocation& alloc, bool backfilled) {
   JobSlot& slot = slots_[slot_index];
   assert(slot.state == JobState::kWaiting && slot.open_deps == 0);
-  machine_.allocate(slot.record->id, alloc);
+  // Walltime-horizon span for the availability planner; a no-op without one.
+  machine_.allocate_timed(slot.record->id, alloc, now,
+                          now + slot.record->walltime);
   slot.alloc = alloc;
   slot.state = JobState::kRunning;
   slot.start = now;
@@ -331,9 +334,13 @@ std::size_t Simulator::schedule_pass(Time now) {
     candidates.push_back({slot.record, slot_index});
   }
   if (head == nullptr) return started;
-  const auto running = running_infos();
+  // Planner path: the timeline already holds every running job's walltime
+  // span in release order, so skip materializing running_infos() entirely.
   const BackfillResult backfill =
-      plan_easy_backfill(machine_, head, running, candidates, now);
+      config_.use_planner
+          ? plan_easy_backfill(machine_, head, candidates, now)
+          : plan_easy_backfill(machine_, head, running_infos(), candidates,
+                               now);
   for (const auto& start : backfill.started) {
     start_job(start.key, now, start.alloc, /*backfilled=*/true);
     ++stats_.backfill_starts;

@@ -44,6 +44,12 @@ struct SimConfig {
   /// Measure wall-clock time of every policy decision (adds two clock reads
   /// per cycle; keep on except in micro-benchmarks of the simulator itself).
   bool time_decisions = true;
+  /// Drive EASY backfilling from the time-indexed availability planner
+  /// (O(log n) timeline maintenance, no per-pass sort over running jobs)
+  /// instead of the legacy per-event walk.  Schedules are bit-identical
+  /// either way (tests/sim/test_planner_regression.cpp); the legacy path is
+  /// kept as the differential-testing reference.
+  bool use_planner = true;
 
   void validate() const;
 };

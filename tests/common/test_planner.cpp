@@ -1,0 +1,229 @@
+// Unit tests for the time-indexed availability planner: span bookkeeping,
+// boundary semantics (half-open spans, touching intervals, zero durations),
+// saturation, exact capacity restoration on removal, and earliest_fit edge
+// cases.  The randomized equivalence against NaivePlanner lives in
+// test_planner_differential.cpp.
+#include "common/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bbsched {
+namespace {
+
+std::vector<double> vec(std::initializer_list<double> v) { return v; }
+
+TEST(Planner, EmptyTimelineIsFullCapacityEverywhere) {
+  const Planner p(vec({10, 5}));
+  EXPECT_EQ(p.avail_at(-100), vec({10, 5}));
+  EXPECT_EQ(p.avail_at(0), vec({10, 5}));
+  EXPECT_EQ(p.avail_at(1e12), vec({10, 5}));
+  EXPECT_EQ(p.avail_during(0, 1e9), vec({10, 5}));
+  EXPECT_EQ(p.num_points(), 0u);
+}
+
+TEST(Planner, SpanReducesAvailabilityOnHalfOpenInterval) {
+  Planner p(vec({10}));
+  p.add_span(10, 20, vec({4}));  // [10, 30)
+  EXPECT_EQ(p.avail_at(9.999), vec({10}));
+  EXPECT_EQ(p.avail_at(10), vec({6}));
+  EXPECT_EQ(p.avail_at(29.999), vec({6}));
+  EXPECT_EQ(p.avail_at(30), vec({10}));  // end is exclusive
+  EXPECT_EQ(p.num_points(), 2u);
+}
+
+TEST(Planner, TouchingSpansLeaveNoGapAndNoOverlap) {
+  Planner p(vec({10}));
+  p.add_span(0, 10, vec({10}));   // [0, 10) saturates
+  p.add_span(10, 10, vec({10}));  // [10, 20) saturates
+  EXPECT_EQ(p.avail_at(5), vec({0}));
+  EXPECT_EQ(p.avail_at(10), vec({0}));  // second span owns t=10
+  EXPECT_EQ(p.avail_at(15), vec({0}));
+  EXPECT_EQ(p.avail_at(20), vec({10}));
+  // A zero-duration window exactly at the seam sees the second span only.
+  EXPECT_EQ(p.avail_during(10, 0), vec({0}));
+  EXPECT_EQ(p.earliest_fit(0, 5, vec({1})), 20.0);
+}
+
+TEST(Planner, ZeroDurationSpanOccupiesNothing) {
+  Planner p(vec({10}));
+  const SpanId id = p.add_span(5, 0, vec({7}), 42);
+  EXPECT_EQ(p.avail_at(5), vec({10}));
+  EXPECT_EQ(p.num_points(), 0u);
+  EXPECT_EQ(p.num_spans(), 1u);
+  // It still shows up in the release schedule with end == start...
+  int seen = 0;
+  p.for_each_release([&](Time end, const Planner::SpanInfo& s) {
+    EXPECT_EQ(end, 5.0);
+    EXPECT_EQ(s.tag, 42u);
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+  // ...and removal is symmetric.
+  p.remove_span(id);
+  EXPECT_EQ(p.num_spans(), 0u);
+}
+
+TEST(Planner, OverlappingSpansStack) {
+  Planner p(vec({10, 100}));
+  p.add_span(0, 10, vec({3, 20}));
+  p.add_span(5, 10, vec({4, 30}));
+  EXPECT_EQ(p.avail_at(2), vec({7, 80}));
+  EXPECT_EQ(p.avail_at(7), vec({3, 50}));
+  EXPECT_EQ(p.avail_at(12), vec({6, 70}));
+  EXPECT_EQ(p.avail_during(0, 15), vec({3, 50}));
+}
+
+TEST(Planner, RemoveSpanRestoresExactCapacityAndCollapsesPoints) {
+  Planner p(vec({10, 100}));
+  const SpanId a = p.add_span(0, 10, vec({3, 20}));
+  const SpanId b = p.add_span(5, 10, vec({4, 30}));
+  const SpanId c = p.add_span(5, 5, vec({2, 10}));  // shares b's start
+  p.remove_span(b);
+  EXPECT_EQ(p.avail_at(7), vec({5, 70}));   // a + c still active
+  EXPECT_EQ(p.avail_at(12), vec({10, 100}));
+  p.remove_span(a);
+  p.remove_span(c);
+  // Everything released: the timeline is empty again, exactly.
+  EXPECT_EQ(p.num_points(), 0u);
+  EXPECT_EQ(p.num_spans(), 0u);
+  EXPECT_EQ(p.avail_at(7), vec({10, 100}));
+}
+
+TEST(Planner, FullSaturationBlocksUntilRelease) {
+  Planner p(vec({8}));
+  p.add_span(0, 50, vec({8}));
+  EXPECT_FALSE(p.fits_during(10, 1, vec({1})));
+  EXPECT_EQ(p.earliest_fit(0, 10, vec({1})), 50.0);
+  EXPECT_EQ(p.earliest_fit(0, 10, vec({8})), 50.0);
+}
+
+TEST(Planner, EarliestFitFindsGapBetweenReservations) {
+  Planner p(vec({10}));
+  p.add_span(0, 10, vec({8}));    // [0,10): 2 free
+  p.add_span(25, 10, vec({8}));   // [25,35): 2 free
+  // A 5-node/10s request fits only in the [10,25) gap or after 35.
+  EXPECT_EQ(p.earliest_fit(0, 10, vec({5})), 10.0);
+  // A 15s request does not fit the gap; it must wait for the second span.
+  EXPECT_EQ(p.earliest_fit(0, 16, vec({5})), 35.0);
+  // A 2-node request fits immediately.
+  EXPECT_EQ(p.earliest_fit(0, 100, vec({2})), 0.0);
+}
+
+TEST(Planner, EarliestFitRespectsAfterInsideInterval) {
+  Planner p(vec({10}));
+  p.add_span(0, 10, vec({8}));
+  EXPECT_EQ(p.earliest_fit(3, 1, vec({2})), 3.0);   // fits right where asked
+  EXPECT_EQ(p.earliest_fit(3, 1, vec({5})), 10.0);  // must wait for release
+}
+
+TEST(Planner, EarliestFitNeverCases) {
+  Planner p(vec({10}));
+  // Over machine capacity: never.
+  EXPECT_EQ(p.earliest_fit(0, 1, vec({11})), kPlannerNever);
+  // Capacity held forever by an infinite-duration span: never.
+  p.add_span(0, kPlannerNever, vec({6}));
+  EXPECT_EQ(p.earliest_fit(0, 1, vec({5})), kPlannerNever);
+  EXPECT_EQ(p.earliest_fit(0, 1, vec({4})), 0.0);
+}
+
+TEST(Planner, InfiniteDurationSpanNeverReleases) {
+  Planner p(vec({10}));
+  const SpanId id = p.add_span(5, kPlannerNever, vec({4}), 9);
+  EXPECT_EQ(p.avail_at(1e18), vec({6}));
+  EXPECT_EQ(p.num_points(), 1u);  // no end point at infinity
+  int seen = 0;
+  p.for_each_release([&](Time end, const Planner::SpanInfo&) {
+    EXPECT_EQ(end, kPlannerNever);
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+  p.remove_span(id);
+  EXPECT_EQ(p.num_points(), 0u);
+  EXPECT_EQ(p.avail_at(1e18), vec({10}));
+}
+
+TEST(Planner, MultiResourceFitRequiresEveryDimension) {
+  Planner p(vec({10, 100, 4}));
+  p.add_span(0, 10, vec({2, 90, 0}));
+  // Nodes and SSD fit, burst buffer does not.
+  EXPECT_FALSE(p.fits_during(0, 5, vec({5, 20, 1})));
+  EXPECT_EQ(p.earliest_fit(0, 5, vec({5, 20, 1})), 10.0);
+}
+
+TEST(Planner, ForEachReleaseOrdersByEndThenTag) {
+  Planner p(vec({10}));
+  p.add_span(0, 30, vec({1}), 7);
+  p.add_span(0, 10, vec({1}), 5);
+  p.add_span(0, 10, vec({1}), 3);  // same end as tag 5: tag breaks the tie
+  std::vector<std::uint64_t> tags;
+  p.for_each_release([&](Time, const Planner::SpanInfo& s) {
+    tags.push_back(s.tag);
+    return true;
+  });
+  EXPECT_EQ(tags, (std::vector<std::uint64_t>{3, 5, 7}));
+  // Early exit stops the walk.
+  tags.clear();
+  p.for_each_release([&](Time, const Planner::SpanInfo& s) {
+    tags.push_back(s.tag);
+    return false;
+  });
+  EXPECT_EQ(tags, (std::vector<std::uint64_t>{3}));
+}
+
+TEST(Planner, SpanAccessorAndErrors) {
+  Planner p(vec({10}));
+  const SpanId id = p.add_span(2, 3, vec({4}), 11);
+  const Planner::SpanInfo& s = p.span(id);
+  EXPECT_EQ(s.start, 2.0);
+  EXPECT_EQ(s.end, 5.0);
+  EXPECT_EQ(s.tag, 11u);
+  EXPECT_EQ(s.request, vec({4}));
+  EXPECT_THROW(p.span(id + 1), std::logic_error);
+  EXPECT_THROW(p.remove_span(id + 1), std::logic_error);
+  p.remove_span(id);
+  EXPECT_THROW(p.remove_span(id), std::logic_error);
+}
+
+TEST(Planner, RejectsMalformedInputs) {
+  EXPECT_THROW(Planner(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Planner(vec({-1})), std::invalid_argument);
+  Planner p(vec({10, 10}));
+  EXPECT_THROW(p.add_span(0, 1, vec({1})), std::invalid_argument);  // size
+  EXPECT_THROW(p.add_span(0, 1, vec({-1, 0})), std::invalid_argument);
+  EXPECT_THROW(p.add_span(0, -1, vec({1, 1})), std::invalid_argument);
+  EXPECT_THROW(p.add_span(kPlannerNever, 1, vec({1, 1})),
+               std::invalid_argument);
+  EXPECT_THROW(p.avail_during(0, -1), std::invalid_argument);
+  EXPECT_THROW(p.earliest_fit(0, -1, vec({1, 1})), std::invalid_argument);
+  // Query times must be finite: availability exactly "at infinity" is
+  // ill-defined for half-open spans.
+  EXPECT_THROW(p.avail_at(kPlannerNever), std::invalid_argument);
+  EXPECT_THROW(p.earliest_fit(kPlannerNever, 1, vec({1, 1})),
+               std::invalid_argument);
+}
+
+TEST(NaivePlanner, MatchesPlannerOnWorkedExample) {
+  // A miniature hand-checked scenario; the 10k-sequence differential suite
+  // generalizes this.
+  Planner p(vec({10, 100}));
+  NaivePlanner n(vec({10, 100}));
+  p.add_span(0, 10, vec({8, 50}), 1);
+  n.add_span(0, 10, vec({8, 50}), 1);
+  p.add_span(5, 20, vec({2, 10}), 2);
+  n.add_span(5, 20, vec({2, 10}), 2);
+  for (const Time t : {-1.0, 0.0, 4.0, 5.0, 9.0, 10.0, 24.0, 25.0, 30.0}) {
+    EXPECT_EQ(p.avail_at(t), n.avail_at(t)) << "t=" << t;
+  }
+  EXPECT_EQ(p.avail_during(0, 25), n.avail_during(0, 25));
+  EXPECT_EQ(p.earliest_fit(0, 5, vec({5, 20})),
+            n.earliest_fit(0, 5, vec({5, 20})));
+  EXPECT_EQ(p.earliest_fit(0, 5, vec({9, 20})),
+            n.earliest_fit(0, 5, vec({9, 20})));
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,228 @@
+// Differential/property harness: drive Planner and the obviously-correct
+// NaivePlanner through seeded randomized operation sequences and demand
+// bit-identical answers from every query.
+//
+// All generated requests and capacities are integer-valued, so both
+// implementations compute exact arithmetic and the comparison can be == on
+// doubles (see the numerical contract in planner.hpp).  Times mix an integer
+// grid (to force ties, touching boundaries and same-instant releases) with
+// arbitrary reals.
+//
+// Reproduction: on mismatch the test prints the failing seed and the full op
+// log, and writes the seed to planner_diff_failing_seed.txt (uploaded as a
+// CI artifact).  Re-run just that sequence, verbosely, with
+//   BBSCHED_DIFF_REPRO=<seed> ./bbsched_tests
+//       --gtest_filter='PlannerDifferential.*'
+//
+// Sequence count: BBSCHED_DIFF_SEQUENCES (default 1500 — the bounded subset
+// CI runs on every build).  The `planner_differential_long` ctest entry
+// (label "long", configuration "long") re-runs this test at 10000 sequences:
+//   ctest -C long -R planner_differential_long
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/planner.hpp"
+#include "common/rng.hpp"
+
+namespace bbsched {
+namespace {
+
+constexpr const char* kFailingSeedFile = "planner_diff_failing_seed.txt";
+
+std::string fmt_vec(const std::vector<double>& v) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+/// A time that is frequently on a small integer grid (ties, touching spans)
+/// and otherwise an arbitrary real.
+Time random_time(Rng& rng) {
+  if (rng.bernoulli(0.7)) {
+    return static_cast<Time>(rng.uniform_int(0, 60));
+  }
+  return rng.uniform(0.0, 60.0);
+}
+
+Time random_duration(Rng& rng) {
+  const double roll = rng.uniform();
+  if (roll < 0.10) return 0;  // zero-duration spans / point queries
+  if (roll < 0.15) return kPlannerNever;
+  if (roll < 0.80) return static_cast<Time>(rng.uniform_int(1, 40));
+  return rng.uniform(0.0, 40.0);
+}
+
+std::vector<double> random_request(Rng& rng,
+                                   const std::vector<double>& capacity) {
+  std::vector<double> req(capacity.size());
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    // Up to full capacity per resource; overlapping spans oversubscribe the
+    // ledger, which both implementations must model identically.  Zero
+    // requests exercise no-op dimensions.
+    req[i] = static_cast<double>(
+        rng.uniform_int(0, static_cast<std::int64_t>(capacity[i])));
+  }
+  return req;
+}
+
+/// Run one randomized sequence; returns true on full agreement.  On
+/// mismatch, `failure` receives a report including the op log.
+bool run_sequence(std::uint64_t seed, bool verbose, std::string* failure) {
+  Rng rng(mix_seed(seed, "planner-differential"));
+  const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  std::vector<double> capacity(k);
+  for (auto& c : capacity) {
+    c = static_cast<double>(rng.uniform_int(1, 100));
+  }
+
+  Planner planner(capacity);
+  NaivePlanner naive(capacity);
+  std::vector<std::pair<SpanId, SpanId>> live;  // (planner id, naive id)
+  std::vector<std::string> log;
+  log.push_back("capacity " + fmt_vec(capacity));
+
+  const auto fail = [&](const std::string& what) {
+    std::ostringstream os;
+    os << "planner/naive mismatch (seed " << seed << "): " << what
+       << "\nop log:";
+    for (const auto& line : log) os << "\n  " << line;
+    os << "\nreproduce: BBSCHED_DIFF_REPRO=" << seed
+       << " ./bbsched_tests --gtest_filter='PlannerDifferential.*'";
+    *failure = os.str();
+    std::ofstream(kFailingSeedFile) << seed << "\n";
+    return false;
+  };
+
+  /// Bit-exact agreement probe at time t (run after every mutation).
+  const auto check_avail_at = [&](Time t) {
+    const auto a = planner.avail_at(t);
+    const auto b = naive.avail_at(t);
+    if (a != b) {
+      return fail("avail_at(" + std::to_string(t) + "): planner " +
+                  fmt_vec(a) + " vs naive " + fmt_vec(b));
+    }
+    return true;
+  };
+
+  const int ops = static_cast<int>(rng.uniform_int(20, 80));
+  for (int op = 0; op < ops; ++op) {
+    const std::int64_t choice = rng.uniform_int(0, 99);
+    if (choice < 35 || live.empty()) {
+      const Time t0 = random_time(rng);
+      Time d = random_duration(rng);
+      const auto req = random_request(rng, capacity);
+      const std::uint64_t tag = static_cast<std::uint64_t>(
+          rng.uniform_int(0, 5));  // small range: force tag ties too
+      log.push_back("add_span(" + std::to_string(t0) + ", " +
+                    std::to_string(d) + ", " + fmt_vec(req) + ", tag=" +
+                    std::to_string(tag) + ")");
+      live.emplace_back(planner.add_span(t0, d, req, tag),
+                        naive.add_span(t0, d, req, tag));
+      // Probe the span end when finite (query times must be finite; a span
+      // with infinite duration simply never ends).
+      const Time end_probe = std::isfinite(t0 + d) ? t0 + d : 1.0e15;
+      if (!check_avail_at(t0) || !check_avail_at(end_probe) ||
+          !check_avail_at(random_time(rng))) {
+        return false;
+      }
+    } else if (choice < 55) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const auto [pid, nid] = live[pick];
+      const Planner::SpanInfo span = planner.span(pid);
+      log.push_back("remove_span(start=" + std::to_string(span.start) +
+                    ", end=" + std::to_string(span.end) + ")");
+      planner.remove_span(pid);
+      naive.remove_span(nid);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (!check_avail_at(span.start) || !check_avail_at(random_time(rng))) {
+        return false;
+      }
+    } else if (choice < 70) {
+      const Time t = random_time(rng);
+      log.push_back("avail_at(" + std::to_string(t) + ")");
+      if (!check_avail_at(t)) return false;
+    } else if (choice < 85) {
+      const Time t = random_time(rng);
+      const Time d = random_duration(rng);
+      log.push_back("avail_during(" + std::to_string(t) + ", " +
+                    std::to_string(d) + ")");
+      const auto a = planner.avail_during(t, d);
+      const auto b = naive.avail_during(t, d);
+      if (a != b) {
+        return fail("avail_during(" + std::to_string(t) + ", " +
+                    std::to_string(d) + "): planner " + fmt_vec(a) +
+                    " vs naive " + fmt_vec(b));
+      }
+    } else {
+      const Time after = random_time(rng);
+      const Time d = random_duration(rng);
+      const auto req = random_request(rng, capacity);
+      log.push_back("earliest_fit(" + std::to_string(after) + ", " +
+                    std::to_string(d) + ", " + fmt_vec(req) + ")");
+      const Time a = planner.earliest_fit(after, d, req);
+      const Time b = naive.earliest_fit(after, d, req);
+      if (!(a == b)) {  // also catches accidental NaN
+        return fail("earliest_fit(" + std::to_string(after) + ", " +
+                    std::to_string(d) + ", " + fmt_vec(req) + "): planner " +
+                    std::to_string(a) + " vs naive " + std::to_string(b));
+      }
+      // fits_during must agree with earliest_fit's verdict at the fit time.
+      if (a != kPlannerNever && !planner.fits_during(a, d, req)) {
+        return fail("earliest_fit returned a non-fitting time");
+      }
+    }
+  }
+
+  // Drain every live span: the timeline must collapse back to free capacity.
+  for (const auto& [pid, nid] : live) {
+    planner.remove_span(pid);
+    naive.remove_span(nid);
+  }
+  if (planner.num_points() != 0) {
+    return fail("points remain after every span was removed");
+  }
+  if (!check_avail_at(random_time(rng))) return false;
+
+  if (verbose) {
+    std::fprintf(stderr, "seed %" PRIu64 ": %zu ops ok\n", seed, log.size());
+  }
+  return true;
+}
+
+TEST(PlannerDifferential, RandomOpSequencesMatchNaive) {
+  const std::int64_t repro = env_int("BBSCHED_DIFF_REPRO", -1);
+  if (repro >= 0) {
+    std::string failure;
+    if (!run_sequence(static_cast<std::uint64_t>(repro), true, &failure)) {
+      FAIL() << failure;
+    }
+    return;
+  }
+  const std::int64_t sequences = env_int("BBSCHED_DIFF_SEQUENCES", 1500);
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(env_int("BBSCHED_DIFF_SEED", 20260808));
+  for (std::int64_t i = 0; i < sequences; ++i) {
+    std::string failure;
+    if (!run_sequence(base + static_cast<std::uint64_t>(i), false,
+                      &failure)) {
+      FAIL() << failure;  // first failing seed stops the run
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,59 @@
+// serialize_result.hpp — lossless textual dump of every schedule-relevant
+// SimResult field, shared by the byte-identity regressions (telemetry on/off
+// in test_telemetry_regression.cpp, planner on/off in
+// test_planner_regression.cpp).
+//
+// Doubles print with %.17g so the round-trip is exact: two serializations
+// compare equal iff the schedules are bit-identical.  solve_seconds_total/max
+// are intentionally excluded — they measure wall time, which varies run to
+// run regardless of scheduling behavior.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/sim_result.hpp"
+
+namespace bbsched::testing {
+
+inline std::string serialize(const SimResult& result) {
+  std::string out = result.workload_name + '|' + result.policy_name + '|' +
+                    result.base_scheduler_name + '\n';
+  char buf[256];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g,", v);
+    out += buf;
+  };
+  num(result.makespan);
+  num(result.measure_begin);
+  num(result.measure_end);
+  out += '\n';
+  for (const JobOutcome& job : result.outcomes) {
+    std::snprintf(buf, sizeof(buf), "%llu,",
+                  static_cast<unsigned long long>(job.id));
+    out += buf;
+    num(job.submit);
+    num(job.start);
+    num(job.end);
+    num(job.runtime);
+    num(job.walltime);
+    std::snprintf(buf, sizeof(buf), "%lld,%lld,%lld,%d\n",
+                  static_cast<long long>(job.nodes),
+                  static_cast<long long>(job.small_tier_nodes),
+                  static_cast<long long>(job.large_tier_nodes),
+                  job.backfilled ? 1 : 0);
+    out += buf;
+    num(job.bb_gb);
+    num(job.ssd_per_node_gb);
+    out += '\n';
+  }
+  const DecisionStats& d = result.decisions;
+  std::snprintf(buf, sizeof(buf), "%zu,%zu,%zu,%zu,%zu,%zu\n", d.cycles,
+                d.window_jobs, d.policy_starts, d.backfill_starts,
+                d.forced_starts, d.evaluations);
+  out += buf;
+  num(d.pareto_size_sum);
+  return out;
+}
+
+}  // namespace bbsched::testing

@@ -7,6 +7,10 @@
 //  2. Capacity-never-exceeded: replaying the outcomes of full simulations
 //     as a timed event sweep, the sum of allocated nodes, burst buffer and
 //     SSD-tier nodes must stay within machine capacity at every instant.
+//
+// Both properties run against the legacy event-walk backfill AND the
+// planner-backed overload, asserting the two produce identical shadow times
+// and backfill picks on every scenario.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -43,6 +47,8 @@ TEST_P(BackfillHeadProperty, CommittedBackfillsNeverDelayHead) {
   config.nodes = machine_nodes;
   config.burst_buffer_gb = tb(static_cast<double>(rng.uniform_int(5, 50)));
   MachineState state(config);
+  MachineState planner_state(config);  // mirror, driven by the planner
+  planner_state.enable_planner();
 
   // Random running jobs, allocated within whatever is still free.  At
   // least one, so the head below genuinely has to wait.
@@ -56,8 +62,10 @@ TEST_P(BackfillHeadProperty, CommittedBackfillsNeverDelayHead) {
         1, state.free_nodes() / 2));
     alloc.bb_gb = rng.uniform(0.0, state.free_bb() / 2);
     const JobId id = 1000 + r;
+    const Time expected_end = rng.uniform(10.0, 500.0);
     state.allocate(id, alloc);
-    running.push_back({id, rng.uniform(10.0, 500.0), alloc});
+    planner_state.allocate_timed(id, alloc, 0, expected_end);
+    running.push_back({id, expected_end, alloc});
   }
 
   // A head that does not fit right now (otherwise shadow is trivially
@@ -84,6 +92,23 @@ TEST_P(BackfillHeadProperty, CommittedBackfillsNeverDelayHead) {
   const auto pass =
       plan_easy_backfill(state, &head, running, candidates, now);
 
+  // Differential: the planner-backed overload must agree exactly with the
+  // legacy event walk — same shadow time, same picks, same allocations.
+  const auto planner_pass =
+      plan_easy_backfill(planner_state, &head, candidates, now);
+  ASSERT_EQ(planner_pass.shadow_time, pass.shadow_time)
+      << "planner and legacy backfill disagree on the shadow time";
+  ASSERT_EQ(planner_pass.started.size(), pass.started.size());
+  for (std::size_t i = 0; i < pass.started.size(); ++i) {
+    EXPECT_EQ(planner_pass.started[i].key, pass.started[i].key);
+    EXPECT_EQ(planner_pass.started[i].alloc.small_nodes,
+              pass.started[i].alloc.small_nodes);
+    EXPECT_EQ(planner_pass.started[i].alloc.large_nodes,
+              pass.started[i].alloc.large_nodes);
+    EXPECT_EQ(planner_pass.started[i].alloc.bb_gb,
+              pass.started[i].alloc.bb_gb);
+  }
+
   // Every planned start must fit the free capacity it was planned against.
   auto post = running;
   for (const auto& start : pass.started) {
@@ -91,15 +116,20 @@ TEST_P(BackfillHeadProperty, CommittedBackfillsNeverDelayHead) {
         << "candidate " << start.key << " does not fit current capacity";
     const JobRecord& job = storage[start.key];
     state.allocate(100 + static_cast<JobId>(start.key), start.alloc);
+    planner_state.allocate_timed(100 + static_cast<JobId>(start.key),
+                                 start.alloc, now, now + job.walltime);
     post.push_back({100 + static_cast<JobId>(start.key),
                     now + job.walltime, start.alloc});
   }
 
   // Recompute the reservation with the backfills committed and no further
-  // candidates: the head must be startable no later than before.
+  // candidates: the head must be startable no later than before.  Both
+  // implementations must still agree.
   const auto after = plan_easy_backfill(state, &head, post, {}, now);
   EXPECT_LE(after.shadow_time, pass.shadow_time)
       << "backfill pass delayed the head's reservation";
+  const auto planner_after = plan_easy_backfill(planner_state, &head, {}, now);
+  EXPECT_EQ(planner_after.shadow_time, after.shadow_time);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomScenarios, BackfillHeadProperty,
@@ -159,10 +189,11 @@ void sweep_capacity(const SimResult& result) {
   EXPECT_NEAR(bb_used, 0, eps);
 }
 
-SimResult simulate_small(const Workload& workload,
-                         const std::string& method) {
+SimResult simulate_small(const Workload& workload, const std::string& method,
+                         bool use_planner) {
   SimConfig config;
   config.window_size = 8;
+  config.use_planner = use_planner;
   GaParams ga;
   ga.generations = 30;
   ga.population_size = 12;
@@ -177,9 +208,11 @@ TEST(CapacityInvariant, CpuBbWorkloadNeverOverAllocates) {
   BbExpansionParams expansion;
   expansion.target_fraction = 0.75;
   const Workload workload = expand_bb_requests(base, expansion, 7);
-  for (const std::string method : {"Baseline", "BBSched"}) {
-    SCOPED_TRACE(method);
-    sweep_capacity(simulate_small(workload, method));
+  for (const bool use_planner : {false, true}) {
+    for (const std::string method : {"Baseline", "BBSched"}) {
+      SCOPED_TRACE(method + (use_planner ? "/planner" : "/legacy"));
+      sweep_capacity(simulate_small(workload, method, use_planner));
+    }
   }
 }
 
@@ -195,9 +228,11 @@ TEST(CapacityInvariant, SsdWorkloadNeverOverAllocates) {
   const Workload workload =
       expand_ssd_requests(expand_bb_requests(base, s2, 11), ssd, 13);
   ASSERT_GT(workload.machine.small_ssd_nodes, 0);
-  for (const std::string method : {"Baseline", "BBSched"}) {
-    SCOPED_TRACE(method);
-    sweep_capacity(simulate_small(workload, method));
+  for (const bool use_planner : {false, true}) {
+    for (const std::string method : {"Baseline", "BBSched"}) {
+      SCOPED_TRACE(method + (use_planner ? "/planner" : "/legacy"));
+      sweep_capacity(simulate_small(workload, method, use_planner));
+    }
   }
 }
 

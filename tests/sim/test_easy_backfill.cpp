@@ -164,6 +164,77 @@ TEST(EasyBackfill, SsdTierFeasibilityInShadowComputation) {
   ASSERT_EQ(result.started.size(), 1u);
 }
 
+// Saturating-walltime boundary: when the shadow time itself is kNeverFits
+// (the head only fits after a job that never releases), a candidate whose
+// own completion bound saturates to +inf must NOT count as "finishing before
+// the shadow" — inf <= inf is true, but such a job holds its nodes forever
+// and would eat the surplus the head depends on.
+TEST(EasyBackfill, InfiniteWalltimeCannotSlipPastInfiniteShadow) {
+  MachineState state(machine());
+  MachineState planner_state(machine());
+  planner_state.enable_planner();
+  // A job that never releases: 90 nodes held with expected_end = kNeverFits.
+  state.allocate(1, alloc_of(90));
+  planner_state.allocate_timed(1, alloc_of(90), 0, kNeverFits);
+  const std::vector<RunningJobInfo> running{{1, kNeverFits, alloc_of(90)}};
+  // Head needs 95 nodes: fits only once the eternal job releases (never), so
+  // shadow = kNeverFits with a live reservation and extra = 100 - 95 = 5.
+  const JobRecord head = job(2, 95, 1000);
+  // The filler fits current free capacity (10 nodes) and its end bound
+  // saturates: 0 + inf = inf == shadow.  It exceeds extra (10 > 5), so it
+  // must be rejected; before the saturation fix it started.
+  const JobRecord filler = job(3, 10, kNeverFits);
+  const std::vector<BackfillCandidate> candidates{{&filler, 0}};
+  const auto legacy =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  EXPECT_EQ(legacy.shadow_time, kNeverFits);
+  EXPECT_TRUE(legacy.started.empty())
+      << "an eternal filler consumed the head's reservation surplus";
+  const auto planner =
+      plan_easy_backfill(planner_state, &head, candidates, 0);
+  EXPECT_EQ(planner.shadow_time, legacy.shadow_time);
+  EXPECT_EQ(planner.started.size(), legacy.started.size());
+}
+
+TEST(EasyBackfill, InfiniteWalltimeWithinExtraStillStarts) {
+  MachineState state(machine());
+  MachineState planner_state(machine());
+  planner_state.enable_planner();
+  state.allocate(1, alloc_of(90));
+  planner_state.allocate_timed(1, alloc_of(90), 0, kNeverFits);
+  const std::vector<RunningJobInfo> running{{1, kNeverFits, alloc_of(90)}};
+  const JobRecord head = job(2, 95, 1000);  // extra at shadow: 5 nodes
+  // An eternal filler that fits inside the surplus may start: it can run
+  // forever without delaying the (already unreachable) reservation.
+  const JobRecord filler = job(3, 5, kNeverFits);
+  const std::vector<BackfillCandidate> candidates{{&filler, 0}};
+  const auto legacy =
+      plan_easy_backfill(state, &head, running, candidates, 0);
+  ASSERT_EQ(legacy.started.size(), 1u);
+  EXPECT_EQ(legacy.started[0].key, 0u);
+  const auto planner =
+      plan_easy_backfill(planner_state, &head, candidates, 0);
+  EXPECT_EQ(planner.shadow_time, legacy.shadow_time);
+  ASSERT_EQ(planner.started.size(), 1u);
+  EXPECT_EQ(planner.started[0].key, 0u);
+}
+
+TEST(EasyBackfill, WalltimeSumSaturatesInsteadOfOverflowing) {
+  // now + walltime saturates to +inf in double arithmetic; the candidate
+  // must then be treated exactly like an infinite-walltime job.
+  MachineState state(machine());
+  state.allocate(1, alloc_of(90));
+  const std::vector<RunningJobInfo> running{{1, kNeverFits, alloc_of(90)}};
+  const JobRecord head = job(2, 95, 1000);
+  const JobRecord filler = job(3, 10, 1.5e308);  // finite, but now + walltime
+  const std::vector<BackfillCandidate> candidates{{&filler, 0}};
+  const Time now = 1.5e308;                      // ...overflows to +inf
+  const auto result =
+      plan_easy_backfill(state, &head, running, candidates, now);
+  EXPECT_TRUE(result.started.empty())
+      << "saturated end bound slipped past the infinite shadow";
+}
+
 TEST(EasyBackfill, MultipleBackfillsShrinkExtra) {
   MachineState state(machine());
   state.allocate(1, alloc_of(70));  // ends t=100

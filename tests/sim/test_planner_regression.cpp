@@ -1,0 +1,67 @@
+// The planner-backed backfill path must be a pure refactor: for every
+// selection policy in the standard grid, on both a CPU+BB workload and an
+// SSD-tier workload, a simulation run with use_planner=true serializes to
+// the byte-identical SimResult of a run with use_planner=false (the legacy
+// per-event walk).  This is the end-to-end companion of the op-level
+// differential suite in tests/common/test_planner_differential.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "policies/factory.hpp"
+#include "sim/simulator.hpp"
+#include "tests/sim/serialize_result.hpp"
+#include "workload/generator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bbsched {
+namespace {
+
+using bbsched::testing::serialize;
+
+std::string run(const Workload& workload, const std::string& method,
+                bool use_planner) {
+  SimConfig config;
+  config.window_size = 8;
+  config.use_planner = use_planner;
+  GaParams ga;  // small but non-trivial, so policies actually diverge
+  ga.generations = 25;
+  ga.population_size = 12;
+  const auto base = make_base_scheduler("FCFS");
+  const auto policy = make_policy(method, ga);
+  return serialize(simulate(workload, config, *base, *policy));
+}
+
+void expect_grid_identical(const Workload& workload) {
+  for (const std::string& method : standard_method_names()) {
+    SCOPED_TRACE(method);
+    const std::string legacy = run(workload, method, false);
+    const std::string planner = run(workload, method, true);
+    EXPECT_EQ(legacy, planner)
+        << "planner-backed schedule diverged for method " << method;
+  }
+}
+
+TEST(PlannerRegression, CpuBbGridIsByteIdentical) {
+  const Workload base = generate_workload(theta_model(100), 23);
+  BbExpansionParams expansion;
+  expansion.target_fraction = 0.75;
+  expect_grid_identical(expand_bb_requests(base, expansion, 5));
+}
+
+TEST(PlannerRegression, SsdGridIsByteIdentical) {
+  const Workload base = generate_workload(theta_model(80, 0.5), 29);
+  BbExpansionParams s2;
+  s2.target_fraction = 0.75;
+  s2.pool_threshold = tb(5) * 0.5;
+  s2.pool = sample_bb_pool(0.25, gb(1), tb(140), s2.pool_threshold, 512, 3);
+  SsdExpansionParams ssd;
+  ssd.small_request_fraction = 0.5;
+  const Workload workload =
+      expand_ssd_requests(expand_bb_requests(base, s2, 11), ssd, 13);
+  ASSERT_GT(workload.machine.small_ssd_nodes, 0);
+  expect_grid_identical(workload);
+}
+
+}  // namespace
+}  // namespace bbsched
