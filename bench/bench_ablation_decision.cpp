@@ -23,6 +23,8 @@
 #include "policies/bbsched_policy.hpp"
 #include "sim/simulator.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace bbsched;
@@ -38,7 +40,9 @@ std::unique_ptr<DecisionRule> make_rule(const std::string& kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_ablation_decision");
+  if (!cli.ok()) return 0;
   ExperimentConfig config = ExperimentConfig::from_env();
   const auto workloads = build_main_workloads(config);
 

@@ -21,6 +21,8 @@
 #include "core/nsga2.hpp"
 #include "window_problems.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace bbsched;
@@ -33,12 +35,13 @@ class ClearAllRepairProblem : public MultiResourceProblem {
   explicit ClearAllRepairProblem(const MultiResourceProblem& base)
       : MultiResourceProblem(base) {}
 
-  void repair(Genes& genes, Rng& rng) const override {
+  bool repair(Genes& genes, Rng& rng) const override {
     apply_pins(genes);
-    if (feasible(genes)) return;
+    if (feasible(genes)) return false;
     for (auto& g : genes) g = 0;
     apply_pins(genes);
     (void)rng;
+    return true;
   }
 };
 
@@ -50,7 +53,9 @@ Front front_of(const std::vector<Chromosome>& chromosomes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_ablation_solver");
+  if (!cli.ok()) return 0;
   const auto samples =
       static_cast<std::size_t>(env_int("BBSCHED_ABLATION_SAMPLES", 4));
   const auto problems = benchutil::sample_window_problems(20, samples, 77);

@@ -8,7 +8,9 @@
 #include "bench_util.hpp"
 #include "policies/factory.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig11_breakdown_runtime");
+  if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto results = ensure_main_grid(config);

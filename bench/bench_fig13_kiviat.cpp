@@ -15,7 +15,9 @@
 #include "metrics/kiviat.hpp"
 #include "policies/factory.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig13_kiviat");
+  if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto results = ensure_main_grid(config);

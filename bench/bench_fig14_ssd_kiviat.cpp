@@ -14,7 +14,9 @@
 #include "metrics/kiviat.hpp"
 #include "policies/factory.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig14_ssd_kiviat");
+  if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto cells = ensure_ssd_grid(config);

@@ -20,9 +20,13 @@
 #include "core/ga.hpp"
 #include "window_problems.hpp"
 
+#include "bench_util.hpp"
+
 using namespace bbsched;
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig2_window_time");
+  if (!cli.ok()) return 0;
   const double exhaustive_budget =
       env_double("BBSCHED_FIG2_EXHAUSTIVE_BUDGET", 20.0);
   const auto samples = static_cast<std::size_t>(

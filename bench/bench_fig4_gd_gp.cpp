@@ -14,6 +14,8 @@
 #include "core/ga.hpp"
 #include "window_problems.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace bbsched;
@@ -26,7 +28,9 @@ Front front_of(const std::vector<Chromosome>& chromosomes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig4_gd_gp");
+  if (!cli.ok()) return 0;
   const auto samples =
       static_cast<std::size_t>(env_int("BBSCHED_FIG4_SAMPLES", 4));
   const std::size_t window = 20;  // paper default window

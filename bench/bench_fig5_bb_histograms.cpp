@@ -10,7 +10,11 @@
 #include "exp/experiment.hpp"
 #include "workload/wl_stats.hpp"
 
-int main() {
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig5_bb_histograms");
+  if (!cli.ok()) return 0;
   using namespace bbsched;
   const ExperimentConfig config = ExperimentConfig::from_env();
   const auto suite = build_main_workloads(config);

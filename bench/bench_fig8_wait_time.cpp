@@ -12,7 +12,9 @@
 #include "exp/grid.hpp"
 #include "policies/factory.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig8_wait_time");
+  if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto results = ensure_main_grid(config);

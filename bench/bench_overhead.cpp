@@ -109,6 +109,61 @@ void run_simulate_telemetry(benchmark::State& state, bool trace,
   }
 }
 
+/// Metrics-engine comparison: the batch reference pass over a materialized
+/// outcome vector versus the streaming accumulator consuming the same
+/// outcomes one at a time.  The `sample_storage_bytes` counter is the point:
+/// batch carries O(jobs) outcome storage into the metrics pass, while the
+/// incremental accumulator's footprint (exact sums + one fixed sketch) is
+/// flat across the jobs=N series — the O(1) guarantee of DESIGN.md §11.
+SimResult synth_result(std::size_t jobs, std::uint64_t seed) {
+  SimResult result;
+  result.machine.name = "bench";
+  result.machine.nodes = 4096;
+  result.machine.burst_buffer_gb = tb(1000);
+  result.measure_begin = 0;
+  result.measure_end = static_cast<Time>(jobs) * 60.0;
+  Rng rng(seed);
+  result.outcomes.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    JobOutcome o;
+    o.id = static_cast<JobId>(i + 1);
+    o.submit = static_cast<Time>(i) * 30.0;
+    o.start = o.submit + rng.uniform(0.0, 7200.0);
+    o.runtime = rng.uniform(60.0, 86400.0);
+    o.end = o.start + o.runtime;
+    o.walltime = o.runtime * 1.2;
+    o.nodes = static_cast<NodeCount>(rng.uniform_int(1, 512));
+    o.bb_gb = rng.uniform(0.0, tb(10));
+    o.backfilled = rng.uniform(0.0, 1.0) < 0.3;
+    result.outcomes.push_back(o);
+  }
+  return result;
+}
+
+void run_metrics_batch(benchmark::State& state, std::size_t jobs) {
+  const SimResult result = synth_result(jobs, 42);
+  for (auto _ : state) {
+    const ScheduleMetrics metrics = compute_metrics(result);
+    benchmark::DoNotOptimize(metrics.avg_wait);
+  }
+  state.counters["sample_storage_bytes"] = static_cast<double>(
+      result.outcomes.capacity() * sizeof(JobOutcome));
+}
+
+void run_metrics_incremental(benchmark::State& state, std::size_t jobs) {
+  const SimResult result = synth_result(jobs, 42);
+  std::size_t peak_bytes = 0;
+  for (auto _ : state) {
+    IncrementalScheduleMetrics acc(result.machine, result.measure_begin,
+                                   result.measure_end);
+    for (const auto& o : result.outcomes) acc.add(o);
+    peak_bytes = std::max(peak_bytes, acc.memory_bytes());
+    const ScheduleMetrics metrics = acc.finalize();
+    benchmark::DoNotOptimize(metrics.avg_wait);
+  }
+  state.counters["sample_storage_bytes"] = static_cast<double>(peak_bytes);
+}
+
 /// One EASY-backfill invocation at a given queue depth: `running` jobs hold
 /// one node each, the head fits after three releases, and a short candidate
 /// pool follows.  The legacy path re-sorts every running job per call; the
@@ -229,6 +284,23 @@ void register_all() {
         ("planner_churn/live=" + std::to_string(live)).c_str(),
         [live](benchmark::State& state) { run_planner_churn(state, live); })
         ->Unit(benchmark::kMicrosecond);
+  }
+
+  // Streaming metrics engine vs. the batch reference: time per pass plus
+  // the sample_storage_bytes counter (flat for incremental, O(jobs) for
+  // batch's outcome vector).
+  for (const std::size_t jobs : {std::size_t{1000}, std::size_t{10000},
+                                 std::size_t{100000}}) {
+    benchmark::RegisterBenchmark(
+        ("metrics/impl=batch/jobs=" + std::to_string(jobs)).c_str(),
+        [jobs](benchmark::State& state) { run_metrics_batch(state, jobs); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("metrics/impl=incremental/jobs=" + std::to_string(jobs)).c_str(),
+        [jobs](benchmark::State& state) {
+          run_metrics_incremental(state, jobs);
+        })
+        ->Unit(benchmark::kMillisecond);
   }
 
   benchmark::RegisterBenchmark(

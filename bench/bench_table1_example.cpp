@@ -17,6 +17,8 @@
 #include "core/multi_resource_problem.hpp"
 #include "policies/factory.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace bbsched;
@@ -53,7 +55,9 @@ std::string job_set_label(const std::vector<std::size_t>& positions) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_table1_example");
+  if (!cli.ok()) return 0;
   const auto jobs = table1_jobs();
   std::vector<const JobRecord*> window;
   for (const auto& job : jobs) window.push_back(&job);

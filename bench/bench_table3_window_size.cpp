@@ -11,7 +11,11 @@
 #include "exp/grid.hpp"
 #include "metrics/schedule_metrics.hpp"
 
-int main() {
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_table3_window_size");
+  if (!cli.ok()) return 0;
   using namespace bbsched;
   ExperimentConfig config = ExperimentConfig::from_env();
   const auto workloads = build_main_workloads(config);

@@ -1,15 +1,55 @@
-// bench_util.hpp — shared table printing for the paper-reproduction benches.
+// bench_util.hpp — shared table printing and the campaign CLI for the
+// paper-reproduction benches.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_pool.hpp"
 #include "exp/grid.hpp"
 
 namespace bbsched::benchutil {
+
+/// Shared command line of every campaign-running bench: the telemetry flags
+/// (--log-level / --trace-out / --metrics-out / --progress, with their
+/// BBSCHED_* env fallbacks) plus --threads for the grid's worker pool.
+/// Construct first thing in main(); apply() arms the telemetry surface and
+/// the crash-flush hook, and the destructor writes the requested trace /
+/// metrics outputs.  When --help was requested, ok() is false and the bench
+/// should exit without running.
+class CampaignCli {
+ public:
+  CampaignCli(int argc, const char* const* argv,
+              const std::string& description) {
+    ArgParser parser(description);
+    telemetry_.register_flags(parser);
+    parser.add_int("threads", &threads_,
+                   "grid worker threads (0 = all hardware threads)");
+    run_ = parser.parse(argc, argv);
+    if (!run_) return;
+    telemetry_.apply();
+    if (threads_ > 0) set_global_threads(static_cast<std::size_t>(threads_));
+  }
+  ~CampaignCli() {
+    if (run_) telemetry_.finish();
+  }
+  CampaignCli(const CampaignCli&) = delete;
+  CampaignCli& operator=(const CampaignCli&) = delete;
+
+  /// False when --help was requested: print-and-exit, nothing armed.
+  bool ok() const { return run_; }
+
+ private:
+  TelemetryOptions telemetry_;
+  std::int64_t threads_ = 0;
+  bool run_ = true;
+};
 
 /// Extracts the plotted value from one grid cell.
 using CellValue = std::function<double(const GridCell&)>;

@@ -23,14 +23,21 @@ double stddev(std::span<const double> values) {
 
 double quantile(std::span<const double> values, double p) {
   if (values.empty()) return 0.0;
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> work(values.begin(), values.end());
   p = std::clamp(p, 0.0, 1.0);
-  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const double pos = p * static_cast<double>(work.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const auto hi = std::min(lo + 1, work.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  // Two partial selections instead of a full sort: nth_element places the
+  // lo-th order statistic and partitions everything greater after it, so the
+  // hi-th order statistic is the minimum of the tail.
+  const auto lo_it = work.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(work.begin(), lo_it, work.end());
+  const double lo_value = *lo_it;
+  const double hi_value =
+      hi == lo ? lo_value : *std::min_element(lo_it + 1, work.end());
+  return lo_value * (1.0 - frac) + hi_value * frac;
 }
 
 void RunningStats::add(double v) {
@@ -42,6 +49,9 @@ void RunningStats::add(double v) {
   }
   ++count_;
   sum_ += v;
+  const double delta = v - welford_mean_;
+  welford_mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - welford_mean_);
 }
 
 void RunningStats::merge(const RunningStats& other) {
@@ -52,8 +62,181 @@ void RunningStats::merge(const RunningStats& other) {
   }
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  // Chan's parallel variance update.
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.welford_mean_ - welford_mean_;
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  welford_mean_ += delta * nb / (na + nb);
   count_ += other.count_;
   sum_ += other.sum_;
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void ExactSum::add(double value) {
+  // Shewchuk's grow-expansion as used by Python's math.fsum: cascade the new
+  // value through the partials with exact two-sums, keeping the surviving
+  // round-off terms.  The partials stay non-overlapping and sorted by
+  // magnitude; their exact mathematical sum equals the exact sum of every
+  // value added so far.
+  double x = value;
+  std::size_t kept = 0;
+  for (double p : partials_) {
+    if (std::abs(x) < std::abs(p)) std::swap(x, p);
+    const double hi = x + p;
+    const double lo = p - (hi - x);
+    if (lo != 0.0) partials_[kept++] = lo;
+    x = hi;
+  }
+  partials_.resize(kept);
+  partials_.push_back(x);
+}
+
+void ExactSum::merge(const ExactSum& other) {
+  for (double p : other.partials_) add(p);
+}
+
+double ExactSum::round() const {
+  // Sum the partials from largest magnitude down, tracking the first
+  // non-zero round-off; then apply the half-ulp tie correction so the result
+  // is the exact sum correctly rounded (CPython math.fsum's extraction).
+  std::size_t n = partials_.size();
+  if (n == 0) return 0.0;
+  double hi = partials_[--n];
+  double lo = 0.0;
+  while (n > 0) {
+    const double x = hi;
+    const double y = partials_[--n];
+    hi = x + y;
+    lo = y - (hi - x);
+    if (lo != 0.0) break;
+  }
+  if (n > 0 && ((lo < 0.0 && partials_[n - 1] < 0.0) ||
+                (lo > 0.0 && partials_[n - 1] > 0.0))) {
+    const double y = lo * 2.0;
+    const double x = hi + y;
+    if (y == x - hi) hi = x;
+  }
+  return hi;
+}
+
+QuantileSketch::QuantileSketch(double relative_error, double floor, double cap)
+    : relative_error_(relative_error), floor_(floor), cap_(cap) {
+  if (!(relative_error > 0.0 && relative_error < 1.0)) {
+    throw std::invalid_argument("QuantileSketch: relative_error not in (0,1)");
+  }
+  if (!(floor > 0.0) || !(cap > floor)) {
+    throw std::invalid_argument("QuantileSketch: need 0 < floor < cap");
+  }
+  gamma_ = (1.0 + relative_error) / (1.0 - relative_error);
+  log_gamma_ = std::log(gamma_);
+  const auto log_buckets = static_cast<std::size_t>(
+      std::ceil(std::log(cap / floor) / log_gamma_));
+  // [0] low bucket ([0, floor]), [1..log_buckets] log buckets,
+  // [log_buckets + 1] overflow (> cap).
+  counts_.assign(log_buckets + 2, 0);
+}
+
+std::size_t QuantileSketch::bucket_of(double value) const {
+  if (value <= floor_) return 0;
+  if (value > cap_) return counts_.size() - 1;
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(std::log(value / floor_) / log_gamma_));
+  return std::clamp<std::size_t>(idx, 1, counts_.size() - 2);
+}
+
+double QuantileSketch::bucket_estimate(std::size_t bucket) const {
+  if (bucket == 0) return floor_ * 0.5;
+  if (bucket == counts_.size() - 1) return cap_;
+  // Bucket covers (floor * gamma^(b-1), floor * gamma^b]; 2*hi/(gamma+1) is
+  // within relative_error of every value in the bucket.
+  const double hi = floor_ * std::pow(gamma_, static_cast<double>(bucket));
+  return 2.0 * hi / (gamma_ + 1.0);
+}
+
+void QuantileSketch::add(double value) {
+  if (value < 0.0) value = 0.0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  ++counts_[bucket_of(value)];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (relative_error_ != other.relative_error_ || floor_ != other.floor_ ||
+      cap_ != other.cap_) {
+    throw std::invalid_argument("QuantileSketch::merge: parameter mismatch");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+double QuantileSketch::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // The extremes are tracked exactly, so don't settle for a bucket estimate.
+  if (p == 0.0) return min_;
+  if (p == 1.0) return max_;
+  // Same rank convention as the exact quantile(): target the fractional rank
+  // p * (n - 1) and return the estimate of the bucket holding it.
+  const double rank = p * static_cast<double>(count_ - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (rank < static_cast<double>(cumulative)) {
+      return std::clamp(bucket_estimate(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+TimeWeightedIntegrator::TimeWeightedIntegrator(double begin, double end)
+    : begin_(begin), end_(end) {}
+
+void TimeWeightedIntegrator::sample(double t, double value) {
+  if (samples_ > 0) {
+    if (t < last_time_) {
+      throw std::invalid_argument(
+          "TimeWeightedIntegrator: samples must be time-ordered");
+    }
+    const double width =
+        std::min(t, end_) - std::max(last_time_, begin_);
+    if (width > 0) area_.add(last_value_ * width);
+  }
+  last_time_ = t;
+  last_value_ = value;
+  ++samples_;
+}
+
+double TimeWeightedIntegrator::integral() const {
+  if (samples_ == 0 || end_ <= begin_) return 0.0;
+  ExactSum total = area_;
+  const double width = end_ - std::max(last_time_, begin_);
+  if (width > 0) total.add(last_value_ * width);
+  return total.round();
+}
+
+double TimeWeightedIntegrator::time_average() const {
+  return end_ > begin_ ? integral() / (end_ - begin_) : 0.0;
 }
 
 Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {

@@ -1,7 +1,15 @@
-// stats.hpp — small numeric helpers shared by metrics and the solver.
+// stats.hpp — small numeric helpers shared by metrics and the solver, plus
+// the streaming building blocks of the incremental metrics engine
+// (DESIGN.md §11): an order-invariant exact summator, a mergeable quantile
+// sketch and a time-weighted step-function integrator.  All of the streaming
+// types are deterministic and mergeable — feeding the same multiset of
+// samples in any order, or merging partial accumulators in any grouping,
+// produces bit-identical results — which is what lets sharded campaigns
+// combine per-shard metrics without drift.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -14,10 +22,16 @@ double mean(std::span<const double> values);
 double stddev(std::span<const double> values);
 
 /// p-quantile in [0,1] with linear interpolation; 0 for an empty span.
-/// The input does not need to be sorted.
+/// The input does not need to be sorted.  Selects the interpolation pair via
+/// std::nth_element (two partial selections) rather than a full sort.
 double quantile(std::span<const double> values, double p);
 
-/// Streaming accumulator for count/mean/min/max/sum without storing samples.
+/// Streaming accumulator for count/mean/min/max/sum plus Welford
+/// mean/variance — no samples stored.  merge() combines two accumulators via
+/// Chan's parallel update, so partial statistics from shards can be folded
+/// together.  Note: unlike ExactSum, floating-point variance here is subject
+/// to the usual last-ulp order sensitivity; it is a diagnostic, not part of
+/// the byte-identity surface.
 class RunningStats {
  public:
   void add(double v);
@@ -28,12 +42,141 @@ class RunningStats {
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (Welford/Chan); 0 for fewer than two values.
+  double variance() const;
+  /// Sample standard deviation; 0 for fewer than two values.
+  double stddev() const;
 
  private:
   std::size_t count_ = 0;
   double sum_ = 0;
   double min_ = 0;
   double max_ = 0;
+  double welford_mean_ = 0;  ///< running mean (Welford)
+  double m2_ = 0;            ///< sum of squared deviations from the mean
+};
+
+/// Exact floating-point summation (Shewchuk/"fsum"): maintains the running
+/// sum as a list of non-overlapping partials whose exact mathematical sum is
+/// the exact sum of everything added so far.  round() returns that exact sum
+/// correctly rounded to double — a value that does not depend on the order
+/// values were added in, nor on how partial sums were grouped before
+/// merge().  This is the property the incremental schedule metrics lean on:
+/// shuffled event orders and arbitrary shard splits produce byte-identical
+/// aggregates.
+///
+/// Memory is bounded by the number of distinct binade magnitudes in flight
+/// (tens of doubles in practice, never O(samples)).  Inputs must be finite.
+class ExactSum {
+ public:
+  void add(double value);
+  /// Fold another exact sum in; exact, associative and commutative.
+  void merge(const ExactSum& other);
+  /// The exact sum, correctly rounded to the nearest double (ties to even).
+  double round() const;
+  void reset() { partials_.clear(); }
+  /// Partials currently held (memory diagnostic; bounded, not O(samples)).
+  std::size_t partial_count() const { return partials_.size(); }
+
+ private:
+  std::vector<double> partials_;  ///< non-overlapping, increasing magnitude
+};
+
+/// Mergeable streaming quantile sketch over non-negative samples, backed by
+/// logarithmically spaced fixed-edge buckets (DDSketch-style): bucket i
+/// covers (floor * gamma^(i-1), floor * gamma^i] with gamma chosen so any
+/// reported quantile of a positive value carries relative error <=
+/// `relative_error`; values in [0, floor] land in an exact "low" bucket
+/// whose absolute error is bounded by `floor`.  Counts are integers and the
+/// exact min/max are tracked, so the sketch is fully deterministic: sample
+/// order never matters and merge() is exactly associative — the properties
+/// the incremental metrics engine needs for sharded campaigns.
+///
+/// Memory is fixed at construction (bucket_count() counters), independent of
+/// how many samples are added — the O(1)-in-jobs guarantee of DESIGN.md §11.
+class QuantileSketch {
+ public:
+  /// `relative_error` in (0, 1): quantile estimates of values > floor are
+  /// within v * relative_error of an exact order statistic.  `floor` /
+  /// `cap`: resolvable positive range; values outside are clamped into the
+  /// boundary buckets (min/max remain exact).
+  explicit QuantileSketch(double relative_error = kDefaultRelativeError,
+                          double floor = kDefaultFloor,
+                          double cap = kDefaultCap);
+
+  /// Defaults sized for schedule wait times in seconds: 1 ms resolution
+  /// floor, 10^9 s cap, 1 % relative error (~1590 buckets, ~13 KB).
+  static constexpr double kDefaultRelativeError = 0.01;
+  static constexpr double kDefaultFloor = 1e-3;
+  static constexpr double kDefaultCap = 1e9;
+
+  /// Add one sample; negative values are clamped to 0 (schedule metrics
+  /// never produce them; clamping keeps the sketch total consistent).
+  void add(double value);
+  /// Fold `other` in.  Throws std::invalid_argument unless both sketches
+  /// were built with identical parameters.
+  void merge(const QuantileSketch& other);
+
+  /// p-quantile estimate in [0,1]; 0 when empty.  Uses the same
+  /// rank = p * (count - 1) convention as quantile(); the result is clamped
+  /// into [min(), max()], so p=0 / p=1 are exact.
+  double quantile(double p) const;
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }  ///< exact
+  double max() const { return count_ ? max_ : 0.0; }  ///< exact
+  double relative_error() const { return relative_error_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  /// Fixed footprint of the bucket array in bytes (O(1) in samples).
+  std::size_t memory_bytes() const {
+    return counts_.capacity() * sizeof(std::uint64_t) + sizeof(*this);
+  }
+
+ private:
+  std::size_t bucket_of(double value) const;
+  double bucket_estimate(std::size_t bucket) const;
+
+  double relative_error_;
+  double floor_;
+  double cap_;
+  double gamma_;      ///< (1 + e) / (1 - e)
+  double log_gamma_;  ///< cached std::log(gamma_)
+  std::vector<std::uint64_t> counts_;  ///< [low, log buckets..., overflow]
+  std::uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Streaming time-weighted integral of a right-continuous step function,
+/// clipped to a fixed measurement interval [begin, end]: feed (time, value)
+/// change-points in non-decreasing time order and read the integral (or the
+/// time average) at any point.  The campaign monitor uses it for average-RSS
+/// and events/sec accounting; the simulator's occupancy change-points feed
+/// the same shape.  The last value extends to `end`.
+class TimeWeightedIntegrator {
+ public:
+  TimeWeightedIntegrator(double begin, double end);
+
+  /// Step to `value` at time `t`.  `t` must be >= the previous sample time
+  /// (throws std::invalid_argument otherwise); samples outside [begin, end]
+  /// contribute only their clipped overlap.
+  void sample(double t, double value);
+
+  /// Integral of the step function over [begin, end] so far (last value
+  /// extended to `end`); 0 before any sample or on an empty interval.
+  double integral() const;
+  /// integral() / (end - begin); 0 on an empty interval.
+  double time_average() const;
+
+  std::size_t samples() const { return samples_; }
+
+ private:
+  double begin_;
+  double end_;
+  double last_time_ = 0;
+  double last_value_ = 0;
+  std::size_t samples_ = 0;
+  ExactSum area_;  ///< closed segments, exact so shards cannot drift
 };
 
 /// Fixed-edge histogram: bin i covers [edges[i], edges[i+1]); the final bin

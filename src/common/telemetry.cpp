@@ -1,5 +1,10 @@
 #include "common/telemetry.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
 #include "common/argparse.hpp"
 #include "common/env.hpp"
 #include "common/log.hpp"
@@ -7,6 +12,82 @@
 #include "common/trace.hpp"
 
 namespace bbsched {
+
+namespace {
+
+std::atomic<bool> g_progress_enabled{false};
+
+// Crash-flush state.  The mutex serializes arm/disarm/flush; the handlers
+// themselves only read under the lock and write files, so a flush from
+// std::terminate cannot race a concurrent finish().
+std::mutex g_flush_mutex;
+std::string g_flush_trace_out;
+std::string g_flush_metrics_out;
+bool g_flush_armed = false;
+bool g_hooks_installed = false;
+std::terminate_handler g_previous_terminate = nullptr;
+
+void flush_locked() noexcept {
+  // Handlers must not throw: a failed partial write (disk full, bad path)
+  // is swallowed — the process is already dying.
+  if (!g_flush_armed) return;
+  if (!g_flush_trace_out.empty()) {
+    try {
+      write_trace_json_file(g_flush_trace_out);
+    } catch (...) {
+    }
+  }
+  if (!g_flush_metrics_out.empty()) {
+    try {
+      MetricsRegistry::global().write_csv_file(g_flush_metrics_out);
+    } catch (...) {
+    }
+  }
+}
+
+void atexit_flush() { telemetry_flush_now(); }
+
+[[noreturn]] void terminate_flush() {
+  telemetry_flush_now();
+  if (g_previous_terminate != nullptr) g_previous_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+bool progress_enabled() {
+  return g_progress_enabled.load(std::memory_order_relaxed);
+}
+
+void set_progress_enabled(bool enabled) {
+  g_progress_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void register_crash_flush(const std::string& trace_out,
+                          const std::string& metrics_out) {
+  std::lock_guard<std::mutex> lock(g_flush_mutex);
+  g_flush_trace_out = trace_out;
+  g_flush_metrics_out = metrics_out;
+  g_flush_armed = !trace_out.empty() || !metrics_out.empty();
+  if (g_flush_armed && !g_hooks_installed) {
+    g_hooks_installed = true;
+    std::atexit(&atexit_flush);
+    g_previous_terminate = std::set_terminate(&terminate_flush);
+  }
+}
+
+void disarm_crash_flush() {
+  std::lock_guard<std::mutex> lock(g_flush_mutex);
+  g_flush_armed = false;
+}
+
+void telemetry_flush_now() noexcept {
+  // try_lock: if another thread crashed while holding the flush mutex we
+  // would rather skip the partial snapshot than deadlock inside terminate.
+  if (!g_flush_mutex.try_lock()) return;
+  flush_locked();
+  g_flush_mutex.unlock();
+}
 
 void TelemetryOptions::register_flags(ArgParser& parser) {
   parser.add_string("log-level", &log_level,
@@ -18,14 +99,20 @@ void TelemetryOptions::register_flags(ArgParser& parser) {
   parser.add_string("metrics-out", &metrics_out,
                     "write metrics snapshot CSV here "
                     "(default BBSCHED_METRICS or off)");
+  parser.add_bool("progress", &progress,
+                  "print a [progress] heartbeat line with RSS/throughput/ETA "
+                  "while a campaign runs (default BBSCHED_PROGRESS or off)");
 }
 
 void TelemetryOptions::apply() {
   if (!log_level.empty()) set_log_level(parse_log_level(log_level));
   if (trace_out.empty()) trace_out = env_string("BBSCHED_TRACE", "");
   if (metrics_out.empty()) metrics_out = env_string("BBSCHED_METRICS", "");
+  if (!progress) progress = env_int("BBSCHED_PROGRESS", 0) != 0;
   if (!trace_out.empty()) set_trace_enabled(true);
   if (!metrics_out.empty()) set_metrics_enabled(true);
+  set_progress_enabled(progress);
+  register_crash_flush(trace_out, metrics_out);
 }
 
 void TelemetryOptions::finish() const {
@@ -38,6 +125,7 @@ void TelemetryOptions::finish() const {
     MetricsRegistry::global().write_csv_file(metrics_out);
     log_info("telemetry", "metrics snapshot written", {{"path", metrics_out}});
   }
+  disarm_crash_flush();
 }
 
 }  // namespace bbsched

@@ -1,13 +1,19 @@
 // telemetry.hpp — one-call wiring of the telemetry surface for the example
-// binaries: --log-level / --trace-out / --metrics-out flags with
-// BBSCHED_LOG / BBSCHED_TRACE / BBSCHED_METRICS environment fallbacks.
+// binaries: --log-level / --trace-out / --metrics-out / --progress flags
+// with BBSCHED_LOG / BBSCHED_TRACE / BBSCHED_METRICS / BBSCHED_PROGRESS
+// environment fallbacks.
 //
 //   TelemetryOptions telemetry;
 //   telemetry.register_flags(parser);
 //   ... parser.parse(...) ...
-//   telemetry.apply();      // set level, arm trace/metrics collection
+//   telemetry.apply();      // set level, arm trace/metrics/progress
 //   ... run the campaign ...
 //   telemetry.finish();     // write trace JSON / metrics CSV if requested
+//
+// apply() also arms a crash-flush hook (atexit + std::terminate) for the
+// requested outputs, so a campaign that dies mid-run still leaves a partial
+// trace/metrics snapshot on disk instead of nothing; finish() performs the
+// final write and disarms the hook.
 #pragma once
 
 #include <string>
@@ -16,20 +22,41 @@ namespace bbsched {
 
 class ArgParser;
 
+/// Whether the campaign progress heartbeat is on (--progress /
+/// BBSCHED_PROGRESS); the campaign monitor prints [progress] lines to
+/// stderr when set.
+bool progress_enabled();
+void set_progress_enabled(bool enabled);
+
+/// Arm the crash-flush hook: on process exit or std::terminate, write the
+/// trace JSON / metrics CSV to these paths (empty: skip that output).
+/// Installing is idempotent; re-arming replaces the paths.
+void register_crash_flush(const std::string& trace_out,
+                          const std::string& metrics_out);
+
+/// Disarm the crash-flush hook (after a successful final write).
+void disarm_crash_flush();
+
+/// Write the armed outputs immediately — what the crash hook runs.  Safe to
+/// call repeatedly and from handlers: never throws, leaves the hook armed.
+void telemetry_flush_now() noexcept;
+
 struct TelemetryOptions {
   std::string log_level;    ///< empty: BBSCHED_LOG or "info"
   std::string trace_out;    ///< empty: BBSCHED_TRACE or tracing off
   std::string metrics_out;  ///< empty: BBSCHED_METRICS or collection off
+  bool progress = false;    ///< heartbeat; default BBSCHED_PROGRESS or off
 
-  /// Register --log-level, --trace-out and --metrics-out.
+  /// Register --log-level, --trace-out, --metrics-out and --progress.
   void register_flags(ArgParser& parser);
 
-  /// Resolve env fallbacks and arm the requested subsystems.  Call after
-  /// parse() and before any work that should be observed.  Throws
-  /// std::invalid_argument on a malformed log level.
+  /// Resolve env fallbacks and arm the requested subsystems (including the
+  /// crash-flush hook).  Call after parse() and before any work that should
+  /// be observed.  Throws std::invalid_argument on a malformed log level.
   void apply();
 
-  /// Write the trace / metrics outputs that were requested; no-op otherwise.
+  /// Write the trace / metrics outputs that were requested and disarm the
+  /// crash-flush hook; no-op otherwise.
   void finish() const;
 };
 

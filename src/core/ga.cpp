@@ -74,13 +74,16 @@ MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
   Stopwatch watch;
   const auto population_size =
       static_cast<std::size_t>(params_.population_size);
-  auto population = random_population(problem, population_size, rng);
+  auto population =
+      random_population(problem, population_size, rng, &result.repairs);
   result.evaluations += population.size();
 
   for (int g = 0; g < params_.generations; ++g) {
     const double gen_start = tracing ? mono_seconds() : 0.0;
+    const std::size_t repairs_before = result.repairs;
     auto children = make_children(problem, population, population_size,
-                                  params_.mutation_rate, rng);
+                                  params_.mutation_rate, rng,
+                                  &result.repairs);
     result.evaluations += children.size();
     std::vector<Chromosome> pool = std::move(population);
     pool.insert(pool.end(), std::make_move_iterator(children.begin()),
@@ -90,8 +93,9 @@ MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
     for (auto& c : population) ++c.age;
     ++result.generations;
     if (tracing) {
-      trace_generation("moo_ga.generation", g, gen_start, mono_seconds(),
-                       generation_telemetry(population));
+      trace_generation(
+          "moo_ga.generation", g, gen_start, mono_seconds(),
+          generation_telemetry(population, result.repairs - repairs_before));
     }
   }
 
@@ -109,6 +113,7 @@ MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
   result.solve_seconds = watch.elapsed_seconds();
   solve_span.add_arg({"pareto_size", result.pareto_set.size()});
   solve_span.add_arg({"evaluations", result.evaluations});
+  solve_span.add_arg({"repairs", result.repairs});
   if (metrics_enabled()) record_solver_metrics(result);
   return result;
 }

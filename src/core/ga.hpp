@@ -36,6 +36,10 @@ struct MooResult {
   int generations = 0;
   /// Total chromosome evaluations performed (population init + children).
   std::size_t evaluations = 0;
+  /// Chromosomes that entered MooProblem::repair infeasible (init +
+  /// children) — the feasibility-pressure convergence signal of DESIGN.md
+  /// §11: a high rate means the operators fight the capacity constraints.
+  std::size_t repairs = 0;
   /// Wall-clock of the whole solve (init through final front extraction).
   double solve_seconds = 0;
 

@@ -27,14 +27,15 @@ Chromosome random_chromosome(const MooProblem& problem, Rng& rng) {
 }
 
 std::vector<Chromosome> random_population(const MooProblem& problem,
-                                          std::size_t size, Rng& rng) {
+                                          std::size_t size, Rng& rng,
+                                          std::size_t* repairs) {
   // Gene generation and repair consume the RNG stream and stay serial; the
   // evaluations are pure and run as one parallel batch.
   std::vector<Chromosome> population(size);
   for (auto& c : population) {
     c.genes.resize(problem.num_vars());
     for (auto& g : c.genes) g = rng.bernoulli(0.5) ? 1 : 0;
-    problem.repair(c.genes, rng);
+    if (problem.repair(c.genes, rng) && repairs != nullptr) ++*repairs;
   }
   evaluate_population(problem, population);
   return population;
@@ -66,7 +67,7 @@ void mutate(Genes& genes, const MooProblem& problem, double rate, Rng& rng) {
 std::vector<Chromosome> make_children(const MooProblem& problem,
                                       const std::vector<Chromosome>& parents,
                                       std::size_t count, double mutation_rate,
-                                      Rng& rng) {
+                                      Rng& rng, std::size_t* repairs) {
   assert(!parents.empty());
   std::vector<Chromosome> children;
   children.reserve(count + 1);
@@ -80,7 +81,7 @@ std::vector<Chromosome> make_children(const MooProblem& problem,
     for (Genes* genes : {&a, &b}) {
       if (children.size() >= count) break;
       mutate(*genes, problem, mutation_rate, rng);
-      problem.repair(*genes, rng);
+      if (problem.repair(*genes, rng) && repairs != nullptr) ++*repairs;
       Chromosome c;
       c.genes = std::move(*genes);
       c.age = 0;

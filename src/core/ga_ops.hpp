@@ -36,8 +36,11 @@ struct GaParams {
 Chromosome random_chromosome(const MooProblem& problem, Rng& rng);
 
 /// Initialize a population of `size` random feasible, evaluated chromosomes.
+/// `repairs`, when non-null, is incremented once per chromosome that entered
+/// repair infeasible (the solvers' convergence telemetry).
 std::vector<Chromosome> random_population(const MooProblem& problem,
-                                          std::size_t size, Rng& rng);
+                                          std::size_t size, Rng& rng,
+                                          std::size_t* repairs = nullptr);
 
 /// Single-point crossover (Figure 3): swap the tails of two parents at a
 /// random cut position.  Children are *not* yet mutated/repaired/evaluated.
@@ -47,11 +50,13 @@ std::pair<Genes, Genes> crossover(const Genes& a, const Genes& b, Rng& rng);
 void mutate(Genes& genes, const MooProblem& problem, double rate, Rng& rng);
 
 /// Produce `count` children from `parents` via crossover + mutation, then
-/// repair and evaluate each child (age 0).
+/// repair and evaluate each child (age 0).  `repairs`, when non-null, counts
+/// children that entered repair infeasible.
 std::vector<Chromosome> make_children(const MooProblem& problem,
                                       const std::vector<Chromosome>& parents,
                                       std::size_t count, double mutation_rate,
-                                      Rng& rng);
+                                      Rng& rng,
+                                      std::size_t* repairs = nullptr);
 
 /// Evaluate every chromosome's objectives, fanned out over the global thread
 /// pool.  Evaluation is pure (MooProblem::evaluate is const and draws no

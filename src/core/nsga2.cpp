@@ -87,7 +87,8 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
   Stopwatch watch;
   const auto population_size =
       static_cast<std::size_t>(params_.population_size);
-  auto population = random_population(problem, population_size, rng);
+  auto population =
+      random_population(problem, population_size, rng, &result.repairs);
   result.evaluations += population.size();
 
   // Per-chromosome (rank, crowding) metadata, parallel to `population`.
@@ -125,6 +126,7 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
 
   for (int g = 0; g < params_.generations; ++g) {
     const double gen_start = tracing ? mono_seconds() : 0.0;
+    const std::size_t repairs_before = result.repairs;
     // Offspring via binary-tournament parents.  The genetic operators
     // consume the RNG stream and stay on the driver thread; the pure fitness
     // evaluations run as one parallel batch, so the evolution trajectory is
@@ -136,7 +138,7 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
       for (Genes* genes : {&x, &y}) {
         if (children.size() >= population_size) break;
         mutate(*genes, problem, params_.mutation_rate, rng);
-        problem.repair(*genes, rng);
+        if (problem.repair(*genes, rng)) ++result.repairs;
         Chromosome c;
         c.genes = std::move(*genes);
         children.push_back(std::move(c));
@@ -184,10 +186,16 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
       // Rank metadata is already current: front size falls out of rank==0
       // rather than a second dominance pass.
       GenerationTelemetry t;
+      t.repairs = result.repairs - repairs_before;
       t.front_size = static_cast<std::size_t>(
           std::count(rank.begin(), rank.end(), std::size_t{0}));
       t.best_node_util = -std::numeric_limits<double>::infinity();
       t.best_bb_util = -std::numeric_limits<double>::infinity();
+      Front front_points;
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        if (rank[i] == 0) front_points.push_back(population[i].objectives);
+      }
+      t.hypervolume = population_hypervolume(front_points);
       for (const auto& c : population) {
         if (!c.objectives.empty()) {
           t.best_node_util = std::max(t.best_node_util, c.objectives[0]);
@@ -212,6 +220,7 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
   result.solve_seconds = watch.elapsed_seconds();
   solve_span.add_arg({"pareto_size", result.pareto_set.size()});
   solve_span.add_arg({"evaluations", result.evaluations});
+  solve_span.add_arg({"repairs", result.repairs});
   if (metrics_enabled()) record_solver_metrics(result);
   return result;
 }

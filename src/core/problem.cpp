@@ -18,9 +18,9 @@ void MooProblem::apply_pins(Genes& genes) const {
   for (std::size_t idx : pinned_) genes[idx] = 1;
 }
 
-void MooProblem::repair(Genes& genes, Rng& rng) const {
+bool MooProblem::repair(Genes& genes, Rng& rng) const {
   apply_pins(genes);
-  if (feasible(genes)) return;
+  if (feasible(genes)) return false;
   // Collect clearable (set, non-pinned) positions and clear them in random
   // order until the selection fits.
   std::vector<std::size_t> clearable;
@@ -36,11 +36,12 @@ void MooProblem::repair(Genes& genes, Rng& rng) const {
   }
   for (std::size_t idx : clearable) {
     genes[idx] = 0;
-    if (feasible(genes)) return;
+    if (feasible(genes)) return true;
   }
   // With all non-pinned genes cleared the selection is the pinned set, which
   // the caller guarantees feasible (or empty, which is trivially feasible).
   assert(feasible(genes));
+  return true;
 }
 
 void MooProblem::evaluate_into(Chromosome& c) const {

@@ -57,8 +57,10 @@ class MooProblem {
   /// bits until every constraint holds.  The paper does not specify the
   /// handling of capacity-violating chromosomes; repair keeps the whole
   /// population feasible so the Pareto bookkeeping of §3.2.2 applies
-  /// unchanged (see DESIGN.md §5).
-  virtual void repair(Genes& genes, Rng& rng) const;
+  /// unchanged (see DESIGN.md §5).  Returns true iff the selection was
+  /// infeasible on entry and genes had to be cleared — the solvers count
+  /// these as the feasibility-repair convergence signal (DESIGN.md §11).
+  virtual bool repair(Genes& genes, Rng& rng) const;
 
   /// Force pinned genes to 1 (used after random initialization / mutation).
   void apply_pins(Genes& genes) const;

@@ -2,10 +2,14 @@
 // genetic solvers (MooGaSolver, Nsga2Solver).
 //
 // Both solvers emit the same per-generation convergence record — size of
-// the current non-dominated set and the best node-util / BB-util objective
-// values — and fold the same per-solve counters into the metrics registry,
-// so the helpers live here rather than twice.  Everything is gated by the
-// caller on trace_enabled() / metrics_enabled(); none of it consumes RNG.
+// the current non-dominated set, 2-d hypervolume against the origin, the
+// best node-util / BB-util objective values, and feasibility repairs — and
+// fold the same per-solve counters into the metrics registry, so the
+// helpers live here rather than twice.  Per-generation records go out both
+// as wall-clock spans and as Perfetto counter lanes ("solver.convergence"),
+// so a long campaign's convergence is plottable over time (DESIGN.md §11).
+// Everything is gated by the caller on trace_enabled() / metrics_enabled();
+// none of it consumes RNG.
 #pragma once
 
 #include <algorithm>
@@ -20,21 +24,33 @@
 
 namespace bbsched {
 
-/// Convergence snapshot of one generation.  Costs an O(P^2) dominance pass;
-/// compute only while tracing.
+/// Convergence snapshot of one generation.  Costs an O(P^2) dominance pass
+/// plus a front sort for the hypervolume; compute only while tracing.
 struct GenerationTelemetry {
   std::size_t front_size = 0;
+  double hypervolume = 0;     ///< 2-d hypervolume vs origin (0 if not 2-d)
   double best_node_util = 0;  ///< best objectives[0] (node-util fraction)
   double best_bb_util = 0;    ///< best objectives[1] (BB-util fraction)
+  std::size_t repairs = 0;    ///< feasibility repairs this generation
 };
 
+/// Dominated 2-d hypervolume of a population's objective points against the
+/// {0, 0} reference; 0 unless the points are 2-dimensional.
+inline double population_hypervolume(const Front& points) {
+  if (points.empty() || points.front().size() != 2) return 0.0;
+  static constexpr double kOrigin[2] = {0.0, 0.0};
+  return hypervolume_2d(points, kOrigin);
+}
+
 inline GenerationTelemetry generation_telemetry(
-    const std::vector<Chromosome>& population) {
+    const std::vector<Chromosome>& population, std::size_t repairs = 0) {
   GenerationTelemetry t;
+  t.repairs = repairs;
   Front points;
   points.reserve(population.size());
   for (const auto& c : population) points.push_back(c.objectives);
   t.front_size = non_dominated_indices(points).size();
+  t.hypervolume = population_hypervolume(points);
   t.best_node_util = -std::numeric_limits<double>::infinity();
   t.best_bb_util = -std::numeric_limits<double>::infinity();
   for (const auto& c : population) {
@@ -48,15 +64,23 @@ inline GenerationTelemetry generation_telemetry(
   return t;
 }
 
-/// Trace one generation as a wall-clock span with its convergence record.
+/// Trace one generation: a wall-clock span with the convergence record,
+/// plus a sample on the "solver.convergence" counter lane so Perfetto plots
+/// front size / hypervolume / repair pressure as time series.
 inline void trace_generation(const char* solver_name, int generation,
                              double start_s, double end_s,
                              const GenerationTelemetry& t) {
   trace_complete(solver_name, "solver", start_s, end_s - start_s,
                  {{"generation", generation},
                   {"front_size", t.front_size},
+                  {"hypervolume", t.hypervolume},
                   {"best_node_util", t.best_node_util},
-                  {"best_bb_util", t.best_bb_util}});
+                  {"best_bb_util", t.best_bb_util},
+                  {"repairs", t.repairs}});
+  trace_counter("solver.convergence", end_s, kTraceWallPid,
+                {{"front_size", t.front_size},
+                 {"hypervolume", t.hypervolume},
+                 {"repairs", t.repairs}});
 }
 
 /// Fold one finished solve into the metrics registry.  References resolve
@@ -66,14 +90,22 @@ inline void record_solver_metrics(const MooResult& result) {
   static Counter& solves = metric_counter("solver.solves");
   static Counter& generations = metric_counter("solver.generations");
   static Counter& evaluations = metric_counter("solver.evaluations");
+  static Counter& repairs = metric_counter("solver.repairs");
   static MetricHistogram& seconds = metric_histogram("solver.solve_seconds");
   static MetricHistogram& pareto =
       metric_histogram("solver.pareto_size", {1, 2, 3, 5, 8, 12, 20, 50});
+  static MetricHistogram& hypervolume = metric_histogram(
+      "solver.hypervolume", {0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.5, 2.0});
   solves.add(1);
   generations.add(static_cast<std::uint64_t>(result.generations));
   evaluations.add(static_cast<std::uint64_t>(result.evaluations));
+  repairs.add(static_cast<std::uint64_t>(result.repairs));
   seconds.observe(result.solve_seconds);
   pareto.observe(static_cast<double>(result.pareto_set.size()));
+  Front front;
+  front.reserve(result.pareto_set.size());
+  for (const auto& c : result.pareto_set) front.push_back(c.objectives);
+  hypervolume.observe(population_hypervolume(front));
 }
 
 }  // namespace bbsched

@@ -35,7 +35,10 @@ std::string ExperimentConfig::digest() const {
   key << jobs_per_workload << '|' << window_size << '|' << ga.generations
       << '|' << ga.population_size << '|' << ga.mutation_rate << '|' << seed
       << '|' << warmup_fraction << '|' << cooldown_fraction << '|'
-      << cori_scale << '|' << theta_scale << "|grid-v2";
+      // grid-v3: p95_wait moved from the exact-sort quantile to the
+      // deterministic QuantileSketch estimate and the sums to ExactSum, so
+      // grids cached by older builds must miss.
+      << cori_scale << '|' << theta_scale << "|grid-v3";
   const auto h = std::hash<std::string>{}(key.str());
   std::ostringstream hex;
   hex << std::hex << h;

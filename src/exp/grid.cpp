@@ -12,8 +12,10 @@
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "exp/monitor.hpp"
 #include "policies/factory.hpp"
 
 namespace bbsched {
@@ -93,11 +95,12 @@ GridCell row_to_cell(const CsvTable& table, std::size_t r) {
   return cell;
 }
 
-GridCell cell_from_result(const SimResult& result) {
+GridCell cell_from_result(const SimResult& result,
+                          const ScheduleMetrics& metrics) {
   GridCell cell;
   cell.workload = result.workload_name;
   cell.method = result.policy_name;
-  cell.metrics = compute_metrics(result);
+  cell.metrics = metrics;
   cell.mean_solve_seconds = result.decisions.mean_solve_seconds();
   cell.max_solve_seconds = result.decisions.solve_seconds_max;
   cell.mean_pareto_size = result.decisions.mean_pareto_size();
@@ -171,7 +174,7 @@ std::optional<GridCell> find_cell(const std::vector<GridCell>& cells,
 }
 
 SimResult run_single(const ExperimentConfig& config, const Workload& workload,
-                     const std::string& method) {
+                     const std::string& method, SimObserver* observer) {
   const auto base = make_base_scheduler(base_scheduler_for(workload.name));
   const auto policy = make_policy(method, config.ga);
   SimConfig sim = config.sim_config();
@@ -180,7 +183,7 @@ SimResult run_single(const ExperimentConfig& config, const Workload& workload,
   // decorrelated from each other and independent of the order — serial or
   // parallel — in which the grid runs them.
   sim.seed = mix_seed(sim.seed, workload.name, method);
-  return simulate(workload, sim, *base, *policy);
+  return simulate(workload, sim, *base, *policy, observer);
 }
 
 namespace {
@@ -192,13 +195,46 @@ struct CellOutcome {
   std::vector<BreakdownCell> breakdowns;
 };
 
+/// Per-cell streaming observer: feeds the incremental metrics engine as the
+/// simulator completes jobs — the grid's cell metrics come from here, never
+/// from a post-hoc pass over the outcome vector — and counts sim events for
+/// the campaign monitor's events/sec gauge.
+class StreamingCellObserver : public SimObserver {
+ public:
+  StreamingCellObserver(const MachineConfig& machine, MeasureInterval interval,
+                        CampaignMonitor* monitor)
+      : metrics_(machine, interval.begin, interval.end), monitor_(monitor) {}
+
+  void on_job_outcome(const JobOutcome& outcome) override {
+    metrics_.add(outcome);
+    if (monitor_ != nullptr) monitor_->add_events(1);
+  }
+  void on_occupancy(Time /*now*/, double /*nodes_used*/,
+                    double /*bb_used_gb*/) override {
+    if (monitor_ != nullptr) monitor_->add_events(1);
+  }
+
+  const IncrementalScheduleMetrics& metrics() const { return metrics_; }
+
+ private:
+  IncrementalScheduleMetrics metrics_;
+  CampaignMonitor* monitor_;
+};
+
 std::vector<CellOutcome> compute_cells(
     const ExperimentConfig& config, const std::vector<SuiteEntry>& workloads,
-    const std::vector<std::string>& methods, bool collect_breakdowns) {
+    const std::vector<std::string>& methods, bool collect_breakdowns,
+    const char* campaign_label) {
   const std::size_t total = workloads.size() * methods.size();
   std::vector<CellOutcome> outcomes(total);
   std::atomic<std::size_t> done{0};
   Stopwatch watch;
+  // Self-monitoring: sampler thread + heartbeat whenever any telemetry
+  // surface (progress, metrics, trace) is armed; fully silent otherwise.
+  const bool monitoring =
+      progress_enabled() || metrics_enabled() || trace_enabled();
+  CampaignMonitor monitor(campaign_label, total);
+  if (monitoring) monitor.start();
   parallel_for(total, [&](std::size_t idx) {
     const SuiteEntry& entry = workloads[idx / methods.size()];
     const std::string& method = methods[idx % methods.size()];
@@ -207,10 +243,16 @@ std::vector<CellOutcome> compute_cells(
     TraceSpan cell_span("grid.cell", "exp",
                         {{"workload", entry.label}, {"method", method}});
     Stopwatch cell_watch;
-    const SimResult result = run_single(config, entry.workload, method);
+    StreamingCellObserver observer(
+        entry.workload.machine,
+        measurement_interval(entry.workload, config.sim_config()),
+        monitoring ? &monitor : nullptr);
+    const SimResult result =
+        run_single(config, entry.workload, method, &observer);
     CellOutcome& out = outcomes[idx];
-    out.cell = cell_from_result(result);
+    out.cell = cell_from_result(result, observer.metrics().finalize());
     out.cell.cell_wall_seconds = cell_watch.elapsed_seconds();
+    monitor.cell_done();
     // Figures 9-11 break down the Theta-S4 runs.
     if (collect_breakdowns && entry.label == "Theta-S4") {
       append_breakdowns(result, config.theta_scale, out.breakdowns);
@@ -238,6 +280,7 @@ std::vector<CellOutcome> compute_cells(
               {"elapsed_s", watch.elapsed_seconds()},
               {"threads", global_threads()}});
   });
+  if (monitoring) monitor.stop();
   return outcomes;
 }
 
@@ -246,7 +289,8 @@ std::vector<CellOutcome> compute_cells(
 MainGridResults compute_main_grid(const ExperimentConfig& config) {
   auto outcomes =
       compute_cells(config, build_main_workloads(config),
-                    standard_method_names(), /*collect_breakdowns=*/true);
+                    standard_method_names(), /*collect_breakdowns=*/true,
+                    "main_grid");
   MainGridResults results;
   results.cells.reserve(outcomes.size());
   for (auto& out : outcomes) {
@@ -262,7 +306,7 @@ MainGridResults compute_main_grid(const ExperimentConfig& config) {
 std::vector<GridCell> compute_ssd_grid(const ExperimentConfig& config) {
   auto outcomes = compute_cells(config, build_ssd_workloads(config),
                                 ssd_method_names(),
-                                /*collect_breakdowns=*/false);
+                                /*collect_breakdowns=*/false, "ssd_grid");
   std::vector<GridCell> cells;
   cells.reserve(outcomes.size());
   for (auto& out : outcomes) cells.push_back(std::move(out.cell));

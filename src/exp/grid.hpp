@@ -14,6 +14,7 @@
 #include "exp/experiment.hpp"
 #include "metrics/breakdown.hpp"
 #include "metrics/schedule_metrics.hpp"
+#include "sim/simulator.hpp"
 
 namespace bbsched {
 
@@ -71,7 +72,10 @@ std::optional<GridCell> find_cell(const std::vector<GridCell>& cells,
 
 /// Run a single (workload, method) simulation under the campaign config —
 /// used by benches that need full outcomes (e.g. Table 3's window sweep).
+/// `observer` (may be nullptr) streams outcomes/occupancy out of the run;
+/// the grid itself feeds one per cell (incremental metrics + monitor).
 SimResult run_single(const ExperimentConfig& config, const Workload& workload,
-                     const std::string& method);
+                     const std::string& method,
+                     SimObserver* observer = nullptr);
 
 }  // namespace bbsched

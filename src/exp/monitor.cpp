@@ -1,0 +1,145 @@
+#include "exp/monitor.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "common/table.hpp"
+#include "common/telemetry.hpp"
+#include "common/trace.hpp"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace bbsched {
+
+double process_rss_mb() {
+#if defined(__linux__)
+  // /proc/self/statm: "size resident shared ..." in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long size_pages = 0, resident_pages = 0;
+  const int parsed = std::fscanf(f, "%ld %ld", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (parsed != 2) return 0.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident_pages) * static_cast<double>(page) /
+         (1024.0 * 1024.0);
+#else
+  return 0.0;
+#endif
+}
+
+CampaignMonitor::CampaignMonitor(std::string label, std::size_t cells_total,
+                                 double sample_period_s)
+    : label_(std::move(label)),
+      cells_total_(cells_total),
+      sample_period_s_(sample_period_s > 0 ? sample_period_s : 1.0) {}
+
+CampaignMonitor::~CampaignMonitor() { stop(); }
+
+void CampaignMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  start_s_ = mono_seconds();
+  last_sample_s_ = start_s_;
+  last_events_ = 0;
+  // Initial sample before the thread exists: guarantees at least one
+  // heartbeat/gauge write even when the campaign outpaces the first tick.
+  sample(/*heartbeat=*/true);
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+void CampaignMonitor::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  sample(/*heartbeat=*/true);
+  if (progress_enabled()) {
+    const double wall = mono_seconds() - start_s_;
+    const auto ev = events();
+    ConsoleTable summary({"campaign", "cells", "events", "wall_s",
+                          "events_per_s", "peak_rss_mb"},
+                         {Align::kLeft, Align::kRight, Align::kRight,
+                          Align::kRight, Align::kRight, Align::kRight});
+    summary.add_row(
+        {label_,
+         std::to_string(cells_done()) + "/" + std::to_string(cells_total_),
+         std::to_string(ev), ConsoleTable::num(wall, 2),
+         ConsoleTable::num(wall > 0 ? static_cast<double>(ev) / wall : 0.0, 0),
+         ConsoleTable::num(peak_rss_mb(), 1)});
+    summary.print(std::cerr);
+  }
+}
+
+void CampaignMonitor::sampler_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto period = std::chrono::duration<double>(sample_period_s_);
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+    lock.unlock();
+    sample(/*heartbeat=*/true);
+    lock.lock();
+  }
+}
+
+void CampaignMonitor::sample(bool heartbeat) {
+  const double now_s = mono_seconds();
+  const double rss = process_rss_mb();
+  {
+    double peak = peak_rss_mb_.load(std::memory_order_relaxed);
+    while (rss > peak && !peak_rss_mb_.compare_exchange_weak(
+                             peak, rss, std::memory_order_relaxed)) {
+    }
+  }
+  const std::size_t done = cells_done();
+  const std::size_t ev = events();
+  const double dt = now_s - last_sample_s_;
+  const double events_per_s =
+      dt > 0 ? static_cast<double>(ev - last_events_) / dt : 0.0;
+  last_sample_s_ = now_s;
+  last_events_ = ev;
+  const double elapsed = now_s - start_s_;
+  const double eta_s =
+      done > 0 && cells_total_ > done
+          ? elapsed * static_cast<double>(cells_total_ - done) /
+                static_cast<double>(done)
+          : 0.0;
+  samples_.fetch_add(1, std::memory_order_relaxed);
+
+  if (metrics_enabled()) {
+    static Gauge& rss_gauge = metric_gauge("campaign.rss_mb");
+    static Gauge& done_gauge = metric_gauge("campaign.cells_done");
+    static Gauge& total_gauge = metric_gauge("campaign.cells_total");
+    static Gauge& eta_gauge = metric_gauge("campaign.eta_seconds");
+    static Gauge& rate_gauge = metric_gauge("campaign.events_per_second");
+    rss_gauge.set(rss);
+    done_gauge.set(static_cast<double>(done));
+    total_gauge.set(static_cast<double>(cells_total_));
+    eta_gauge.set(eta_s);
+    rate_gauge.set(events_per_s);
+  }
+  if (trace_enabled()) {
+    trace_counter("campaign", now_s, kTraceWallPid,
+                  {{"rss_mb", rss},
+                   {"cells_done", done},
+                   {"events_per_s", events_per_s},
+                   {"eta_s", eta_s}});
+  }
+  if (heartbeat && progress_enabled()) {
+    std::fprintf(stderr,
+                 "[progress] %s: %zu/%zu cells  %zu events  %.0f ev/s  "
+                 "rss=%.1f MB  elapsed=%.1fs  eta=%.1fs\n",
+                 label_.c_str(), done, cells_total_, ev, events_per_s, rss,
+                 elapsed, eta_s);
+  }
+}
+
+}  // namespace bbsched

@@ -1,0 +1,90 @@
+// monitor.hpp — campaign self-monitoring (DESIGN.md §11).
+//
+// A CampaignMonitor watches a running grid campaign from a low-overhead
+// sampler thread: every sample period it records process RSS, simulation
+// events/sec, cells done/total and an ETA as metrics-registry gauges and as
+// a "campaign" Perfetto counter lane, and — when progress_enabled() — prints
+// a one-line [progress] heartbeat to stderr.  The workers only touch two
+// relaxed atomics (cell/event counts); everything else lives on the sampler
+// thread, so monitoring never perturbs the campaign being measured.
+//
+// Heartbeats are guaranteed at start() and stop() even if the campaign
+// finishes before the first sampler tick, and stop() prints an end-of-run
+// summary table (cells, events, peak RSS, throughput) when progress is on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace bbsched {
+
+/// Current resident-set size of this process in MiB; 0 where unsupported
+/// (non-Linux, or /proc unavailable).
+double process_rss_mb();
+
+class CampaignMonitor {
+ public:
+  /// `label` names the campaign in heartbeats and the trace lane;
+  /// `cells_total` sizes the progress fraction and the ETA.
+  CampaignMonitor(std::string label, std::size_t cells_total,
+                  double sample_period_s = 1.0);
+  ~CampaignMonitor();  ///< stops the sampler if still running
+
+  CampaignMonitor(const CampaignMonitor&) = delete;
+  CampaignMonitor& operator=(const CampaignMonitor&) = delete;
+
+  /// Launch the sampler thread and print the initial heartbeat.
+  void start();
+  /// Stop sampling, print the final heartbeat and the summary table.
+  /// Idempotent.
+  void stop();
+
+  /// One grid cell finished (worker threads; lock-free).
+  void cell_done() { cells_done_.fetch_add(1, std::memory_order_relaxed); }
+  /// `n` simulation events occurred (worker threads; lock-free).
+  void add_events(std::size_t n) {
+    events_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::size_t cells_done() const {
+    return cells_done_.load(std::memory_order_relaxed);
+  }
+  std::size_t events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+  std::size_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  double peak_rss_mb() const {
+    return peak_rss_mb_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void sampler_loop();
+  /// Record one sample (gauges + trace counters) and optionally heartbeat.
+  void sample(bool heartbeat);
+
+  std::string label_;
+  std::size_t cells_total_;
+  double sample_period_s_;
+
+  std::atomic<std::size_t> cells_done_{0};
+  std::atomic<std::size_t> events_{0};
+  std::atomic<std::size_t> samples_{0};
+  std::atomic<double> peak_rss_mb_{0.0};
+  std::size_t last_events_ = 0;    ///< sampler-thread only
+  double last_sample_s_ = 0;       ///< sampler-thread only
+  double start_s_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace bbsched

@@ -1,9 +1,7 @@
 #include "metrics/schedule_metrics.hpp"
 
 #include <algorithm>
-#include <vector>
-
-#include "common/stats.hpp"
+#include <stdexcept>
 
 namespace bbsched {
 
@@ -19,52 +17,165 @@ GigaBytes wasted_ssd_gb(const JobOutcome& outcome, const MachineConfig& m) {
          static_cast<double>(outcome.large_tier_nodes) * (m.large_ssd_gb - s);
 }
 
-ScheduleMetrics compute_metrics(const SimResult& result,
-                                const MetricsConfig& config) {
+namespace {
+
+// Shared ratio step: both the batch reference and the streaming accumulator
+// must divide by the same elapsed-resource-hours expressions for the results
+// to agree bit for bit.
+ScheduleMetrics finalize_ratios(const MachineConfig& machine, Time mb, Time me,
+                                double used_node, double used_bb,
+                                double used_ssd, double wasted_ssd) {
   ScheduleMetrics metrics;
-  const Time mb = result.measure_begin;
-  const Time me = result.measure_end;
   const Time elapsed = std::max(0.0, me - mb);
   if (elapsed <= 0) return metrics;
-
-  const MachineConfig& machine = result.machine;
   const double node_hours = static_cast<double>(machine.nodes) * elapsed;
   const double bb_hours = machine.schedulable_bb_gb() * elapsed;
   const double ssd_capacity =
       static_cast<double>(machine.small_ssd_nodes) * machine.small_ssd_gb +
       static_cast<double>(machine.large_ssd_nodes) * machine.large_ssd_gb;
   const double ssd_hours = ssd_capacity * elapsed;
-
-  double used_node = 0, used_bb = 0, used_ssd = 0, wasted_ssd = 0;
-  std::vector<double> waits, slowdowns;
-  for (const auto& o : result.outcomes) {
-    const Time overlap = interval_overlap(o.start, o.end, mb, me);
-    if (overlap > 0) {
-      used_node += static_cast<double>(o.nodes) * overlap;
-      used_bb += o.bb_gb * overlap;
-      used_ssd +=
-          o.ssd_per_node_gb * static_cast<double>(o.nodes) * overlap;
-      wasted_ssd += wasted_ssd_gb(o, machine) * overlap;
-    }
-    if (o.submit >= mb && o.submit <= me) {
-      ++metrics.jobs_measured;
-      metrics.jobs_backfilled += o.backfilled;
-      waits.push_back(o.wait());
-      if (o.runtime >= config.slowdown_min_runtime) {
-        slowdowns.push_back(o.slowdown());
-      }
-    }
-  }
-
   metrics.node_usage = node_hours > 0 ? used_node / node_hours : 0;
   metrics.bb_usage = bb_hours > 0 ? used_bb / bb_hours : 0;
   metrics.ssd_usage = ssd_hours > 0 ? used_ssd / ssd_hours : 0;
   metrics.ssd_waste = ssd_hours > 0 ? wasted_ssd / ssd_hours : 0;
-  metrics.avg_wait = mean(waits);
-  metrics.avg_slowdown = mean(slowdowns);
-  metrics.p95_wait = quantile(waits, 0.95);
-  for (double w : waits) metrics.max_wait = std::max(metrics.max_wait, w);
   return metrics;
+}
+
+}  // namespace
+
+ScheduleMetrics compute_metrics(const SimResult& result,
+                                const MetricsConfig& config) {
+  // Independent batch pass: same primitives (ExactSum, QuantileSketch) as
+  // IncrementalScheduleMetrics but a separately written loop, so the two
+  // implementations can differentially test each other.
+  const Time mb = result.measure_begin;
+  const Time me = result.measure_end;
+  if (me - mb <= 0) return ScheduleMetrics{};
+  const MachineConfig& machine = result.machine;
+
+  ExactSum used_node, used_bb, used_ssd, wasted_ssd;
+  ExactSum wait_sum, slowdown_sum;
+  QuantileSketch wait_sketch;
+  double max_wait = 0;
+  std::size_t jobs_measured = 0, jobs_backfilled = 0, slowdown_count = 0;
+  for (const auto& o : result.outcomes) {
+    const Time overlap = interval_overlap(o.start, o.end, mb, me);
+    if (overlap > 0) {
+      used_node.add(static_cast<double>(o.nodes) * overlap);
+      used_bb.add(o.bb_gb * overlap);
+      used_ssd.add(o.ssd_per_node_gb * static_cast<double>(o.nodes) * overlap);
+      wasted_ssd.add(wasted_ssd_gb(o, machine) * overlap);
+    }
+    if (o.submit >= mb && o.submit <= me) {
+      ++jobs_measured;
+      jobs_backfilled += o.backfilled;
+      const double wait = o.wait();
+      wait_sum.add(wait);
+      wait_sketch.add(wait);
+      max_wait = std::max(max_wait, wait);
+      if (o.runtime >= config.slowdown_min_runtime) {
+        ++slowdown_count;
+        slowdown_sum.add(o.slowdown());
+      }
+    }
+  }
+
+  ScheduleMetrics metrics =
+      finalize_ratios(machine, mb, me, used_node.round(), used_bb.round(),
+                      used_ssd.round(), wasted_ssd.round());
+  metrics.jobs_measured = jobs_measured;
+  metrics.jobs_backfilled = jobs_backfilled;
+  metrics.avg_wait =
+      jobs_measured
+          ? wait_sum.round() / static_cast<double>(jobs_measured)
+          : 0.0;
+  metrics.avg_slowdown =
+      slowdown_count
+          ? slowdown_sum.round() / static_cast<double>(slowdown_count)
+          : 0.0;
+  metrics.p95_wait = wait_sketch.quantile(0.95);
+  metrics.max_wait = max_wait;
+  return metrics;
+}
+
+IncrementalScheduleMetrics::IncrementalScheduleMetrics(
+    const MachineConfig& machine, Time measure_begin, Time measure_end,
+    MetricsConfig config)
+    : machine_(machine),
+      measure_begin_(measure_begin),
+      measure_end_(measure_end),
+      config_(config) {}
+
+void IncrementalScheduleMetrics::add(const JobOutcome& o) {
+  ++jobs_seen_;
+  const Time overlap =
+      interval_overlap(o.start, o.end, measure_begin_, measure_end_);
+  if (overlap > 0) {
+    used_node_.add(static_cast<double>(o.nodes) * overlap);
+    used_bb_.add(o.bb_gb * overlap);
+    used_ssd_.add(o.ssd_per_node_gb * static_cast<double>(o.nodes) * overlap);
+    wasted_ssd_.add(wasted_ssd_gb(o, machine_) * overlap);
+  }
+  if (o.submit >= measure_begin_ && o.submit <= measure_end_) {
+    ++jobs_measured_;
+    jobs_backfilled_ += o.backfilled;
+    const double wait = o.wait();
+    wait_sum_.add(wait);
+    wait_sketch_.add(wait);
+    max_wait_ = std::max(max_wait_, wait);
+    if (o.runtime >= config_.slowdown_min_runtime) {
+      ++slowdown_count_;
+      slowdown_sum_.add(o.slowdown());
+    }
+  }
+}
+
+void IncrementalScheduleMetrics::merge(const IncrementalScheduleMetrics& o) {
+  if (measure_begin_ != o.measure_begin_ || measure_end_ != o.measure_end_ ||
+      config_.slowdown_min_runtime != o.config_.slowdown_min_runtime) {
+    throw std::invalid_argument(
+        "IncrementalScheduleMetrics::merge: interval/config mismatch");
+  }
+  used_node_.merge(o.used_node_);
+  used_bb_.merge(o.used_bb_);
+  used_ssd_.merge(o.used_ssd_);
+  wasted_ssd_.merge(o.wasted_ssd_);
+  wait_sum_.merge(o.wait_sum_);
+  slowdown_sum_.merge(o.slowdown_sum_);
+  wait_sketch_.merge(o.wait_sketch_);
+  max_wait_ = std::max(max_wait_, o.max_wait_);
+  slowdown_count_ += o.slowdown_count_;
+  jobs_measured_ += o.jobs_measured_;
+  jobs_backfilled_ += o.jobs_backfilled_;
+  jobs_seen_ += o.jobs_seen_;
+}
+
+ScheduleMetrics IncrementalScheduleMetrics::finalize() const {
+  if (measure_end_ - measure_begin_ <= 0) return ScheduleMetrics{};
+  ScheduleMetrics metrics = finalize_ratios(
+      machine_, measure_begin_, measure_end_, used_node_.round(),
+      used_bb_.round(), used_ssd_.round(), wasted_ssd_.round());
+  metrics.jobs_measured = jobs_measured_;
+  metrics.jobs_backfilled = jobs_backfilled_;
+  metrics.avg_wait =
+      jobs_measured_
+          ? wait_sum_.round() / static_cast<double>(jobs_measured_)
+          : 0.0;
+  metrics.avg_slowdown =
+      slowdown_count_
+          ? slowdown_sum_.round() / static_cast<double>(slowdown_count_)
+          : 0.0;
+  metrics.p95_wait = wait_sketch_.quantile(0.95);
+  metrics.max_wait = max_wait_;
+  return metrics;
+}
+
+std::size_t IncrementalScheduleMetrics::memory_bytes() const {
+  return sizeof(*this) + wait_sketch_.memory_bytes() +
+         (used_node_.partial_count() + used_bb_.partial_count() +
+          used_ssd_.partial_count() + wasted_ssd_.partial_count() +
+          wait_sum_.partial_count() + slowdown_sum_.partial_count()) *
+             sizeof(double);
 }
 
 }  // namespace bbsched

@@ -10,8 +10,36 @@
 //
 // §5 adds local-SSD usage and the wasted-SSD fraction, integrated the same
 // way from the committed node-tier splits.
+//
+// Two implementations produce the metrics (DESIGN.md §11):
+//
+//  * `compute_metrics` — the batch reference: one pass over a finished
+//    SimResult.  Kept as the differential-testing oracle.
+//  * `IncrementalScheduleMetrics` — the streaming accumulator: consumes
+//    `JobOutcome`s one at a time as the simulator completes jobs (via
+//    `SimObserver`), holds O(1) state in the job count (exact sums, a
+//    quantile sketch, counters — never the samples), and supports `merge()`
+//    of partial accumulators from sharded campaigns.
+//
+// Both paths route every sum through `ExactSum` and the 95th percentile
+// through the same deterministic `QuantileSketch`, so they are byte-identical
+// on any event order and any shard split (tests/metrics/
+// test_incremental_metrics.cpp pins this across the full policy grid).
+//
+// Pinned zero-value conventions (tests/metrics/test_schedule_metrics.cpp):
+//
+//  * Empty measurement interval (`measure_end <= measure_begin`): every
+//    field of ScheduleMetrics is 0, including `jobs_measured` — nothing is
+//    counted against a degenerate interval.
+//  * `jobs_measured == 0` (no job submitted inside the interval): avg_wait,
+//    avg_slowdown, p95_wait and max_wait are all 0, never NaN.
+//  * All jobs filtered from slowdown (runtime < `slowdown_min_runtime`):
+//    avg_slowdown is 0 while the wait metrics remain populated.
+//  * A machine without the relevant resource (no BB / no SSD tiers) yields
+//    0 for that usage ratio, never a division by zero.
 #pragma once
 
+#include "common/stats.hpp"
 #include "sim/sim_result.hpp"
 
 namespace bbsched {
@@ -29,15 +57,67 @@ struct ScheduleMetrics {
   double ssd_waste = 0;     ///< wasted-SSD-hours / elapsed SSD-hours (§5)
   double avg_wait = 0;      ///< seconds
   double avg_slowdown = 0;  ///< filtered per MetricsConfig
-  double p95_wait = 0;      ///< seconds, 95th percentile
-  double max_wait = 0;      ///< seconds
+  double p95_wait = 0;      ///< seconds, 95th percentile (sketch estimate,
+                            ///< relative error <= QuantileSketch defaults)
+  double max_wait = 0;      ///< seconds, exact
   std::size_t jobs_measured = 0;   ///< jobs submitted inside the interval
   std::size_t jobs_backfilled = 0; ///< of those, started via EASY
 };
 
-/// Compute metrics from a finished simulation.
+/// Compute metrics from a finished simulation (batch reference path).
 ScheduleMetrics compute_metrics(const SimResult& result,
                                 const MetricsConfig& config = {});
+
+/// Streaming accumulator over `JobOutcome`s: same result as
+/// `compute_metrics`, byte for byte, without ever holding the outcome set.
+/// Feed outcomes in any order (completion order, trace order, shuffled —
+/// the result is identical); fold shards together with `merge()`, which is
+/// exactly associative and commutative.  State is O(1) in the number of
+/// outcomes added: four exact sums, one fixed-size quantile sketch, and a
+/// handful of counters (`memory_bytes()` reports the footprint).
+class IncrementalScheduleMetrics {
+ public:
+  /// The measurement interval and machine must be fixed up front (they are
+  /// known before simulation starts — see `measurement_interval()`).
+  IncrementalScheduleMetrics(const MachineConfig& machine, Time measure_begin,
+                             Time measure_end, MetricsConfig config = {});
+
+  /// Account one completed job.
+  void add(const JobOutcome& outcome);
+
+  /// Fold another partial accumulator in.  Throws std::invalid_argument
+  /// unless both were built over the same measurement interval and config.
+  void merge(const IncrementalScheduleMetrics& other);
+
+  /// The metrics accumulated so far.  Non-destructive: add/merge may
+  /// continue afterwards.  Byte-identical to `compute_metrics` over the
+  /// same multiset of outcomes.
+  ScheduleMetrics finalize() const;
+
+  std::size_t jobs_seen() const { return jobs_seen_; }
+  /// Current accumulator footprint in bytes — constant in jobs_seen(), the
+  /// O(1) guarantee demonstrated by bench_overhead's metrics series.
+  std::size_t memory_bytes() const;
+
+ private:
+  MachineConfig machine_;
+  Time measure_begin_;
+  Time measure_end_;
+  MetricsConfig config_;
+
+  ExactSum used_node_;
+  ExactSum used_bb_;
+  ExactSum used_ssd_;
+  ExactSum wasted_ssd_;
+  ExactSum wait_sum_;
+  ExactSum slowdown_sum_;
+  QuantileSketch wait_sketch_;
+  double max_wait_ = 0;
+  std::size_t slowdown_count_ = 0;
+  std::size_t jobs_measured_ = 0;
+  std::size_t jobs_backfilled_ = 0;
+  std::size_t jobs_seen_ = 0;
+};
 
 /// Overlap of [lo1, hi1] with [lo2, hi2]; 0 when disjoint.
 Time interval_overlap(Time lo1, Time hi1, Time lo2, Time hi2);

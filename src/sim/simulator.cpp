@@ -23,6 +23,17 @@ void SimConfig::validate() const {
   }
 }
 
+MeasureInterval measurement_interval(const Workload& workload,
+                                     const SimConfig& config) {
+  const Time first_submit =
+      workload.jobs.empty() ? 0 : workload.jobs.front().submit_time;
+  const Time span = workload.submit_span();
+  MeasureInterval interval;
+  interval.begin = first_submit + config.warmup_fraction * span;
+  interval.end = first_submit + span - config.cooldown_fraction * span;
+  return interval;
+}
+
 Simulator::Simulator(const Workload& workload, SimConfig config,
                      const BaseScheduler& base, const SelectionPolicy& policy)
     : workload_(workload),
@@ -118,6 +129,32 @@ void Simulator::emit_occupancy(Time now) const {
   }
 }
 
+JobOutcome Simulator::outcome_of(const JobSlot& slot) const {
+  JobOutcome outcome;
+  outcome.id = slot.record->id;
+  outcome.submit = slot.record->submit_time;
+  outcome.start = slot.start;
+  outcome.end = slot.end;
+  outcome.runtime = slot.record->runtime;
+  outcome.walltime = slot.record->walltime;
+  outcome.nodes = slot.record->nodes;
+  outcome.bb_gb = slot.record->bb_gb;
+  outcome.ssd_per_node_gb = slot.record->ssd_per_node_gb;
+  outcome.small_tier_nodes = slot.alloc.small_nodes;
+  outcome.large_tier_nodes = slot.alloc.large_nodes;
+  outcome.backfilled = slot.backfilled;
+  return outcome;
+}
+
+void Simulator::notify_occupancy(Time now) const {
+  if (observer_ == nullptr) return;
+  const MachineConfig& machine = machine_.config();
+  const FreeState free = machine_.free_state();
+  observer_->on_occupancy(now,
+                          static_cast<double>(machine.nodes) - free.nodes,
+                          machine.schedulable_bb_gb() - free.bb_gb);
+}
+
 void Simulator::start_job(std::size_t slot_index, Time now,
                           const Allocation& alloc, bool backfilled) {
   JobSlot& slot = slots_[slot_index];
@@ -140,6 +177,7 @@ void Simulator::start_job(std::size_t slot_index, Time now,
                    {"wait_s", now - slot.queued_since}});
     emit_occupancy(now);
   }
+  notify_occupancy(now);
 }
 
 void Simulator::complete_job(std::size_t slot_index) {
@@ -153,6 +191,12 @@ void Simulator::complete_job(std::size_t slot_index) {
                    {"runtime_s", slot.record->runtime},
                    {"backfilled", slot.backfilled}});
     emit_occupancy(slot.end);
+  }
+  if (observer_ != nullptr) {
+    // Streaming emission: outcomes reach the observer in completion order,
+    // with the same field values the end-of-run assembly will produce.
+    observer_->on_job_outcome(outcome_of(slot));
+    notify_occupancy(slot.end);
   }
   for (std::size_t dep_index : dependents_[slot_index]) {
     JobSlot& dependent = slots_[dep_index];
@@ -439,28 +483,13 @@ SimResult Simulator::run() {
   result.machine = workload_.machine;
   result.outcomes.reserve(total);
   for (const auto& slot : slots_) {
-    JobOutcome outcome;
-    outcome.id = slot.record->id;
-    outcome.submit = slot.record->submit_time;
-    outcome.start = slot.start;
-    outcome.end = slot.end;
-    outcome.runtime = slot.record->runtime;
-    outcome.walltime = slot.record->walltime;
-    outcome.nodes = slot.record->nodes;
-    outcome.bb_gb = slot.record->bb_gb;
-    outcome.ssd_per_node_gb = slot.record->ssd_per_node_gb;
-    outcome.small_tier_nodes = slot.alloc.small_nodes;
-    outcome.large_tier_nodes = slot.alloc.large_nodes;
-    outcome.backfilled = slot.backfilled;
+    JobOutcome outcome = outcome_of(slot);
     result.makespan = std::max(result.makespan, outcome.end);
     result.outcomes.push_back(outcome);
   }
-  const Time first_submit =
-      workload_.jobs.empty() ? 0 : workload_.jobs.front().submit_time;
-  const Time span = workload_.submit_span();
-  result.measure_begin = first_submit + config_.warmup_fraction * span;
-  result.measure_end =
-      first_submit + span - config_.cooldown_fraction * span;
+  const MeasureInterval interval = measurement_interval(workload_, config_);
+  result.measure_begin = interval.begin;
+  result.measure_end = interval.end;
   result.decisions = stats_;
 
   if (metrics_enabled()) {
@@ -493,8 +522,10 @@ SimResult Simulator::run() {
 }
 
 SimResult simulate(const Workload& workload, const SimConfig& config,
-                   const BaseScheduler& base, const SelectionPolicy& policy) {
+                   const BaseScheduler& base, const SelectionPolicy& policy,
+                   SimObserver* observer) {
   Simulator sim(workload, config, base, policy);
+  sim.set_observer(observer);
   return sim.run();
 }
 

@@ -54,11 +54,45 @@ struct SimConfig {
   void validate() const;
 };
 
+/// Measurement interval of a run before it happens: warm-up/cool-down
+/// trimming depends only on the trace, so streaming consumers (the
+/// incremental metrics engine, the campaign monitor) can be constructed up
+/// front.  Simulator::run() uses this same function for SimResult.
+struct MeasureInterval {
+  Time begin = 0;
+  Time end = 0;
+};
+MeasureInterval measurement_interval(const Workload& workload,
+                                     const SimConfig& config);
+
+/// Streaming hook into a running simulation (DESIGN.md §11): the simulator
+/// pushes each job's final outcome the moment it completes — completion
+/// order, not trace order — and occupancy change-points at every start and
+/// finish.  Observers must not mutate simulation state; the simulator's
+/// behavior and SimResult are byte-identical with or without an observer.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// One job finished; `outcome` is its final record (same values that will
+  /// appear in SimResult::outcomes).
+  virtual void on_job_outcome(const JobOutcome& outcome) { (void)outcome; }
+  /// Machine occupancy changed at simulated time `now`.
+  virtual void on_occupancy(Time now, double nodes_used, double bb_used_gb) {
+    (void)now;
+    (void)nodes_used;
+    (void)bb_used_gb;
+  }
+};
+
 /// Runs one (workload, base scheduler, selection policy) simulation.
 class Simulator {
  public:
   Simulator(const Workload& workload, SimConfig config,
             const BaseScheduler& base, const SelectionPolicy& policy);
+
+  /// Attach a streaming observer (may be nullptr); not owned, must outlive
+  /// run().
+  void set_observer(SimObserver* observer) { observer_ = observer; }
 
   /// Run to completion of every job and return the outcome set.
   SimResult run();
@@ -87,6 +121,11 @@ class Simulator {
   void start_job(std::size_t slot_index, Time now, const Allocation& alloc,
                  bool backfilled);
   void complete_job(std::size_t slot_index);
+  /// The final outcome record of a slot; shared by the streaming observer
+  /// emission and the end-of-run assembly so both see identical values.
+  JobOutcome outcome_of(const JobSlot& slot) const;
+  /// Push the current occupancy to the observer (no-op without one).
+  void notify_occupancy(Time now) const;
   /// Emit node/BB(/SSD) occupancy counter samples on the sim trace lane.
   void emit_occupancy(Time now) const;
   std::vector<std::size_t> sorted_waiting(Time now) const;
@@ -115,10 +154,14 @@ class Simulator {
   // traces or doesn't; consumes no RNG and never alters scheduling.
   bool tracing_ = false;
   int trace_pid_ = 0;  ///< sim-time trace lane of this run
+
+  SimObserver* observer_ = nullptr;  ///< streaming hook, not owned
 };
 
-/// Convenience wrapper: build and run in one call.
+/// Convenience wrapper: build and run in one call; `observer` (may be
+/// nullptr) receives streaming outcomes and occupancy change-points.
 SimResult simulate(const Workload& workload, const SimConfig& config,
-                   const BaseScheduler& base, const SelectionPolicy& policy);
+                   const BaseScheduler& base, const SelectionPolicy& policy,
+                   SimObserver* observer = nullptr);
 
 }  // namespace bbsched

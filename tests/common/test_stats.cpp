@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
 namespace bbsched {
 namespace {
 
@@ -58,6 +63,311 @@ TEST(RunningStats, MergeCombines) {
   EXPECT_EQ(a.count(), 3u);
   empty.merge(a);
   EXPECT_EQ(empty.count(), 3u);
+}
+
+TEST(RunningStats, VarianceMatchesDirectFormula) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats s;
+  for (double x : v) s.add(x);
+  EXPECT_NEAR(s.stddev(), stddev(v), 1e-12);
+  EXPECT_NEAR(s.variance(), stddev(v) * stddev(v), 1e-12);
+  RunningStats one;
+  one.add(5.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSingleAccumulator) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  std::vector<double> values(200);
+  for (double& v : values) v = dist(rng);
+
+  RunningStats all;
+  for (double v : values) all.add(v);
+  // Split at an arbitrary point; Chan's update must agree with streaming.
+  RunningStats a, b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 73 ? a : b).add(values[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+// --- ExactSum -------------------------------------------------------------
+
+TEST(ExactSum, RecoversCancellationNaiveSumLoses) {
+  // Classic fsum case: naive left-to-right summation returns 0.0 here.
+  ExactSum s;
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_DOUBLE_EQ(s.round(), 1.0);
+
+  // 0.1 added ten times: naive sum misses 1.0 by a few ulps; fsum does not.
+  ExactSum tenths;
+  for (int i = 0; i < 10; ++i) tenths.add(0.1);
+  EXPECT_DOUBLE_EQ(tenths.round(), 1.0);
+}
+
+TEST(ExactSum, RoundIsOrderInvariant) {
+  // Mixed magnitudes chosen so naive summation is order sensitive.
+  std::vector<double> values{1e16, 1.0,   -1e16, 0.5,  1e-8,
+                             3.25, -2.75, 1e8,   -1e8, 7e-3};
+  ExactSum forward;
+  for (double v : values) forward.add(v);
+  const double expected = forward.round();
+
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::shuffle(values.begin(), values.end(), rng);
+    ExactSum shuffled;
+    for (double v : values) shuffled.add(v);
+    EXPECT_DOUBLE_EQ(shuffled.round(), expected) << "trial " << trial;
+  }
+}
+
+TEST(ExactSum, MergeMatchesSingleAccumulatorOverRandomSplits) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(0.0, 1e6);
+  std::vector<double> values(300);
+  for (double& v : values) v = dist(rng);
+
+  ExactSum whole;
+  for (double v : values) whole.add(v);
+  const double expected = whole.round();
+
+  std::uniform_int_distribution<std::size_t> cut(1, values.size() - 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t c1 = cut(rng);
+    const std::size_t c2 = cut(rng);
+    const std::size_t lo = std::min(c1, c2);
+    const std::size_t hi = std::max(c1, c2);
+    ExactSum a, b, c;
+    for (std::size_t i = 0; i < lo; ++i) a.add(values[i]);
+    for (std::size_t i = lo; i < hi; ++i) b.add(values[i]);
+    for (std::size_t i = hi; i < values.size(); ++i) c.add(values[i]);
+    // Fold in both associations; both must equal the unsharded sum exactly.
+    ExactSum left = a;
+    left.merge(b);
+    left.merge(c);
+    ExactSum right = b;
+    right.merge(c);
+    ExactSum outer = a;
+    outer.merge(right);
+    EXPECT_DOUBLE_EQ(left.round(), expected) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(outer.round(), expected) << "trial " << trial;
+  }
+}
+
+TEST(ExactSum, PartialCountStaysBounded) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(1e-6, 1e9);
+  ExactSum s;
+  std::size_t peak = 0;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(dist(rng));
+    peak = std::max(peak, s.partial_count());
+  }
+  // Partials track distinct binades in flight, not sample count.
+  EXPECT_LE(peak, 64u);
+  s.reset();
+  EXPECT_EQ(s.partial_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.round(), 0.0);
+}
+
+TEST(ExactSum, HalfEvenTieRounding) {
+  // 2^53 + 1 is not representable; the exact sum 2^53 + 1 must round to
+  // 2^53 (ties to even), and 2^53 + 2 is exact.
+  const double big = 9007199254740992.0;  // 2^53
+  ExactSum tie;
+  tie.add(big);
+  tie.add(1.0);
+  EXPECT_DOUBLE_EQ(tie.round(), big);
+  ExactSum above;
+  above.add(big);
+  above.add(1.0);
+  above.add(1.0);
+  EXPECT_DOUBLE_EQ(above.round(), big + 2.0);
+}
+
+// --- QuantileSketch -------------------------------------------------------
+
+TEST(QuantileSketch, EmptyAndExtremes) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  s.add(3.0);
+  s.add(700.0);
+  s.add(41.5);
+  // p=0 / p=1 are exact: the estimate clamps into [min, max].
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 700.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 700.0);
+}
+
+TEST(QuantileSketch, NegativeSamplesClampToZero) {
+  QuantileSketch s;
+  s.add(-5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, ErrorBoundAgainstExactQuantile) {
+  std::mt19937_64 rng(19);
+  // Log-uniform over the resolvable range, the hard case for rank walking.
+  std::uniform_real_distribution<double> log_dist(std::log(1e-2),
+                                                  std::log(1e6));
+  std::vector<double> values(5000);
+  QuantileSketch sketch;
+  for (double& v : values) {
+    v = std::exp(log_dist(rng));
+    sketch.add(v);
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double e = sketch.relative_error();
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double rank = p * static_cast<double>(values.size() - 1);
+    // The sketch targets a single order statistic at this rank; the estimate
+    // must fall within the relative-error band spanned by the two order
+    // statistics straddling the fractional rank.
+    const double lo = sorted[static_cast<std::size_t>(std::floor(rank))];
+    const double hi = sorted[static_cast<std::size_t>(std::ceil(rank))];
+    const double q = sketch.quantile(p);
+    EXPECT_GE(q, lo * (1.0 - e)) << "p=" << p;
+    EXPECT_LE(q, hi * (1.0 + e)) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketch, DeterministicUnderSampleOrder) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> dist(0.0, 1e4);
+  std::vector<double> values(1000);
+  for (double& v : values) v = dist(rng);
+
+  QuantileSketch reference;
+  for (double v : values) reference.add(v);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(values.begin(), values.end(), rng);
+    QuantileSketch shuffled;
+    for (double v : values) shuffled.add(v);
+    for (double p : {0.0, 0.1, 0.5, 0.9, 0.95, 1.0}) {
+      EXPECT_DOUBLE_EQ(shuffled.quantile(p), reference.quantile(p));
+    }
+  }
+}
+
+TEST(QuantileSketch, MergeIsExactlyAssociative) {
+  std::mt19937_64 rng(29);
+  std::uniform_real_distribution<double> dist(0.0, 1e5);
+  std::vector<double> values(600);
+  for (double& v : values) v = dist(rng);
+
+  QuantileSketch whole;
+  for (double v : values) whole.add(v);
+
+  std::uniform_int_distribution<std::size_t> cut(1, values.size() - 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t c1 = cut(rng);
+    const std::size_t c2 = cut(rng);
+    const std::size_t lo = std::min(c1, c2);
+    const std::size_t hi = std::max(c1, c2);
+    QuantileSketch a, b, c;
+    for (std::size_t i = 0; i < lo; ++i) a.add(values[i]);
+    for (std::size_t i = lo; i < hi; ++i) b.add(values[i]);
+    for (std::size_t i = hi; i < values.size(); ++i) c.add(values[i]);
+
+    QuantileSketch left = a;
+    left.merge(b);
+    left.merge(c);
+    QuantileSketch right = b;
+    right.merge(c);
+    QuantileSketch outer = a;
+    outer.merge(right);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_EQ(outer.count(), whole.count());
+    for (double p : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+      EXPECT_DOUBLE_EQ(left.quantile(p), whole.quantile(p));
+      EXPECT_DOUBLE_EQ(outer.quantile(p), whole.quantile(p));
+    }
+  }
+}
+
+TEST(QuantileSketch, MergeRejectsParameterMismatch) {
+  QuantileSketch a(0.01, 1e-3, 1e9);
+  QuantileSketch b(0.02, 1e-3, 1e9);
+  QuantileSketch c(0.01, 1e-2, 1e9);
+  QuantileSketch d(0.01, 1e-3, 1e6);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+  EXPECT_THROW(a.merge(d), std::invalid_argument);
+}
+
+TEST(QuantileSketch, RejectsBadParameters) {
+  EXPECT_THROW(QuantileSketch(0.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(1.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(0.01, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(0.01, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(QuantileSketch, MemoryIsIndependentOfSampleCount) {
+  QuantileSketch s;
+  const std::size_t buckets = s.bucket_count();
+  const std::size_t bytes = s.memory_bytes();
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> dist(0.0, 1e8);
+  for (int i = 0; i < 50000; ++i) s.add(dist(rng));
+  EXPECT_EQ(s.bucket_count(), buckets);
+  EXPECT_EQ(s.memory_bytes(), bytes);
+}
+
+// --- TimeWeightedIntegrator -----------------------------------------------
+
+TEST(TimeWeightedIntegrator, IntegratesStepFunctionOverInterval) {
+  TimeWeightedIntegrator integ(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(integ.integral(), 0.0);
+  integ.sample(0.0, 2.0);   // 2 over [0, 4)
+  integ.sample(4.0, 5.0);   // 5 over [4, 10]
+  EXPECT_DOUBLE_EQ(integ.integral(), 2.0 * 4.0 + 5.0 * 6.0);
+  EXPECT_DOUBLE_EQ(integ.time_average(), 3.8);
+  EXPECT_EQ(integ.samples(), 2u);
+}
+
+TEST(TimeWeightedIntegrator, ClipsSamplesOutsideTheInterval) {
+  TimeWeightedIntegrator integ(10.0, 20.0);
+  integ.sample(0.0, 1.0);    // clipped: only [10, 15) counts
+  integ.sample(15.0, 3.0);   // [15, 20]
+  integ.sample(25.0, 99.0);  // entirely past end; closes the 3.0 segment
+  EXPECT_DOUBLE_EQ(integ.integral(), 1.0 * 5.0 + 3.0 * 5.0);
+  EXPECT_DOUBLE_EQ(integ.time_average(), 2.0);
+}
+
+TEST(TimeWeightedIntegrator, LastValueExtendsToEnd) {
+  TimeWeightedIntegrator integ(0.0, 100.0);
+  integ.sample(90.0, 4.0);
+  EXPECT_DOUBLE_EQ(integ.integral(), 4.0 * 10.0);
+}
+
+TEST(TimeWeightedIntegrator, RejectsNonMonotoneTime) {
+  TimeWeightedIntegrator integ(0.0, 10.0);
+  integ.sample(5.0, 1.0);
+  EXPECT_THROW(integ.sample(4.0, 2.0), std::invalid_argument);
+  integ.sample(5.0, 2.0);  // equal timestamps are fine (zero-width step)
+}
+
+TEST(TimeWeightedIntegrator, EmptyIntervalYieldsZero) {
+  TimeWeightedIntegrator integ(5.0, 5.0);
+  integ.sample(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(integ.integral(), 0.0);
+  EXPECT_DOUBLE_EQ(integ.time_average(), 0.0);
 }
 
 TEST(Histogram, BinsAndBoundaries) {

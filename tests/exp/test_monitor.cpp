@@ -1,0 +1,141 @@
+// test_monitor.cpp — campaign self-monitoring (DESIGN.md §11): the
+// CampaignMonitor's counters, heartbeat and summary output, process RSS
+// sampling, and the telemetry crash-flush hook that preserves partial
+// trace/metrics snapshots when a campaign dies mid-run.
+#include "exp/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/telemetry.hpp"
+
+namespace bbsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ProcessRss, PositiveOnLinux) {
+#if defined(__linux__)
+  const double rss = process_rss_mb();
+  EXPECT_GT(rss, 0.0);
+  EXPECT_LT(rss, 1e6);  // sanity: under a terabyte
+#else
+  EXPECT_DOUBLE_EQ(process_rss_mb(), 0.0);
+#endif
+}
+
+TEST(CampaignMonitor, TracksCellsAndEvents) {
+  CampaignMonitor monitor("test", 4, /*sample_period_s=*/0.01);
+  monitor.start();
+  monitor.add_events(10);
+  monitor.cell_done();
+  monitor.add_events(5);
+  monitor.cell_done();
+  monitor.stop();
+  EXPECT_EQ(monitor.cells_done(), 2u);
+  EXPECT_EQ(monitor.events(), 15u);
+  // start() and stop() each sample unconditionally.
+  EXPECT_GE(monitor.samples_taken(), 2u);
+#if defined(__linux__)
+  EXPECT_GT(monitor.peak_rss_mb(), 0.0);
+#endif
+}
+
+TEST(CampaignMonitor, SamplerThreadTicksWhileRunning) {
+  CampaignMonitor monitor("ticker", 1, /*sample_period_s=*/0.005);
+  monitor.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  monitor.stop();
+  // Guaranteed two (start/stop) plus at least a few periodic ticks.
+  EXPECT_GE(monitor.samples_taken(), 4u);
+}
+
+TEST(CampaignMonitor, StopIsIdempotentAndDestructorSafe) {
+  CampaignMonitor monitor("idem", 1, 0.01);
+  monitor.start();
+  monitor.stop();
+  const std::size_t samples = monitor.samples_taken();
+  monitor.stop();  // second stop must be a no-op
+  EXPECT_EQ(monitor.samples_taken(), samples);
+  // Destructor of a never-started monitor must also be safe.
+  CampaignMonitor never_started("unused", 1);
+}
+
+TEST(CampaignMonitor, HeartbeatAndSummaryWhenProgressEnabled) {
+  set_progress_enabled(true);
+  ::testing::internal::CaptureStderr();
+  {
+    CampaignMonitor monitor("hb_test", 2, 0.01);
+    monitor.start();
+    monitor.add_events(3);
+    monitor.cell_done();
+    monitor.stop();
+  }
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  set_progress_enabled(false);
+  EXPECT_NE(err.find("[progress] hb_test:"), std::string::npos) << err;
+  EXPECT_NE(err.find("1/2 cells"), std::string::npos) << err;
+  EXPECT_NE(err.find("peak_rss_mb"), std::string::npos)
+      << "summary table missing: " << err;
+}
+
+TEST(CampaignMonitor, SilentWhenProgressDisabled) {
+  set_progress_enabled(false);
+  ::testing::internal::CaptureStderr();
+  {
+    CampaignMonitor monitor("quiet", 1, 0.01);
+    monitor.start();
+    monitor.cell_done();
+    monitor.stop();
+  }
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("[progress]"), std::string::npos) << err;
+}
+
+TEST(CrashFlush, FlushNowWritesArmedOutputsAndDisarmStops) {
+  const fs::path dir =
+      fs::temp_directory_path() / "bbsched_crash_flush_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string metrics_path = (dir / "metrics.csv").string();
+  const std::string trace_path = (dir / "trace.json").string();
+
+  register_crash_flush(trace_path, metrics_path);
+  telemetry_flush_now();  // what the atexit/terminate hook runs
+  EXPECT_TRUE(fs::exists(metrics_path))
+      << "armed metrics snapshot must be written";
+  EXPECT_TRUE(fs::exists(trace_path)) << "armed trace must be written";
+
+  // The partial snapshot must be well-formed enough to load: the metrics
+  // CSV starts with its header, the trace with a JSON array.
+  std::ifstream metrics_in(metrics_path);
+  std::string header;
+  std::getline(metrics_in, header);
+  EXPECT_EQ(header.rfind("metric,", 0), 0u) << header;
+  std::ifstream trace_in(trace_path);
+  EXPECT_EQ(trace_in.get(), '{');
+
+  // After disarm, a flush must not rewrite the outputs.
+  disarm_crash_flush();
+  fs::remove(metrics_path);
+  fs::remove(trace_path);
+  telemetry_flush_now();
+  EXPECT_FALSE(fs::exists(metrics_path));
+  EXPECT_FALSE(fs::exists(trace_path));
+  fs::remove_all(dir);
+}
+
+TEST(CrashFlush, EmptyPathsStayUnarmed) {
+  register_crash_flush("", "");
+  telemetry_flush_now();  // nothing armed: must be a harmless no-op
+  disarm_crash_flush();
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,233 @@
+// test_incremental_metrics.cpp — the differential-testing contract between
+// the streaming metrics engine and the batch reference (DESIGN.md §11):
+// `IncrementalScheduleMetrics` must reproduce `compute_metrics` byte for
+// byte on every cell of the policy grid, under any event order (the
+// simulator streams outcomes in completion order, not trace order), and
+// under any shard split folded back together with merge().
+//
+// Equality is checked on the %.17g serialization of every ScheduleMetrics
+// field (the tests/sim/serialize_result.hpp discipline): two serializations
+// compare equal iff the metrics are bit-identical.
+#include "metrics/schedule_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/grid.hpp"
+#include "policies/factory.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbsched {
+namespace {
+
+/// Lossless textual dump of every ScheduleMetrics field; equal strings iff
+/// bit-identical metrics.
+std::string serialize(const ScheduleMetrics& m) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%zu,%zu",
+                m.node_usage, m.bb_usage, m.ssd_usage, m.ssd_waste, m.avg_wait,
+                m.avg_slowdown, m.p95_wait, m.max_wait, m.jobs_measured,
+                m.jobs_backfilled);
+  return buf;
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.jobs_per_workload = 60;
+  config.window_size = 6;
+  config.ga.generations = 5;
+  config.ga.population_size = 6;
+  return config;
+}
+
+/// Observer that streams outcomes into an incremental accumulator, exactly
+/// as the grid's StreamingCellObserver does.
+class MetricsObserver : public SimObserver {
+ public:
+  MetricsObserver(const MachineConfig& machine, MeasureInterval interval)
+      : metrics_(machine, interval.begin, interval.end) {}
+  void on_job_outcome(const JobOutcome& outcome) override {
+    metrics_.add(outcome);
+  }
+  const IncrementalScheduleMetrics& metrics() const { return metrics_; }
+
+ private:
+  IncrementalScheduleMetrics metrics_;
+};
+
+/// Feed `outcomes` (already permuted/sliced by the caller) into a fresh
+/// accumulator built for `result`'s interval.
+IncrementalScheduleMetrics accumulate(const SimResult& result,
+                                      const std::vector<JobOutcome>& outcomes) {
+  IncrementalScheduleMetrics acc(result.machine, result.measure_begin,
+                                 result.measure_end);
+  for (const auto& o : outcomes) acc.add(o);
+  return acc;
+}
+
+/// Returns the cell's jobs_measured so callers can assert the grid-wide
+/// identity check was not vacuous.
+std::size_t check_cell(const ExperimentConfig& config, const SuiteEntry& entry,
+                       const std::string& method, std::mt19937_64& rng) {
+  // One simulation with the streaming observer attached: the observer sees
+  // outcomes in completion order, which already differs from the trace
+  // order SimResult::outcomes is assembled in.
+  MetricsObserver observer(
+      entry.workload.machine,
+      measurement_interval(entry.workload, config.sim_config()));
+  const SimResult result =
+      run_single(config, entry.workload, method, &observer);
+  const ScheduleMetrics batch_metrics = compute_metrics(result);
+  const std::string batch = serialize(batch_metrics);
+  const std::string label = entry.label + "/" + method;
+
+  EXPECT_EQ(serialize(observer.metrics().finalize()), batch)
+      << label << ": streamed completion-order metrics diverge from batch";
+  EXPECT_EQ(observer.metrics().jobs_seen(), result.outcomes.size()) << label;
+
+  // Any other order must agree too.
+  std::vector<JobOutcome> shuffled = result.outcomes;
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_EQ(serialize(accumulate(result, shuffled).finalize()), batch)
+      << label << ": shuffled event order diverges from batch";
+
+  // Random 3-way shard split, folded with merge(): still byte-identical.
+  IncrementalScheduleMetrics shards[3] = {
+      {result.machine, result.measure_begin, result.measure_end},
+      {result.machine, result.measure_begin, result.measure_end},
+      {result.machine, result.measure_begin, result.measure_end}};
+  std::uniform_int_distribution<int> pick(0, 2);
+  for (const auto& o : shuffled) shards[pick(rng)].add(o);
+  shards[0].merge(shards[1]);
+  shards[0].merge(shards[2]);
+  EXPECT_EQ(serialize(shards[0].finalize()), batch)
+      << label << ": sharded merge() diverges from unsharded";
+  return batch_metrics.jobs_measured;
+}
+
+TEST(IncrementalMetrics, MatchesBatchOnFullMainPolicyGrid) {
+  const auto config = tiny_config();
+  std::mt19937_64 rng(2024);
+  const auto methods = standard_method_names();
+  std::size_t jobs_measured_total = 0;
+  for (const auto& entry : build_main_workloads(config)) {
+    for (const auto& method : methods) {
+      jobs_measured_total += check_cell(config, entry, method, rng);
+    }
+  }
+  // Guard against a vacuous pass: the grid must exercise real wait/usage
+  // accumulation, not just empty intervals.
+  EXPECT_GT(jobs_measured_total, 100u);
+}
+
+TEST(IncrementalMetrics, MatchesBatchOnFullSsdPolicyGrid) {
+  const auto config = tiny_config();
+  std::mt19937_64 rng(4077);
+  const auto methods = ssd_method_names();
+  std::size_t jobs_measured_total = 0;
+  for (const auto& entry : build_ssd_workloads(config)) {
+    for (const auto& method : methods) {
+      jobs_measured_total += check_cell(config, entry, method, rng);
+    }
+  }
+  EXPECT_GT(jobs_measured_total, 100u);
+}
+
+TEST(IncrementalMetrics, MergeIsAssociativeAcrossRandomShardSplits) {
+  const auto config = tiny_config();
+  const auto workloads = build_main_workloads(config);
+  ASSERT_FALSE(workloads.empty());
+  const SimResult result =
+      run_single(config, workloads.front().workload, "BBSched");
+  const std::string expected =
+      serialize(accumulate(result, result.outcomes).finalize());
+
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> pick(0, 2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<JobOutcome> parts[3];
+    for (const auto& o : result.outcomes) parts[pick(rng)].push_back(o);
+    IncrementalScheduleMetrics a = accumulate(result, parts[0]);
+    IncrementalScheduleMetrics b = accumulate(result, parts[1]);
+    IncrementalScheduleMetrics c = accumulate(result, parts[2]);
+    // (a + b) + c  vs  a + (b + c): both must equal the unsharded result.
+    IncrementalScheduleMetrics left = accumulate(result, parts[0]);
+    left.merge(b);
+    left.merge(c);
+    IncrementalScheduleMetrics right_tail = accumulate(result, parts[1]);
+    right_tail.merge(c);
+    a.merge(right_tail);
+    EXPECT_EQ(serialize(left.finalize()), expected) << "trial " << trial;
+    EXPECT_EQ(serialize(a.finalize()), expected) << "trial " << trial;
+  }
+}
+
+TEST(IncrementalMetrics, MergeRejectsMismatchedIntervalOrConfig) {
+  MachineConfig m;
+  m.name = "m";
+  m.nodes = 4;
+  IncrementalScheduleMetrics base(m, 0, 100);
+  IncrementalScheduleMetrics other_begin(m, 10, 100);
+  IncrementalScheduleMetrics other_end(m, 0, 200);
+  MetricsConfig strict;
+  strict.slowdown_min_runtime = 120;
+  IncrementalScheduleMetrics other_config(m, 0, 100, strict);
+  EXPECT_THROW(base.merge(other_begin), std::invalid_argument);
+  EXPECT_THROW(base.merge(other_end), std::invalid_argument);
+  EXPECT_THROW(base.merge(other_config), std::invalid_argument);
+}
+
+TEST(IncrementalMetrics, EmptyAccumulatorMatchesBatchOnEmptyResult) {
+  MachineConfig m;
+  m.name = "m";
+  m.nodes = 8;
+  SimResult result;
+  result.machine = m;
+  result.measure_begin = 0;
+  result.measure_end = 100;
+  IncrementalScheduleMetrics acc(m, 0, 100);
+  EXPECT_EQ(serialize(acc.finalize()), serialize(compute_metrics(result)));
+  EXPECT_EQ(acc.jobs_seen(), 0u);
+}
+
+TEST(IncrementalMetrics, MemoryStaysConstantInJobCount) {
+  MachineConfig m;
+  m.name = "m";
+  m.nodes = 100;
+  IncrementalScheduleMetrics acc(m, 0, 1e7);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> wait(0.0, 1e5);
+  std::uniform_real_distribution<double> runtime(30.0, 1e4);
+  auto feed = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      JobOutcome o;
+      o.submit = static_cast<Time>(i);
+      o.start = o.submit + wait(rng);
+      o.runtime = runtime(rng);
+      o.end = o.start + o.runtime;
+      o.walltime = o.runtime;
+      o.nodes = 1 + (i % 64);
+      o.bb_gb = static_cast<double>(i % 1000);
+      acc.add(o);
+    }
+  };
+  feed(100);
+  const std::size_t small = acc.memory_bytes();
+  feed(100000);
+  const std::size_t large = acc.memory_bytes();
+  EXPECT_EQ(acc.jobs_seen(), 100100u);
+  // O(1) in jobs: the footprint may wobble by a few ExactSum partials
+  // (bounded by binade count) but never grows with the job count.
+  EXPECT_LE(large, small + 64 * sizeof(double));
+  EXPECT_LT(large, std::size_t{64} * 1024);
+}
+
+}  // namespace
+}  // namespace bbsched
