@@ -127,5 +127,5 @@ int main(int argc, char** argv) {
                    ConsoleTable::num(time / n, 4)});
   }
   table.print(std::cout);
-  return 0;
+  return cli.exit_code();
 }

@@ -18,5 +18,5 @@ int main(int argc, char** argv) {
       results, standard_method_names(), "bb_request",
       "Figure 10: Theta-S4 average wait time (hours) by burst-buffer"
       " request");
-  return 0;
+  return cli.exit_code();
 }

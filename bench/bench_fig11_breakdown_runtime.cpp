@@ -17,5 +17,5 @@ int main(int argc, char** argv) {
   benchutil::print_breakdown(
       results, standard_method_names(), "runtime",
       "Figure 11: Theta-S4 average wait time (hours) by job runtime");
-  return 0;
+  return cli.exit_code();
 }

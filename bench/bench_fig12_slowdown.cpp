@@ -27,5 +27,5 @@ int main(int argc, char** argv) {
   benchutil::print_reduction_vs_baseline(
       results.cells, benchutil::main_workload_labels(),
       standard_method_names(), slowdown);
-  return 0;
+  return cli.exit_code();
 }

@@ -53,5 +53,5 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
   }
-  return 0;
+  return cli.exit_code();
 }

@@ -79,5 +79,5 @@ int main(int argc, char** argv) {
             << exhaustive_budget
             << "s budget; doubling per window slot implies it crosses the"
                " 15 s line a few slots later)\n";
-  return 0;
+  return cli.exit_code();
 }

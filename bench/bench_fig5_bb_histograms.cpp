@@ -23,5 +23,5 @@ int main(int argc, char** argv) {
     std::cout << '\n';
     print_bb_histogram(entry.workload, std::cout, 10.0);
   }
-  return 0;
+  return cli.exit_code();
 }

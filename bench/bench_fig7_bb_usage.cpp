@@ -21,5 +21,5 @@ int main(int argc, char** argv) {
                           standard_method_names(),
                           [](const GridCell& c) { return c.metrics.bb_usage; },
                           /*percent=*/true);
-  return 0;
+  return cli.exit_code();
 }

@@ -17,5 +17,5 @@ int main(int argc, char** argv) {
   benchutil::print_breakdown(
       results, standard_method_names(), "job_size",
       "Figure 9: Theta-S4 average wait time (hours) by job size (nodes)");
-  return 0;
+  return cli.exit_code();
 }

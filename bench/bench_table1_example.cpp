@@ -111,5 +111,5 @@ int main(int argc, char** argv) {
                     ConsoleTable::pct(c.objectives[1], 0)});
   }
   pareto.print(std::cout);
-  return 0;
+  return cli.exit_code();
 }

@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
       [](const ScheduleMetrics& m) { return m.avg_slowdown; },
       [](double v) { return ConsoleTable::num(v, 2); });
   table.print(std::cout);
-  return 0;
+  return cli.exit_code();
 }

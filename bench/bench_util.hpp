@@ -18,23 +18,46 @@ namespace bbsched::benchutil {
 
 /// Shared command line of every campaign-running bench: the telemetry flags
 /// (--log-level / --trace-out / --metrics-out / --progress, with their
-/// BBSCHED_* env fallbacks) plus --threads for the grid's worker pool.
+/// BBSCHED_* env fallbacks), --threads for the grid's worker pool, and the
+/// fault-tolerance knobs (--resume/--no-resume, --max-retries,
+/// --cell-timeout, --strict, with BBSCHED_* env fallbacks; DESIGN.md §12).
 /// Construct first thing in main(); apply() arms the telemetry surface and
 /// the crash-flush hook, and the destructor writes the requested trace /
 /// metrics outputs.  When --help was requested, ok() is false and the bench
-/// should exit without running.
+/// should exit without running.  Return exit_code() from main so a degraded
+/// campaign fails the process under --strict.
 class CampaignCli {
  public:
   CampaignCli(int argc, const char* const* argv,
               const std::string& description) {
+    CampaignControl& control = campaign_control();
+    resume_ = control.resume;
+    max_retries_ = control.max_retries;
+    cell_timeout_s_ = control.cell_timeout_s;
+    strict_ = control.strict;
     ArgParser parser(description);
     telemetry_.register_flags(parser);
     parser.add_int("threads", &threads_,
                    "grid worker threads (0 = all hardware threads)");
+    parser.add_bool("resume", &resume_,
+                    "recover finished cells from the campaign journal");
+    parser.add_bool("no-resume", &no_resume_,
+                    "ignore the campaign journal and recompute every cell");
+    parser.add_int("max-retries", &max_retries_,
+                   "extra attempts before quarantining a failing cell");
+    parser.add_double("cell-timeout", &cell_timeout_s_,
+                      "watchdog deadline per cell attempt in seconds (0 = "
+                      "off)");
+    parser.add_bool("strict", &strict_,
+                    "exit nonzero when the campaign is degraded");
     run_ = parser.parse(argc, argv);
     if (!run_) return;
     telemetry_.apply();
     if (threads_ > 0) set_global_threads(static_cast<std::size_t>(threads_));
+    control.resume = resume_ && !no_resume_;
+    control.max_retries = static_cast<int>(max_retries_);
+    control.cell_timeout_s = cell_timeout_s_;
+    control.strict = strict_;
   }
   ~CampaignCli() {
     if (run_) telemetry_.finish();
@@ -45,9 +68,21 @@ class CampaignCli {
   /// False when --help was requested: print-and-exit, nothing armed.
   bool ok() const { return run_; }
 
+  /// Process exit code honoring --strict: 1 when the last campaign was
+  /// degraded (quarantined cells -> partial results) and strict is on.
+  int exit_code() const {
+    return campaign_control().strict && last_campaign_report().degraded() ? 1
+                                                                          : 0;
+  }
+
  private:
   TelemetryOptions telemetry_;
   std::int64_t threads_ = 0;
+  bool resume_ = true;
+  bool no_resume_ = false;
+  std::int64_t max_retries_ = 2;
+  double cell_timeout_s_ = 0;
+  bool strict_ = false;
   bool run_ = true;
 };
 

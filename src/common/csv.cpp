@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fault.hpp"
 #include "common/log.hpp"
 
 namespace bbsched {
@@ -95,7 +96,14 @@ CsvTable CsvTable::read_file(const std::string& path) {
     log_error("csv", "cannot open file", {{"path", path}});
     throw std::runtime_error("csv: cannot open " + path);
   }
-  CsvTable table = read(in);
+  CsvTable table;
+  try {
+    table = read(in);
+  } catch (const std::exception& e) {
+    // Name the file: "csv: line 3 has 2 fields, expected 17" is useless
+    // without knowing which of a cache directory's files it came from.
+    throw std::runtime_error("csv: " + path + ": " + e.what());
+  }
   log_debug("csv", "read file", {{"path", path}, {"rows", table.num_rows()}});
   return table;
 }
@@ -133,6 +141,73 @@ void CsvTable::write_file(const std::string& path) const {
   }
   write(out);
   log_debug("csv", "wrote file", {{"path", path}, {"rows", rows_.size()}});
+}
+
+namespace {
+constexpr std::string_view kCrcTrailerTag = "# crc32=";
+}  // namespace
+
+void write_csv_file_checksummed(const CsvTable& table, const std::string& path,
+                                std::string_view fault_site) {
+  std::ostringstream body;
+  table.write(body);
+  const std::string body_str = body.str();
+  std::string content = body_str;
+  content += kCrcTrailerTag;
+  content += crc32_hex(body_str);
+  content += '\n';
+  atomic_write_file(path, content, fault_site, path);
+  log_debug("csv", "wrote checksummed file",
+            {{"path", path}, {"rows", table.num_rows()}});
+}
+
+std::optional<CsvTable> read_csv_file_checksummed(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "csv: cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string content = slurp.str();
+  const std::size_t pos = content.rfind(kCrcTrailerTag);
+  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n')) {
+    if (error != nullptr) {
+      *error = "csv: " + path + ": missing crc32 trailer (truncated file?)";
+    }
+    return std::nullopt;
+  }
+  // Anything after the trailer line means the file was appended to after
+  // being finalized — report that, not a confusing checksum mismatch.
+  const std::size_t line_end = content.find('\n', pos);
+  if (line_end != std::string::npos && line_end + 1 < content.size()) {
+    if (error != nullptr) {
+      *error = "csv: " + path + ": trailing data after crc32 trailer";
+    }
+    return std::nullopt;
+  }
+  const std::size_t stated_end =
+      line_end == std::string::npos ? content.size() : line_end;
+  std::string_view stated(content.data() + pos + kCrcTrailerTag.size(),
+                          stated_end - pos - kCrcTrailerTag.size());
+  while (!stated.empty() && stated.back() == '\r') stated.remove_suffix(1);
+  const std::string body = content.substr(0, pos);
+  const std::string actual = crc32_hex(body);
+  if (stated != actual) {
+    if (error != nullptr) {
+      *error = "csv: " + path + ": crc32 mismatch (trailer says " +
+               std::string(stated) + ", content is " + actual + ")";
+    }
+    return std::nullopt;
+  }
+  try {
+    std::istringstream body_in(body);
+    return CsvTable::read(body_in);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = "csv: " + path + ": " + e.what();
+    return std::nullopt;
+  }
 }
 
 double parse_double_field(const std::string& value, std::string_view field) {

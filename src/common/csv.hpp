@@ -66,4 +66,18 @@ class CsvTable {
 double parse_double_field(const std::string& value, std::string_view field);
 std::int64_t parse_int_field(const std::string& value, std::string_view field);
 
+/// Write `table` with a trailing "# crc32=XXXXXXXX" integrity line, through
+/// the crash-consistent temp+fsync+rename path (fault.hpp), so readers can
+/// tell a truncated or bit-rotted cache from a valid one.  `fault_site`
+/// names the fault-injection site of the write (default "csv.write").
+void write_csv_file_checksummed(const CsvTable& table, const std::string& path,
+                                std::string_view fault_site = "csv.write");
+
+/// Read a CSV written by write_csv_file_checksummed, validating the CRC32
+/// trailer before parsing.  On a missing/mismatched trailer or a parse
+/// error, returns nullopt with a description (naming the file) in *error —
+/// callers decide whether to quarantine and recompute.
+std::optional<CsvTable> read_csv_file_checksummed(const std::string& path,
+                                                  std::string* error);
+
 }  // namespace bbsched

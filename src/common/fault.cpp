@@ -1,0 +1,372 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace bbsched {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(std::string_view data) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc32(data));
+  return buf;
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kPartialWrite: return "partial";
+    case FaultKind::kEnospc: return "enospc";
+  }
+  return "?";
+}
+
+InjectedFault::InjectedFault(FaultKind kind, std::string_view site,
+                             std::string_view key)
+    : std::runtime_error("injected fault: " +
+                         std::string(fault_kind_name(kind)) + " at " +
+                         std::string(site) + " (" + std::string(key) + ")"),
+      kind_(kind) {}
+
+namespace {
+
+FaultKind parse_kind(std::string_view name, std::string_view clause) {
+  if (name == "throw") return FaultKind::kThrow;
+  if (name == "hang") return FaultKind::kHang;
+  if (name == "partial") return FaultKind::kPartialWrite;
+  if (name == "enospc") return FaultKind::kEnospc;
+  throw std::invalid_argument("fault plan: unknown kind '" +
+                              std::string(name) + "' in clause '" +
+                              std::string(clause) + "'");
+}
+
+double default_param(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kHang: return 0.1;          // seconds
+    case FaultKind::kPartialWrite: return 0.5;  // fraction of bytes kept
+    default: return 0;
+  }
+}
+
+double parse_plan_double(std::string_view text, std::string_view clause) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(std::string(text), &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: bad number '" +
+                                std::string(text) + "' in clause '" +
+                                std::string(clause) + "'");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view clause = spec.substr(start, end - start);
+    start = end + 1;
+    while (!clause.empty() && (clause.front() == ' ' || clause.front() == '\t'))
+      clause.remove_prefix(1);
+    while (!clause.empty() && (clause.back() == ' ' || clause.back() == '\t'))
+      clause.remove_suffix(1);
+    if (clause.empty()) continue;
+    if (clause.rfind("seed=", 0) == 0) {
+      plan.seed_ = static_cast<std::uint64_t>(
+          parse_plan_double(clause.substr(5), clause));
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    const std::size_t eq = clause.find('=', colon == std::string_view::npos
+                                                 ? 0
+                                                 : colon + 1);
+    if (colon == std::string_view::npos || eq == std::string_view::npos ||
+        colon == 0 || eq <= colon + 1) {
+      throw std::invalid_argument(
+          "fault plan: expected <site>:<kind>=<prob>[@<param>], got '" +
+          std::string(clause) + "'");
+    }
+    FaultRule rule;
+    rule.site = std::string(clause.substr(0, colon));
+    rule.kind = parse_kind(clause.substr(colon + 1, eq - colon - 1), clause);
+    std::string_view value = clause.substr(eq + 1);
+    const std::size_t at = value.find('@');
+    rule.param = default_param(rule.kind);
+    if (at != std::string_view::npos) {
+      rule.param = parse_plan_double(value.substr(at + 1), clause);
+      value = value.substr(0, at);
+    }
+    rule.probability = parse_plan_double(value, clause);
+    // The negated comparison also rejects NaN, which every ordered
+    // comparison would wave through.
+    if (!(rule.probability >= 0 && rule.probability <= 1)) {
+      throw std::invalid_argument("fault plan: probability out of [0,1] in '" +
+                                  std::string(clause) + "'");
+    }
+    plan.rules_.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const std::string spec = env_string("BBSCHED_FAULT_PLAN", "");
+  if (spec.empty()) return FaultPlan();
+  FaultPlan plan = parse(spec);  // a malformed plan should abort loudly
+  log_warn("fault", "fault injection armed",
+           {{"plan", spec}, {"rules", plan.rules().size()}});
+  return plan;
+}
+
+FaultPlan::Decision FaultPlan::decide(std::string_view site,
+                                      std::string_view key) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.site != site) continue;
+    // One independent deterministic draw per (rule, site, key): pure in the
+    // plan seed and the labels, so the decision is identical at any thread
+    // count and on every replay.
+    Rng rng(mix_seed(seed_ + i, site, key));
+    if (rng.bernoulli(rule.probability)) {
+      return Decision{rule.kind, rule.param};
+    }
+  }
+  return Decision{};
+}
+
+namespace {
+
+std::mutex g_plan_mutex;
+FaultPlan g_plan;
+bool g_plan_loaded = false;
+
+}  // namespace
+
+const FaultPlan& global_fault_plan() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  if (!g_plan_loaded) {
+    g_plan = FaultPlan::from_env();
+    g_plan_loaded = true;
+  }
+  return g_plan;
+}
+
+void set_global_fault_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  g_plan = std::move(plan);
+  g_plan_loaded = true;
+}
+
+void fault_point(std::string_view site, std::string_view key) {
+  const FaultPlan& plan = global_fault_plan();
+  if (!plan.enabled()) return;
+  const auto decision = plan.decide(site, key);
+  switch (decision.kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kHang:
+      log_warn("fault", "injected hang",
+               {{"site", site}, {"key", key}, {"seconds", decision.param}});
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(decision.param));
+      return;
+    default:
+      log_warn("fault", "injected fault",
+               {{"site", site},
+                {"key", key},
+                {"kind", fault_kind_name(decision.kind)}});
+      throw InjectedFault(decision.kind, site, key);
+  }
+}
+
+std::size_t fault_write_bytes(std::string_view site, std::string_view key,
+                              std::size_t n) {
+  const FaultPlan& plan = global_fault_plan();
+  if (!plan.enabled()) return n;
+  const auto decision = plan.decide(site, key);
+  switch (decision.kind) {
+    case FaultKind::kPartialWrite: {
+      const auto keep = static_cast<std::size_t>(
+          static_cast<double>(n) * std::min(std::max(decision.param, 0.0), 1.0));
+      log_warn("fault", "injected partial write",
+               {{"site", site}, {"key", key}, {"bytes", keep}, {"of", n}});
+      return keep < n ? keep : (n == 0 ? 0 : n - 1);
+    }
+    case FaultKind::kThrow:
+    case FaultKind::kEnospc:
+      log_warn("fault", "injected write failure",
+               {{"site", site},
+                {"key", key},
+                {"kind", fault_kind_name(decision.kind)}});
+      throw InjectedFault(decision.kind, site, key);
+    default:
+      return n;
+  }
+}
+
+double retry_delay_seconds(const RetryPolicy& policy, std::string_view key,
+                           int attempt) {
+  double delay = policy.base_delay_s;
+  for (int i = 0; i < attempt && delay < policy.max_delay_s; ++i) delay *= 2;
+  delay = std::min(delay, policy.max_delay_s);
+  Rng rng(mix_seed(policy.seed + static_cast<std::uint64_t>(attempt), key,
+                   "retry-jitter"));
+  return delay * rng.uniform(0.5, 1.5);
+}
+
+void atomic_write_file(const std::string& path, std::string_view content,
+                       std::string_view fault_site,
+                       std::string_view fault_key) {
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  std::size_t keep = content.size();
+  if (!fault_site.empty()) {
+    // May throw (enospc/throw) before anything touches the filesystem.
+    keep = fault_write_bytes(fault_site,
+                             fault_key.empty() ? path : fault_key,
+                             content.size());
+  }
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("atomic_write_file: cannot open temp " + tmp);
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, keep, f);
+  if (std::fflush(f) != 0 || written != keep) {
+    std::fclose(f);
+    throw std::runtime_error("atomic_write_file: short write to " + tmp);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(::fileno(f));
+#endif
+  std::fclose(f);
+  if (keep < content.size()) {
+    // Injected torn write: the simulated crash happened mid-temp-write.  The
+    // destination is untouched and the truncated temp file is left behind,
+    // exactly as a real crash would leave it.
+    throw InjectedFault(FaultKind::kPartialWrite, fault_site,
+                        fault_key.empty() ? path : fault_key);
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    throw std::runtime_error("atomic_write_file: rename " + tmp + " -> " +
+                             path + " failed: " + ec.message());
+  }
+}
+
+std::string quarantine_file(const std::string& path, std::string_view reason) {
+  const fs::path source(path);
+  const fs::path dir = source.has_parent_path() ? source.parent_path()
+                                                : fs::path(".");
+  const fs::path qdir = dir / "quarantine";
+  std::error_code ec;
+  fs::create_directories(qdir, ec);
+  fs::path dest = qdir / source.filename();
+  // Keep earlier quarantined generations: suffix .1, .2, ... when taken.
+  for (int n = 1; fs::exists(dest, ec) && n < 1000; ++n) {
+    dest = qdir / (source.filename().string() + "." + std::to_string(n));
+  }
+  fs::rename(source, dest, ec);
+  if (ec) {
+    log_error("fault", "quarantine failed",
+              {{"path", path}, {"reason", reason}, {"error", ec.message()}});
+    return "";
+  }
+  log_error("fault", "file quarantined",
+            {{"path", path},
+             {"quarantine", dest.string()},
+             {"reason", reason}});
+  return dest.string();
+}
+
+AbandonedThreadReaper& AbandonedThreadReaper::instance() {
+  static AbandonedThreadReaper reaper;
+  return reaper;
+}
+
+AbandonedThreadReaper::~AbandonedThreadReaper() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.thread.joinable()) entry.thread.join();
+  }
+  entries_.clear();
+}
+
+void AbandonedThreadReaper::park(std::thread t,
+                                 std::shared_ptr<std::atomic<bool>> done) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(Entry{std::move(t), std::move(done)});
+}
+
+std::size_t AbandonedThreadReaper::reap() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> still_running;
+  for (Entry& entry : entries_) {
+    if (entry.done != nullptr && entry.done->load(std::memory_order_acquire)) {
+      if (entry.thread.joinable()) entry.thread.join();
+    } else {
+      still_running.push_back(std::move(entry));
+    }
+  }
+  entries_ = std::move(still_running);
+  return entries_.size();
+}
+
+std::size_t AbandonedThreadReaper::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace bbsched

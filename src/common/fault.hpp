@@ -1,0 +1,176 @@
+// fault.hpp — fault model primitives for fault-tolerant campaigns
+// (DESIGN.md §12): CRC32 framing, crash-consistent file writes, capped
+// exponential retry backoff with deterministic jitter, and a seeded
+// fault-injection plan that exercises every recovery path in tests and CI.
+//
+// The injection plan is deterministic by construction: whether a site faults
+// is a pure function of (plan seed, site name, call key), never of thread
+// schedule or wall clock, so a campaign run under a given BBSCHED_FAULT_PLAN
+// produces the same retry schedule and quarantine set at any --threads count.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace bbsched {
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`,
+/// continuing from `seed` (pass a previous return value to checksum in
+/// chunks).  This is the framing checksum of the cell journal and the
+/// cached-CSV trailers.
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// Lower-case fixed-width (8 char) hex rendering of crc32(data).
+std::string crc32_hex(std::string_view data);
+
+/// The faults an injection site can produce.
+enum class FaultKind {
+  kNone,
+  kThrow,         ///< throw InjectedFault at the site
+  kHang,          ///< sleep `param` seconds (watchdog-deadline fodder)
+  kPartialWrite,  ///< keep only `param` fraction of the payload bytes
+  kEnospc,        ///< fail the write as if the disk were full
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Exception thrown at injected kThrow / kEnospc sites (and by
+/// atomic_write_file when a partial-write fault tears the temp file).
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultKind kind, std::string_view site, std::string_view key);
+  FaultKind kind() const { return kind_; }
+
+ private:
+  FaultKind kind_;
+};
+
+/// One rule of a fault plan: at `site`, with `probability` per decision,
+/// inject `kind`.  `param` is the hang duration in seconds (kHang, default
+/// 0.1) or the fraction of bytes kept (kPartialWrite, default 0.5).
+struct FaultRule {
+  std::string site;
+  FaultKind kind = FaultKind::kNone;
+  double probability = 0;
+  double param = 0;
+};
+
+/// A seeded set of per-site fault probabilities, normally parsed from the
+/// BBSCHED_FAULT_PLAN environment variable.  Spec grammar (';'-separated):
+///
+///   seed=<u64>;<site>:<kind>=<probability>[@<param>];...
+///   e.g.  seed=7;grid.cell:throw=0.3;journal.append:partial=0.2@0.5
+///
+/// Kinds: throw | hang | partial | enospc.  An empty spec is a disabled plan.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parse a spec; throws std::invalid_argument naming the bad clause.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Parse BBSCHED_FAULT_PLAN (empty/unset: disabled plan).
+  static FaultPlan from_env();
+
+  bool enabled() const { return !rules_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    double param = 0;
+  };
+
+  /// The (deterministic) injection decision for one visit of `site` with
+  /// call key `key`.  Rules are tried in spec order; first hit wins.
+  Decision decide(std::string_view site, std::string_view key) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FaultRule> rules_;
+};
+
+/// The process-wide plan: parsed from BBSCHED_FAULT_PLAN on first use.
+const FaultPlan& global_fault_plan();
+/// Replace the process-wide plan (tests).  Pass FaultPlan{} to disarm.
+void set_global_fault_plan(FaultPlan plan);
+
+/// Visit an injection site: no-op without a matching rule; throws
+/// InjectedFault on kThrow/kEnospc; sleeps the rule's param seconds on
+/// kHang.  `key` should identify the visit (e.g. "Cori-S1/BBSched#2") so
+/// retries of the same work draw independent decisions.
+void fault_point(std::string_view site, std::string_view key);
+
+/// For file writers: how many bytes of an `n`-byte payload to actually
+/// write.  Returns `n` normally, a truncated count under an injected
+/// partial-write fault, and throws InjectedFault on kThrow/kEnospc.
+std::size_t fault_write_bytes(std::string_view site, std::string_view key,
+                              std::size_t n);
+
+/// Capped exponential backoff: attempt k (0-based) waits
+/// min(max_delay_s, base_delay_s * 2^k), scaled by a deterministic jitter
+/// factor in [0.5, 1.5) drawn from mix_seed(seed, key, attempt).
+struct RetryPolicy {
+  int max_retries = 2;        ///< extra attempts after the first failure
+  double base_delay_s = 0.05;
+  double max_delay_s = 2.0;
+  std::uint64_t seed = 0;     ///< jitter stream seed
+};
+
+double retry_delay_seconds(const RetryPolicy& policy, std::string_view key,
+                           int attempt);
+
+/// Crash-consistent whole-file write: the content lands in a temp file in
+/// the destination directory, is flushed and fsync'd, then atomically
+/// renamed over `path` — a crash at any point leaves either the old file or
+/// the new one, never a truncated hybrid.  `fault_site` (when non-empty)
+/// threads the write through the injection plan: a partial-write fault
+/// leaves the torn temp file behind and throws, with `path` untouched.
+/// Throws std::runtime_error on real I/O errors.
+void atomic_write_file(const std::string& path, std::string_view content,
+                       std::string_view fault_site = {},
+                       std::string_view fault_key = {});
+
+/// Move a corrupt/suspect file into a "quarantine" subdirectory next to it
+/// (e.g. bench_cache/quarantine/<name>), logging a structured error with
+/// the reason.  Returns the quarantine path ("" if the move failed).
+std::string quarantine_file(const std::string& path, std::string_view reason);
+
+/// Holding pen for watchdog-abandoned worker threads.  A cell that outlives
+/// its deadline cannot be killed portably, so its thread is parked here;
+/// reap() joins the ones that have since finished, and the reaper joins
+/// everything left at process exit (a genuinely hung cell therefore delays
+/// exit — CI per-test timeouts cover that case).
+class AbandonedThreadReaper {
+ public:
+  static AbandonedThreadReaper& instance();
+  ~AbandonedThreadReaper();
+
+  /// Park `t`; `done` must become true once the thread is past all work.
+  void park(std::thread t, std::shared_ptr<std::atomic<bool>> done);
+
+  /// Join finished parked threads; returns how many are still running.
+  std::size_t reap();
+
+  /// Parked threads still running.
+  std::size_t pending() const;
+
+ private:
+  AbandonedThreadReaper() = default;
+  struct Entry {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bbsched

@@ -5,7 +5,10 @@
 #include <fstream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "common/fault.hpp"
 
 namespace bbsched {
 
@@ -148,9 +151,12 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
 }
 
 void MetricsRegistry::write_csv_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("metrics: cannot write " + path);
+  // Render in memory, then write-temp -> fsync -> rename: the crash-flush
+  // hook calls this from signal cleanup, and an in-place write there could
+  // tear the previous (complete) snapshot.
+  std::ostringstream out;
   write_csv(out);
+  atomic_write_file(path, out.str(), "metrics.write", path);
 }
 
 void MetricsRegistry::reset() {

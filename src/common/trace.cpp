@@ -5,7 +5,10 @@
 #include <map>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "common/fault.hpp"
 
 namespace bbsched {
 
@@ -314,9 +317,12 @@ void write_trace_json(std::ostream& out) {
 }
 
 void write_trace_json_file(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  // Render in memory, then write-temp -> fsync -> rename: the crash-flush
+  // hook calls this from signal cleanup, and an in-place write there could
+  // tear the previous (complete) snapshot.
+  std::ostringstream out;
   write_trace_json(out);
+  atomic_write_file(path, out.str(), "trace.write", path);
 }
 
 }  // namespace bbsched

@@ -38,7 +38,9 @@ std::string ExperimentConfig::digest() const {
       // grid-v3: p95_wait moved from the exact-sort quantile to the
       // deterministic QuantileSketch estimate and the sums to ExactSum, so
       // grids cached by older builds must miss.
-      << cori_scale << '|' << theta_scale << "|grid-v3";
+      // grid-v4: caches carry a crc32 trailer and campaigns journal per
+      // cell; pre-trailer caches must miss so they get rewritten checksummed.
+      << cori_scale << '|' << theta_scale << "|grid-v4";
   const auto h = std::hash<std::string>{}(key.str());
   std::ostringstream hex;
   hex << std::hex << h;

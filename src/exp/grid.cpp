@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <thread>
 
 #include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
@@ -15,6 +21,7 @@
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "exp/journal.hpp"
 #include "exp/monitor.hpp"
 #include "policies/factory.hpp"
 
@@ -28,6 +35,13 @@ std::string grid_cache_path(const ExperimentConfig& config,
                             const std::string& tag) {
   return (fs::path(config.cache_dir) /
           (tag + "_" + config.digest() + ".csv"))
+      .string();
+}
+
+std::string journal_path(const ExperimentConfig& config,
+                         const std::string& tag) {
+  return (fs::path(config.cache_dir) / "journal" /
+          (tag + "_" + config.digest() + ".journal"))
       .string();
 }
 
@@ -146,6 +160,24 @@ void append_breakdowns(const SimResult& result, double machine_scale,
 const CsvRow kBreakdownHeader = {"workload", "method",   "dimension",
                                  "label",    "avg_wait", "count"};
 
+CsvRow breakdown_to_row(const BreakdownCell& cell) {
+  return {cell.workload,           cell.method,
+          cell.dimension,          cell.label,
+          num_repr(cell.avg_wait), std::to_string(cell.count)};
+}
+
+BreakdownCell row_to_breakdown(const CsvTable& table, std::size_t r) {
+  BreakdownCell cell;
+  cell.workload = table.at(r, "workload");
+  cell.method = table.at(r, "method");
+  cell.dimension = table.at(r, "dimension");
+  cell.label = table.at(r, "label");
+  cell.avg_wait = parse_double_field(table.at(r, "avg_wait"), "avg_wait");
+  cell.count = static_cast<std::size_t>(
+      parse_int_field(table.at(r, "count"), "count"));
+  return cell;
+}
+
 /// Per-cell timing instrumentation emitted next to the grid cache so
 /// speedups are measurable without re-reading the full grid schema.
 void write_solver_timing(const std::string& path,
@@ -159,10 +191,78 @@ void write_solver_timing(const std::string& path,
                     num_repr(cell.max_solve_seconds),
                     num_repr(cell.mean_pareto_size)});
   }
-  timing.write_file(path);
+  write_csv_file_checksummed(timing, path);
+}
+
+/// Schema check with a diagnostic worth acting on: names the file and the
+/// expected column count so a hand-edited or stale cache fails loudly.
+void require_header(const CsvTable& table, const CsvRow& expected,
+                    const std::string& path) {
+  if (table.header() != expected) {
+    throw std::runtime_error(
+        "grid cache " + path + ": unexpected header (" +
+        std::to_string(table.header().size()) + " columns, expected " +
+        std::to_string(expected.size()) + ": " + format_csv_row(expected) +
+        ")");
+  }
+}
+
+/// Load one cached CSV, validating the CRC32 trailer and the schema.  On
+/// any defect the file is quarantined (cache_dir/quarantine/) with a
+/// structured log line and nullopt is returned — the caller recomputes.
+std::optional<CsvTable> load_cache_csv(const std::string& path,
+                                       const CsvRow& expected_header) {
+  if (!fs::exists(path)) return std::nullopt;
+  std::string error;
+  auto table = read_csv_file_checksummed(path, &error);
+  if (!table) {
+    quarantine_file(path, error);
+    return std::nullopt;
+  }
+  try {
+    require_header(*table, expected_header, path);
+  } catch (const std::exception& e) {
+    quarantine_file(path, e.what());
+    return std::nullopt;
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign control and the last-campaign report.
+
+std::mutex g_report_mutex;
+CampaignReport g_last_report;
+
+void publish_report(CampaignReport report) {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  g_last_report = std::move(report);
 }
 
 }  // namespace
+
+CampaignControl CampaignControl::from_env() {
+  CampaignControl control;
+  control.resume = env_int("BBSCHED_RESUME", control.resume ? 1 : 0) != 0;
+  control.max_retries = static_cast<int>(
+      env_int("BBSCHED_MAX_RETRIES", control.max_retries));
+  control.cell_timeout_s =
+      env_double("BBSCHED_CELL_TIMEOUT", control.cell_timeout_s);
+  control.retry_base_delay_s =
+      env_double("BBSCHED_RETRY_BASE_DELAY", control.retry_base_delay_s);
+  control.strict = env_int("BBSCHED_STRICT", control.strict ? 1 : 0) != 0;
+  return control;
+}
+
+CampaignControl& campaign_control() {
+  static CampaignControl control = CampaignControl::from_env();
+  return control;
+}
+
+const CampaignReport& last_campaign_report() {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  return g_last_report;
+}
 
 std::optional<GridCell> find_cell(const std::vector<GridCell>& cells,
                                   const std::string& workload,
@@ -193,6 +293,8 @@ namespace {
 struct CellOutcome {
   GridCell cell;
   std::vector<BreakdownCell> breakdowns;
+  bool ok = false;       ///< cell completed (computed or resumed)
+  bool resumed = false;  ///< recovered from the journal, not re-run
 };
 
 /// Per-cell streaming observer: feeds the incremental metrics engine as the
@@ -221,12 +323,192 @@ class StreamingCellObserver : public SimObserver {
   CampaignMonitor* monitor_;
 };
 
+/// Everything one attempt computes; owned by the attempt so a
+/// deadline-abandoned attempt cannot scribble on live campaign state.
+struct AttemptResult {
+  GridCell cell;
+  std::vector<BreakdownCell> breakdowns;
+};
+
+AttemptResult run_attempt_body(const ExperimentConfig& config,
+                               const SuiteEntry& entry,
+                               const std::string& method,
+                               bool collect_breakdowns,
+                               CampaignMonitor* monitor,
+                               const std::string& attempt_key) {
+  fault_point("grid.cell", attempt_key);
+  // One wall-clock span per attempt — the unit of the parallel speedup
+  // accounting — labeled so Perfetto shows which cell ran on which worker.
+  TraceSpan cell_span("grid.cell", "exp",
+                      {{"workload", entry.label}, {"method", method}});
+  Stopwatch cell_watch;
+  StreamingCellObserver observer(
+      entry.workload.machine,
+      measurement_interval(entry.workload, config.sim_config()), monitor);
+  const SimResult result =
+      run_single(config, entry.workload, method, &observer);
+  AttemptResult attempt;
+  attempt.cell = cell_from_result(result, observer.metrics().finalize());
+  attempt.cell.cell_wall_seconds = cell_watch.elapsed_seconds();
+  // Figures 9-11 break down the Theta-S4 runs.
+  if (collect_breakdowns && entry.label == "Theta-S4") {
+    append_breakdowns(result, config.theta_scale, attempt.breakdowns);
+  }
+  return attempt;
+}
+
+/// Run one attempt, optionally under a watchdog deadline.  Returns false on
+/// timeout; rethrows whatever the attempt threw.  With a deadline the
+/// attempt runs on its own thread over value copies of its inputs — if it
+/// blows the deadline the thread is parked with the reaper and its result,
+/// whenever it materializes, is discarded.  (Such orphans cannot feed the
+/// campaign monitor, so the monitor pointer is dropped on this path.)
+bool run_attempt(const ExperimentConfig& config, const SuiteEntry& entry,
+                 const std::string& method, bool collect_breakdowns,
+                 double timeout_s, CampaignMonitor* monitor,
+                 const std::string& attempt_key, AttemptResult* out) {
+  if (timeout_s <= 0) {
+    *out = run_attempt_body(config, entry, method, collect_breakdowns,
+                            monitor, attempt_key);
+    return true;
+  }
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::shared_ptr<std::atomic<bool>> done =
+        std::make_shared<std::atomic<bool>>(false);
+    AttemptResult result;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  std::thread worker([shared, config, entry, method, collect_breakdowns,
+                      attempt_key] {
+    AttemptResult result;
+    std::exception_ptr error;
+    try {
+      result = run_attempt_body(config, entry, method, collect_breakdowns,
+                                /*monitor=*/nullptr, attempt_key);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      shared->result = std::move(result);
+      shared->error = error;
+      shared->done->store(true, std::memory_order_release);
+    }
+    shared->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  const bool finished = shared->cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_s),
+      [&] { return shared->done->load(std::memory_order_acquire); });
+  if (finished) {
+    lock.unlock();
+    worker.join();
+    if (shared->error) std::rethrow_exception(shared->error);
+    *out = std::move(shared->result);
+    return true;
+  }
+  lock.unlock();
+  AbandonedThreadReaper::instance().park(std::move(worker), shared->done);
+  return false;
+}
+
+JournalBundle bundle_from_outcome(const CellOutcome& outcome) {
+  JournalBundle bundle;
+  bundle.workload = outcome.cell.workload;
+  bundle.method = outcome.cell.method;
+  bundle.cell_row = format_csv_row(cell_to_row(outcome.cell));
+  bundle.breakdown_rows.reserve(outcome.breakdowns.size());
+  for (const auto& cell : outcome.breakdowns) {
+    bundle.breakdown_rows.push_back(format_csv_row(breakdown_to_row(cell)));
+  }
+  return bundle;
+}
+
+bool outcome_from_bundle(const JournalBundle& bundle, CellOutcome* out) {
+  try {
+    CsvTable cell_table(kGridHeader);
+    cell_table.add_row(parse_csv_line(bundle.cell_row));
+    out->cell = row_to_cell(cell_table, 0);
+    out->breakdowns.clear();
+    for (const std::string& row : bundle.breakdown_rows) {
+      CsvTable bd_table(kBreakdownHeader);
+      bd_table.add_row(parse_csv_line(row));
+      out->breakdowns.push_back(row_to_breakdown(bd_table, 0));
+    }
+    out->ok = true;
+    out->resumed = true;
+    return true;
+  } catch (const std::exception& e) {
+    log_warn("grid", "journal bundle rejected",
+             {{"workload", bundle.workload},
+              {"method", bundle.method},
+              {"error", e.what()}});
+    return false;
+  }
+}
+
+/// Thread-safe accumulator behind the published CampaignReport.
+struct ReportBuilder {
+  std::atomic<std::size_t> computed{0};
+  std::atomic<std::size_t> retries{0};
+  std::mutex mutex;
+  std::vector<QuarantinedCell> quarantined;
+
+  void add_quarantined(QuarantinedCell cell) {
+    std::lock_guard<std::mutex> lock(mutex);
+    quarantined.push_back(std::move(cell));
+  }
+};
+
 std::vector<CellOutcome> compute_cells(
     const ExperimentConfig& config, const std::vector<SuiteEntry>& workloads,
     const std::vector<std::string>& methods, bool collect_breakdowns,
-    const char* campaign_label) {
+    const char* campaign_label, CellJournal* journal,
+    CampaignReport* report_out) {
+  const CampaignControl control = campaign_control();
   const std::size_t total = workloads.size() * methods.size();
   std::vector<CellOutcome> outcomes(total);
+
+  // Resume: adopt every fully-committed journal bundle before running
+  // anything.  Bundle payloads are the exact cache CSV rows, so resumed
+  // cells re-serialize byte-identically to freshly computed ones.
+  std::size_t resumed = 0;
+  if (journal != nullptr && control.resume) {
+    for (const JournalBundle& bundle : journal->load()) {
+      std::size_t idx = total;
+      for (std::size_t w = 0; w < workloads.size(); ++w) {
+        if (workloads[w].label != bundle.workload) continue;
+        for (std::size_t m = 0; m < methods.size(); ++m) {
+          if (methods[m] == bundle.method) idx = w * methods.size() + m;
+        }
+      }
+      if (idx == total) {
+        log_warn("grid", "journal bundle for unknown cell ignored",
+                 {{"workload", bundle.workload}, {"method", bundle.method}});
+        continue;
+      }
+      if (!outcomes[idx].ok && outcome_from_bundle(bundle, &outcomes[idx])) {
+        ++resumed;
+      }
+    }
+    if (resumed > 0) {
+      log_info("grid", "resumed cells from journal",
+               {{"resumed", resumed},
+                {"total", total},
+                {"journal", journal->path()}});
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(total - resumed);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    if (!outcomes[idx].ok) pending.push_back(idx);
+  }
+
+  ReportBuilder report;
   std::atomic<std::size_t> done{0};
   Stopwatch watch;
   // Self-monitoring: sampler thread + heartbeat whenever any telemetry
@@ -235,28 +517,69 @@ std::vector<CellOutcome> compute_cells(
       progress_enabled() || metrics_enabled() || trace_enabled();
   CampaignMonitor monitor(campaign_label, total);
   if (monitoring) monitor.start();
-  parallel_for(total, [&](std::size_t idx) {
+  monitor.add_resumed(resumed);
+  RetryPolicy retry_policy;
+  retry_policy.max_retries = control.max_retries;
+  retry_policy.base_delay_s = control.retry_base_delay_s;
+  retry_policy.max_delay_s = control.retry_max_delay_s;
+  retry_policy.seed = global_fault_plan().seed();
+
+  parallel_for(pending.size(), [&](std::size_t task) {
+    const std::size_t idx = pending[task];
     const SuiteEntry& entry = workloads[idx / methods.size()];
     const std::string& method = methods[idx % methods.size()];
-    // One wall-clock span per grid cell — the unit of the parallel speedup
-    // accounting — labeled so Perfetto shows which cell ran on which worker.
-    TraceSpan cell_span("grid.cell", "exp",
-                        {{"workload", entry.label}, {"method", method}});
-    Stopwatch cell_watch;
-    StreamingCellObserver observer(
-        entry.workload.machine,
-        measurement_interval(entry.workload, config.sim_config()),
-        monitoring ? &monitor : nullptr);
-    const SimResult result =
-        run_single(config, entry.workload, method, &observer);
+    const std::string cell_key = entry.label + "/" + method;
     CellOutcome& out = outcomes[idx];
-    out.cell = cell_from_result(result, observer.metrics().finalize());
-    out.cell.cell_wall_seconds = cell_watch.elapsed_seconds();
-    monitor.cell_done();
-    // Figures 9-11 break down the Theta-S4 runs.
-    if (collect_breakdowns && entry.label == "Theta-S4") {
-      append_breakdowns(result, config.theta_scale, out.breakdowns);
+    std::string last_error;
+    const int max_attempts = std::max(control.max_retries, 0) + 1;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        const double delay =
+            retry_delay_seconds(retry_policy, cell_key, attempt - 1);
+        report.retries.fetch_add(1, std::memory_order_relaxed);
+        monitor.cell_retried();
+        log_warn("grid", "cell failed, retrying",
+                 {{"cell", cell_key},
+                  {"attempt", attempt},
+                  {"of", max_attempts},
+                  {"backoff_s", delay},
+                  {"error", last_error}});
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+      try {
+        AttemptResult attempt_result;
+        const std::string attempt_key =
+            cell_key + "#" + std::to_string(attempt);
+        if (!run_attempt(config, entry, method, collect_breakdowns,
+                         control.cell_timeout_s,
+                         monitoring ? &monitor : nullptr, attempt_key,
+                         &attempt_result)) {
+          last_error = "cell deadline exceeded (" +
+                       num_repr(control.cell_timeout_s) + "s)";
+          continue;
+        }
+        out.cell = std::move(attempt_result.cell);
+        out.breakdowns = std::move(attempt_result.breakdowns);
+        out.ok = true;
+        break;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      }
     }
+    if (!out.ok) {
+      // Retries exhausted: quarantine the cell and keep the campaign alive.
+      report.add_quarantined(
+          QuarantinedCell{entry.label, method, last_error, max_attempts});
+      monitor.cell_quarantined();
+      log_error("grid", "cell quarantined",
+                {{"cell", cell_key},
+                 {"attempts", max_attempts},
+                 {"error", last_error}});
+      return;
+    }
+    report.computed.fetch_add(1, std::memory_order_relaxed);
+    monitor.cell_done();
+    if (journal != nullptr) journal->append(bundle_from_outcome(out));
     if (metrics_enabled()) {
       // Folds the per-cell solver-timing data (the *_solver_timing_*.csv
       // columns) into the metrics snapshot.
@@ -280,20 +603,33 @@ std::vector<CellOutcome> compute_cells(
               {"elapsed_s", watch.elapsed_seconds()},
               {"threads", global_threads()}});
   });
+  // Join any deadline-abandoned attempt threads that have since finished.
+  AbandonedThreadReaper::instance().reap();
   if (monitoring) monitor.stop();
+
+  CampaignReport summary;
+  summary.cells_total = total;
+  summary.cells_computed = report.computed.load();
+  summary.cells_resumed = resumed;
+  summary.retries = report.retries.load();
+  summary.quarantined = std::move(report.quarantined);
+  // Worker completion order is nondeterministic; the quarantine *set* is
+  // not.  Sort so reports compare equal across thread counts.
+  std::sort(summary.quarantined.begin(), summary.quarantined.end(),
+            [](const QuarantinedCell& a, const QuarantinedCell& b) {
+              return std::tie(a.workload, a.method) <
+                     std::tie(b.workload, b.method);
+            });
+  if (report_out != nullptr) *report_out = summary;
+  publish_report(std::move(summary));
   return outcomes;
 }
 
-}  // namespace
-
-MainGridResults compute_main_grid(const ExperimentConfig& config) {
-  auto outcomes =
-      compute_cells(config, build_main_workloads(config),
-                    standard_method_names(), /*collect_breakdowns=*/true,
-                    "main_grid");
+MainGridResults assemble_main_results(std::vector<CellOutcome> outcomes) {
   MainGridResults results;
   results.cells.reserve(outcomes.size());
   for (auto& out : outcomes) {
+    if (!out.ok) continue;
     results.cells.push_back(std::move(out.cell));
     results.breakdowns.insert(
         results.breakdowns.end(),
@@ -303,13 +639,33 @@ MainGridResults compute_main_grid(const ExperimentConfig& config) {
   return results;
 }
 
+void log_degraded(const char* campaign, const CampaignReport& report) {
+  log_error(
+      "grid", "campaign degraded: quarantined cells excluded from results",
+      {{"campaign", campaign},
+       {"quarantined", report.quarantined.size()},
+       {"of", report.cells_total}});
+}
+
+}  // namespace
+
+MainGridResults compute_main_grid(const ExperimentConfig& config) {
+  return assemble_main_results(
+      compute_cells(config, build_main_workloads(config),
+                    standard_method_names(), /*collect_breakdowns=*/true,
+                    "main_grid", /*journal=*/nullptr, /*report_out=*/nullptr));
+}
+
 std::vector<GridCell> compute_ssd_grid(const ExperimentConfig& config) {
   auto outcomes = compute_cells(config, build_ssd_workloads(config),
                                 ssd_method_names(),
-                                /*collect_breakdowns=*/false, "ssd_grid");
+                                /*collect_breakdowns=*/false, "ssd_grid",
+                                /*journal=*/nullptr, /*report_out=*/nullptr);
   std::vector<GridCell> cells;
   cells.reserve(outcomes.size());
-  for (auto& out : outcomes) cells.push_back(std::move(out.cell));
+  for (auto& out : outcomes) {
+    if (out.ok) cells.push_back(std::move(out.cell));
+  }
   return cells;
 }
 
@@ -317,66 +673,103 @@ MainGridResults ensure_main_grid(const ExperimentConfig& config) {
   const std::string grid_path = grid_cache_path(config, "main_grid");
   const std::string breakdown_path =
       grid_cache_path(config, "main_breakdowns");
-  MainGridResults results;
-  if (fs::exists(grid_path) && fs::exists(breakdown_path)) {
-    const CsvTable grid = CsvTable::read_file(grid_path);
-    for (std::size_t r = 0; r < grid.num_rows(); ++r) {
-      results.cells.push_back(row_to_cell(grid, r));
+  {
+    const auto grid = load_cache_csv(grid_path, kGridHeader);
+    const auto breakdowns =
+        grid ? load_cache_csv(breakdown_path, kBreakdownHeader) : std::nullopt;
+    if (grid && breakdowns) {
+      try {
+        MainGridResults results;
+        for (std::size_t r = 0; r < grid->num_rows(); ++r) {
+          results.cells.push_back(row_to_cell(*grid, r));
+        }
+        for (std::size_t r = 0; r < breakdowns->num_rows(); ++r) {
+          results.breakdowns.push_back(row_to_breakdown(*breakdowns, r));
+        }
+        CampaignReport report;
+        report.cells_total = results.cells.size();
+        report.cells_from_cache = results.cells.size();
+        publish_report(std::move(report));
+        log_info("grid", "loaded cached main grid",
+                 {{"cells", results.cells.size()}, {"path", grid_path}});
+        return results;
+      } catch (const std::exception& e) {
+        // CRC was fine but a row would not parse (e.g. a hand edit with a
+        // refreshed trailer): quarantine both files and recompute.
+        quarantine_file(grid_path, e.what());
+        quarantine_file(breakdown_path, e.what());
+      }
     }
-    const CsvTable breakdowns = CsvTable::read_file(breakdown_path);
-    for (std::size_t r = 0; r < breakdowns.num_rows(); ++r) {
-      BreakdownCell cell;
-      cell.workload = breakdowns.at(r, "workload");
-      cell.method = breakdowns.at(r, "method");
-      cell.dimension = breakdowns.at(r, "dimension");
-      cell.label = breakdowns.at(r, "label");
-      cell.avg_wait =
-          parse_double_field(breakdowns.at(r, "avg_wait"), "avg_wait");
-      cell.count = static_cast<std::size_t>(
-          parse_int_field(breakdowns.at(r, "count"), "count"));
-      results.breakdowns.push_back(std::move(cell));
-    }
-    log_info("grid", "loaded cached main grid",
-             {{"cells", results.cells.size()}, {"path", grid_path}});
-    return results;
   }
-
-  results = compute_main_grid(config);
 
   fs::create_directories(config.cache_dir);
+  CellJournal journal(journal_path(config, "main_grid"));
+  CampaignReport report;
+  auto results = assemble_main_results(
+      compute_cells(config, build_main_workloads(config),
+                    standard_method_names(), /*collect_breakdowns=*/true,
+                    "main_grid", &journal, &report));
+  if (report.degraded()) {
+    // A partial grid must never masquerade as the real thing: skip the
+    // cache write and keep the journal so a later run can finish the grid.
+    log_degraded("main_grid", report);
+    return results;
+  }
   CsvTable grid(kGridHeader);
   for (const auto& cell : results.cells) grid.add_row(cell_to_row(cell));
-  grid.write_file(grid_path);
+  write_csv_file_checksummed(grid, grid_path);
   CsvTable breakdowns(kBreakdownHeader);
   for (const auto& cell : results.breakdowns) {
-    breakdowns.add_row({cell.workload, cell.method, cell.dimension,
-                        cell.label, num_repr(cell.avg_wait),
-                        std::to_string(cell.count)});
+    breakdowns.add_row(breakdown_to_row(cell));
   }
-  breakdowns.write_file(breakdown_path);
+  write_csv_file_checksummed(breakdowns, breakdown_path);
   write_solver_timing(grid_cache_path(config, "main_solver_timing"),
                       results.cells);
+  journal.remove();
   return results;
 }
 
 std::vector<GridCell> ensure_ssd_grid(const ExperimentConfig& config) {
   const std::string path = grid_cache_path(config, "ssd_grid");
-  std::vector<GridCell> cells;
-  if (fs::exists(path)) {
-    const CsvTable grid = CsvTable::read_file(path);
-    for (std::size_t r = 0; r < grid.num_rows(); ++r) {
-      cells.push_back(row_to_cell(grid, r));
+  if (const auto table = load_cache_csv(path, kGridHeader)) {
+    try {
+      std::vector<GridCell> cells;
+      for (std::size_t r = 0; r < table->num_rows(); ++r) {
+        cells.push_back(row_to_cell(*table, r));
+      }
+      CampaignReport report;
+      report.cells_total = cells.size();
+      report.cells_from_cache = cells.size();
+      publish_report(std::move(report));
+      log_info("grid", "loaded cached SSD grid",
+               {{"cells", cells.size()}, {"path", path}});
+      return cells;
+    } catch (const std::exception& e) {
+      quarantine_file(path, e.what());
     }
-    log_info("grid", "loaded cached SSD grid",
-             {{"cells", cells.size()}, {"path", path}});
+  }
+
+  fs::create_directories(config.cache_dir);
+  CellJournal journal(journal_path(config, "ssd_grid"));
+  CampaignReport report;
+  auto outcomes = compute_cells(config, build_ssd_workloads(config),
+                                ssd_method_names(),
+                                /*collect_breakdowns=*/false, "ssd_grid",
+                                &journal, &report);
+  std::vector<GridCell> cells;
+  cells.reserve(outcomes.size());
+  for (auto& out : outcomes) {
+    if (out.ok) cells.push_back(std::move(out.cell));
+  }
+  if (report.degraded()) {
+    log_degraded("ssd_grid", report);
     return cells;
   }
-  cells = compute_ssd_grid(config);
-  fs::create_directories(config.cache_dir);
   CsvTable grid(kGridHeader);
   for (const auto& cell : cells) grid.add_row(cell_to_row(cell));
-  grid.write_file(path);
+  write_csv_file_checksummed(grid, path);
   write_solver_timing(grid_cache_path(config, "ssd_solver_timing"), cells);
+  journal.remove();
   return cells;
 }
 

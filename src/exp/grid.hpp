@@ -48,6 +48,52 @@ struct MainGridResults {
   std::vector<BreakdownCell> breakdowns;   ///< Theta-S4, all methods
 };
 
+/// Fault-tolerance knobs of a campaign run (DESIGN.md §12).  These shape
+/// *how* the grid is computed — retries, deadlines, resumability — never
+/// *what* it computes, so none of them participate in the cache digest.
+struct CampaignControl {
+  bool resume = true;          ///< recover finished cells from the journal
+  int max_retries = 2;         ///< extra attempts before quarantining a cell
+  double cell_timeout_s = 0;   ///< watchdog deadline per attempt (0 = off)
+  double retry_base_delay_s = 0.05;
+  double retry_max_delay_s = 2.0;
+  bool strict = false;         ///< campaign exit nonzero when degraded
+
+  /// Defaults overridden by BBSCHED_RESUME / BBSCHED_MAX_RETRIES /
+  /// BBSCHED_CELL_TIMEOUT / BBSCHED_RETRY_BASE_DELAY / BBSCHED_STRICT.
+  static CampaignControl from_env();
+};
+
+/// The process-wide control used by ensure_*/compute_* (initialized from the
+/// environment on first use; benches override it from their flags).
+CampaignControl& campaign_control();
+
+/// One cell that exhausted its retries and was excluded from the grid.
+struct QuarantinedCell {
+  std::string workload;
+  std::string method;
+  std::string error;    ///< what the final attempt died of
+  int attempts = 0;
+};
+
+/// What happened during the last ensure_*/compute_* campaign: where each
+/// cell came from, how many attempts were burned, and which cells were
+/// quarantined.  A degraded campaign returns partial results and leaves its
+/// journal in place so a later run can finish the grid.
+struct CampaignReport {
+  std::size_t cells_total = 0;
+  std::size_t cells_computed = 0;    ///< ran in this process
+  std::size_t cells_resumed = 0;     ///< recovered from the journal
+  std::size_t cells_from_cache = 0;  ///< whole grid loaded from the CSV cache
+  std::size_t retries = 0;           ///< failed attempts that were retried
+  std::vector<QuarantinedCell> quarantined;  ///< sorted by (workload, method)
+
+  bool degraded() const { return !quarantined.empty(); }
+};
+
+/// Report of the most recent campaign in this process (any grid).
+const CampaignReport& last_campaign_report();
+
 /// Compute-or-load the §4 grid.  On compute, cells run in parallel over the
 /// global thread pool and a `main_solver_timing_<digest>.csv` with per-cell
 /// wall-clock and solver timings is written next to the grid cache.

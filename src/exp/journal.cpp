@@ -1,0 +1,205 @@
+#include "exp/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/fault.hpp"
+#include "common/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace bbsched {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string frame(std::string_view payload) {
+  return crc32_hex(payload) + "|" + std::string(payload);
+}
+
+/// Split a framed line into its payload; false when the frame or CRC is bad.
+bool unframe(const std::string& line, std::string* payload) {
+  const std::size_t bar = line.find('|');
+  if (bar != 8) return false;  // crc32_hex is always 8 chars
+  const std::string_view body(line.data() + bar + 1, line.size() - bar - 1);
+  if (crc32_hex(body) != line.substr(0, bar)) return false;
+  *payload = std::string(body);
+  return true;
+}
+
+}  // namespace
+
+CellJournal::CellJournal(std::string path) : path_(std::move(path)) {}
+
+std::vector<JournalBundle> CellJournal::load() {
+  std::vector<JournalBundle> bundles;
+  std::ifstream in(path_);
+  if (!in) return bundles;
+
+  std::string line;
+  std::string payload;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  JournalBundle current;
+  bool in_bundle = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!unframe(line, &payload)) {
+      if (!have_header) {
+        // Unreadable header: nothing in this file can be trusted.
+        in.close();
+        quarantine_file(path_, "journal header frame invalid");
+        return {};
+      }
+      // Torn tail (crash mid-append): drop this line and everything after.
+      log_warn("journal", "torn record, dropping tail",
+               {{"path", path_}, {"line", line_no}});
+      break;
+    }
+    if (!have_header) {
+      if (payload != std::string("journal|") + kVersion) {
+        in.close();
+        quarantine_file(path_, "journal version mismatch: " + payload);
+        return {};
+      }
+      have_header = true;
+      continue;
+    }
+    if (payload.rfind("cell|", 0) == 0) {
+      if (in_bundle) {
+        log_warn("journal", "bundle without done marker dropped",
+                 {{"path", path_}, {"line", line_no}});
+      }
+      current = JournalBundle{};
+      current.cell_row = payload.substr(5);
+      in_bundle = true;
+    } else if (payload.rfind("bd|", 0) == 0) {
+      if (!in_bundle) {
+        log_warn("journal", "stray breakdown row, dropping tail",
+                 {{"path", path_}, {"line", line_no}});
+        break;
+      }
+      current.breakdown_rows.push_back(payload.substr(3));
+    } else if (payload.rfind("done|", 0) == 0) {
+      if (!in_bundle) {
+        log_warn("journal", "stray done marker, dropping tail",
+                 {{"path", path_}, {"line", line_no}});
+        break;
+      }
+      const std::string tail = payload.substr(5);
+      const std::size_t bar = tail.find('|');
+      if (bar == std::string::npos) {
+        log_warn("journal", "malformed done marker, dropping tail",
+                 {{"path", path_}, {"line", line_no}});
+        break;
+      }
+      current.workload = tail.substr(0, bar);
+      current.method = tail.substr(bar + 1);
+      bundles.push_back(std::move(current));
+      current = JournalBundle{};
+      in_bundle = false;
+    } else {
+      log_warn("journal", "unknown record tag, dropping tail",
+               {{"path", path_}, {"line", line_no}});
+      break;
+    }
+  }
+  if (in_bundle) {
+    log_warn("journal", "uncommitted trailing bundle dropped",
+             {{"path", path_}});
+  }
+  log_info("journal", "recovered bundles",
+           {{"path", path_}, {"bundles", bundles.size()}});
+  return bundles;
+}
+
+bool CellJournal::append(const JournalBundle& bundle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_) return false;
+
+  // The framing is one record per line: an embedded newline would split a
+  // record and fail its CRC on reload.  Nothing the grid serializes contains
+  // one; refuse rather than corrupt if that ever changes.
+  auto framable = [](const std::string& s) {
+    return s.find('\n') == std::string::npos &&
+           s.find('\r') == std::string::npos;
+  };
+  bool clean = framable(bundle.workload) && framable(bundle.method) &&
+               framable(bundle.cell_row);
+  for (const std::string& row : bundle.breakdown_rows) {
+    clean = clean && framable(row);
+  }
+  if (!clean) {
+    log_warn("journal", "bundle with embedded newline refused",
+             {{"path", path_},
+              {"cell", bundle.workload + "/" + bundle.method}});
+    return false;
+  }
+
+  std::ostringstream record;
+  record << frame("cell|" + bundle.cell_row) << '\n';
+  for (const std::string& row : bundle.breakdown_rows) {
+    record << frame("bd|" + row) << '\n';
+  }
+  record << frame("done|" + bundle.workload + "|" + bundle.method) << '\n';
+  const std::string payload = record.str();
+
+  const bool fresh = !fs::exists(path_);
+  std::string data = payload;
+  if (fresh) {
+    const fs::path p(path_);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      fs::create_directories(p.parent_path(), ec);
+    }
+    data = frame(std::string("journal|") + kVersion) + '\n' + payload;
+  }
+
+  try {
+    // The injection site simulates crash-mid-append: only a prefix of the
+    // record reaches the file, which load() must recover from.
+    const std::size_t keep = fault_write_bytes(
+        "journal.append", bundle.workload + "/" + bundle.method, data.size());
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    if (f == nullptr) {
+      throw std::runtime_error("journal: cannot open " + path_);
+    }
+    const std::size_t written = std::fwrite(data.data(), 1, keep, f);
+    const bool flushed = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+    ::fsync(::fileno(f));
+#endif
+    std::fclose(f);
+    if (written != keep || !flushed) {
+      throw std::runtime_error("journal: short write to " + path_);
+    }
+    if (keep < data.size()) {
+      throw InjectedFault(FaultKind::kPartialWrite, "journal.append",
+                          bundle.workload + "/" + bundle.method);
+    }
+  } catch (const std::exception& e) {
+    // A real crashed writer would never touch the file again; mirror that so
+    // the torn bytes stay a *tail*, which load() knows how to drop.
+    poisoned_ = true;
+    log_warn("journal", "append failed, journaling disabled for this run",
+             {{"path", path_},
+              {"cell", bundle.workload + "/" + bundle.method},
+              {"error", e.what()}});
+    return false;
+  }
+  return true;
+}
+
+void CellJournal::remove() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  fs::remove(path_, ec);
+}
+
+}  // namespace bbsched

@@ -1,0 +1,74 @@
+// journal.hpp — crash-consistent per-cell campaign journal (DESIGN.md §12).
+//
+// Each finished grid cell is appended as one CRC32-framed bundle and fsync'd
+// before the runner moves on, so a campaign killed at any instant — including
+// mid-append — loses at most the cells that had not finished.  On resume the
+// journal is scanned front to back; a torn or corrupt line ends the valid
+// prefix (everything after it recomputes) and a journal whose header frame is
+// unreadable is quarantined wholesale rather than trusted.
+//
+// On-disk format, one record per line:
+//
+//   <crc32 hex of payload>|<payload>
+//
+// with payloads
+//
+//   journal|bbsched-journal-v1          (header, first line)
+//   cell|<grid cache CSV row>
+//   bd|<breakdown cache CSV row>        (0+ rows following their cell)
+//   done|<workload>|<method>            (commits the bundle above it)
+//
+// A bundle counts as recovered only when its done marker is present and
+// every line of it CRC-checks; the payload carries the exact %.17g CSV cell
+// row, so a resumed grid re-serializes byte-identically to an uninterrupted
+// one (the property tests pin this).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bbsched {
+
+/// One recovered (or to-be-journaled) cell bundle.
+struct JournalBundle {
+  std::string workload;
+  std::string method;
+  std::string cell_row;                    ///< serialized grid cache CSV row
+  std::vector<std::string> breakdown_rows; ///< serialized breakdown CSV rows
+};
+
+class CellJournal {
+ public:
+  static constexpr const char* kVersion = "bbsched-journal-v1";
+
+  explicit CellJournal(std::string path);
+
+  const std::string& path() const { return path_; }
+
+  /// Scan the journal and return every fully-committed bundle.  Returns an
+  /// empty vector when the file does not exist.  A torn tail is logged and
+  /// dropped; a journal with an invalid header frame is quarantined and
+  /// treated as absent.
+  std::vector<JournalBundle> load();
+
+  /// Append one bundle (thread-safe) and fsync it to disk.  Creates the
+  /// journal (with its header frame) on first append.  A failed or
+  /// fault-injected torn append poisons the journal — later appends are
+  /// dropped, exactly as if the writing process had died — and returns
+  /// false; the campaign itself carries on from memory.
+  bool append(const JournalBundle& bundle);
+
+  /// Whether an append failure has disabled further journaling.
+  bool poisoned() const { return poisoned_; }
+
+  /// Delete the journal (after the final cache write succeeded).
+  void remove();
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  bool poisoned_ = false;
+};
+
+}  // namespace bbsched

@@ -65,17 +65,27 @@ void CampaignMonitor::stop() {
   if (progress_enabled()) {
     const double wall = mono_seconds() - start_s_;
     const auto ev = events();
-    ConsoleTable summary({"campaign", "cells", "events", "wall_s",
-                          "events_per_s", "peak_rss_mb"},
+    ConsoleTable summary({"campaign", "cells", "resumed", "retries",
+                          "quarantined", "events", "wall_s", "events_per_s",
+                          "peak_rss_mb"},
                          {Align::kLeft, Align::kRight, Align::kRight,
+                          Align::kRight, Align::kRight, Align::kRight,
                           Align::kRight, Align::kRight, Align::kRight});
     summary.add_row(
         {label_,
          std::to_string(cells_done()) + "/" + std::to_string(cells_total_),
-         std::to_string(ev), ConsoleTable::num(wall, 2),
+         std::to_string(cells_resumed()), std::to_string(retries()),
+         std::to_string(quarantined()), std::to_string(ev),
+         ConsoleTable::num(wall, 2),
          ConsoleTable::num(wall > 0 ? static_cast<double>(ev) / wall : 0.0, 0),
          ConsoleTable::num(peak_rss_mb(), 1)});
     summary.print(std::cerr);
+    if (quarantined() > 0) {
+      std::fprintf(stderr,
+                   "[progress] %s: DEGRADED — %zu cell(s) quarantined; "
+                   "results are partial and the cache was not finalized\n",
+                   label_.c_str(), quarantined());
+    }
   }
 }
 
@@ -120,11 +130,17 @@ void CampaignMonitor::sample(bool heartbeat) {
     static Gauge& total_gauge = metric_gauge("campaign.cells_total");
     static Gauge& eta_gauge = metric_gauge("campaign.eta_seconds");
     static Gauge& rate_gauge = metric_gauge("campaign.events_per_second");
+    static Gauge& resumed_gauge = metric_gauge("campaign.cells_resumed");
+    static Gauge& retries_gauge = metric_gauge("campaign.retries");
+    static Gauge& quarantined_gauge = metric_gauge("campaign.cells_quarantined");
     rss_gauge.set(rss);
     done_gauge.set(static_cast<double>(done));
     total_gauge.set(static_cast<double>(cells_total_));
     eta_gauge.set(eta_s);
     rate_gauge.set(events_per_s);
+    resumed_gauge.set(static_cast<double>(cells_resumed()));
+    retries_gauge.set(static_cast<double>(retries()));
+    quarantined_gauge.set(static_cast<double>(quarantined()));
   }
   if (trace_enabled()) {
     trace_counter("campaign", now_s, kTraceWallPid,

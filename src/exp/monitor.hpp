@@ -49,12 +49,33 @@ class CampaignMonitor {
   void add_events(std::size_t n) {
     events_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// `n` cells were recovered from the campaign journal instead of re-run.
+  void add_resumed(std::size_t n) {
+    cells_resumed_.fetch_add(n, std::memory_order_relaxed);
+    cells_done_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// One failed cell attempt is being retried (worker threads; lock-free).
+  void cell_retried() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  /// One cell exhausted its retries and was quarantined.
+  void cell_quarantined() {
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    cells_done_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::size_t cells_done() const {
     return cells_done_.load(std::memory_order_relaxed);
   }
   std::size_t events() const {
     return events_.load(std::memory_order_relaxed);
+  }
+  std::size_t cells_resumed() const {
+    return cells_resumed_.load(std::memory_order_relaxed);
+  }
+  std::size_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  std::size_t quarantined() const {
+    return quarantined_.load(std::memory_order_relaxed);
   }
   std::size_t samples_taken() const {
     return samples_.load(std::memory_order_relaxed);
@@ -74,6 +95,9 @@ class CampaignMonitor {
 
   std::atomic<std::size_t> cells_done_{0};
   std::atomic<std::size_t> events_{0};
+  std::atomic<std::size_t> cells_resumed_{0};
+  std::atomic<std::size_t> retries_{0};
+  std::atomic<std::size_t> quarantined_{0};
   std::atomic<std::size_t> samples_{0};
   std::atomic<double> peak_rss_mb_{0.0};
   std::size_t last_events_ = 0;    ///< sampler-thread only

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace bbsched {
@@ -86,6 +88,91 @@ TEST(CsvParseFields, NumericHelpers) {
 TEST(CsvTable, MissingFileThrows) {
   EXPECT_THROW(CsvTable::read_file("/nonexistent/path.csv"),
                std::runtime_error);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("bbsched_csv_test_") + info->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CsvFileTest, MalformedRowErrorNamesFileLineAndWidth) {
+  const std::string path = dir_ + "/short_row.csv";
+  std::ofstream(path) << "a,b,c\n1,2,3\n4,5\n";
+  try {
+    CsvTable::read_file(path);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos)
+        << "diagnostic must name the file: " << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos)
+        << "diagnostic must name the line: " << what;
+    EXPECT_NE(what.find("expected 3"), std::string::npos)
+        << "diagnostic must name the expected column count: " << what;
+  }
+}
+
+TEST_F(CsvFileTest, ChecksummedRoundTrip) {
+  CsvTable table(CsvRow{"k", "v"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"with,comma", "2"});
+  const std::string path = dir_ + "/table.csv";
+  write_csv_file_checksummed(table, path);
+  std::string error;
+  const auto reread = read_csv_file_checksummed(path, &error);
+  ASSERT_TRUE(reread.has_value()) << error;
+  ASSERT_EQ(reread->num_rows(), 2u);
+  EXPECT_EQ(reread->at(1, "k"), "with,comma");
+  // The trailer is a comment line, so the plain reader still works too.
+  const CsvTable plain = CsvTable::read_file(path);
+  EXPECT_EQ(plain.num_rows(), 2u);
+}
+
+TEST_F(CsvFileTest, ChecksummedReadRejectsCorruptionNamingThePath) {
+  CsvTable table(CsvRow{"k", "v"});
+  table.add_row({"alpha", "1.5"});
+  const std::string path = dir_ + "/table.csv";
+  write_csv_file_checksummed(table, path);
+  // Flip one byte of the body; the trailer no longer matches.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  in.close();
+  std::string content = slurp.str();
+  content[8] ^= 0x1;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << content;
+  std::string error;
+  EXPECT_FALSE(read_csv_file_checksummed(path, &error).has_value());
+  EXPECT_NE(error.find(path), std::string::npos);
+  EXPECT_NE(error.find("crc32 mismatch"), std::string::npos);
+}
+
+TEST_F(CsvFileTest, ChecksummedReadRejectsMissingTrailer) {
+  const std::string path = dir_ + "/plain.csv";
+  std::ofstream(path) << "a,b\n1,2\n";
+  std::string error;
+  EXPECT_FALSE(read_csv_file_checksummed(path, &error).has_value());
+  EXPECT_NE(error.find("missing crc32 trailer"), std::string::npos);
+}
+
+TEST_F(CsvFileTest, ChecksummedReadRejectsTrailingData) {
+  CsvTable table(CsvRow{"k", "v"});
+  table.add_row({"alpha", "1"});
+  const std::string path = dir_ + "/table.csv";
+  write_csv_file_checksummed(table, path);
+  std::ofstream(path, std::ios::binary | std::ios::app) << "beta,2\n";
+  std::string error;
+  EXPECT_FALSE(read_csv_file_checksummed(path, &error).has_value());
+  EXPECT_NE(error.find("trailing data"), std::string::npos);
 }
 
 }  // namespace

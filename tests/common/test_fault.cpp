@@ -1,0 +1,235 @@
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace bbsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE 802.3 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+  EXPECT_EQ(crc32_hex("123456789"), "cbf43926");
+}
+
+TEST(Crc32, ChunkedEqualsWhole) {
+  const std::string data = "burst buffers and draining SSDs";
+  std::uint32_t chunked = 0;
+  for (char c : data) chunked = crc32(std::string_view(&c, 1), chunked);
+  EXPECT_EQ(chunked, crc32(data));
+}
+
+TEST(FaultPlanParse, ParsesSeedAndRules) {
+  const auto plan = FaultPlan::parse(
+      "seed=7;grid.cell:throw=0.3;journal.append:partial=0.2@0.75;"
+      "csv.write:enospc=1;grid.cell:hang=0.1@2.5");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed(), 7u);
+  ASSERT_EQ(plan.rules().size(), 4u);
+  EXPECT_EQ(plan.rules()[0].site, "grid.cell");
+  EXPECT_EQ(plan.rules()[0].kind, FaultKind::kThrow);
+  EXPECT_DOUBLE_EQ(plan.rules()[0].probability, 0.3);
+  EXPECT_EQ(plan.rules()[1].kind, FaultKind::kPartialWrite);
+  EXPECT_DOUBLE_EQ(plan.rules()[1].param, 0.75);
+  EXPECT_EQ(plan.rules()[2].kind, FaultKind::kEnospc);
+  EXPECT_EQ(plan.rules()[3].kind, FaultKind::kHang);
+  EXPECT_DOUBLE_EQ(plan.rules()[3].param, 2.5);
+}
+
+TEST(FaultPlanParse, EmptySpecIsDisabled) {
+  EXPECT_FALSE(FaultPlan::parse("").enabled());
+  EXPECT_FALSE(FaultPlan::parse("  ").enabled());
+  EXPECT_FALSE(FaultPlan{}.enabled());
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("grid.cell"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("grid.cell:explode=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("grid.cell:throw=nan"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("grid.cell:throw=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse(":throw=0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=notanumber;a:throw=1"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanDecide, DeterministicInSeedSiteAndKey) {
+  const auto plan = FaultPlan::parse("seed=42;grid.cell:throw=0.5");
+  const auto same_plan = FaultPlan::parse("seed=42;grid.cell:throw=0.5");
+  bool any_hit = false, any_miss = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "Cori-S1/BBSched#" + std::to_string(i);
+    const auto a = plan.decide("grid.cell", key);
+    const auto b = same_plan.decide("grid.cell", key);
+    EXPECT_EQ(a.kind, b.kind) << "decision must be a pure function";
+    (a.kind == FaultKind::kThrow ? any_hit : any_miss) = true;
+  }
+  // p=0.5 over 64 keys: both outcomes occur (probability ~2^-63 otherwise).
+  EXPECT_TRUE(any_hit);
+  EXPECT_TRUE(any_miss);
+  // A different seed gives a different decision sequence somewhere.
+  const auto other = FaultPlan::parse("seed=43;grid.cell:throw=0.5");
+  bool differs = false;
+  for (int i = 0; i < 64 && !differs; ++i) {
+    const std::string key = "Cori-S1/BBSched#" + std::to_string(i);
+    differs = other.decide("grid.cell", key).kind !=
+              plan.decide("grid.cell", key).kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanDecide, SiteMismatchNeverFires) {
+  const auto plan = FaultPlan::parse("seed=1;grid.cell:throw=1");
+  EXPECT_EQ(plan.decide("csv.write", "any").kind, FaultKind::kNone);
+  EXPECT_EQ(plan.decide("grid.cell", "any").kind, FaultKind::kThrow);
+}
+
+TEST(FaultPoint, ThrowsInjectedFaultWithSiteAndKey) {
+  set_global_fault_plan(FaultPlan::parse("seed=1;unit.test:throw=1"));
+  try {
+    fault_point("unit.test", "the-key");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kThrow);
+    EXPECT_NE(std::string(e.what()).find("unit.test"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("the-key"), std::string::npos);
+  }
+  set_global_fault_plan(FaultPlan{});
+  EXPECT_NO_THROW(fault_point("unit.test", "the-key"));
+}
+
+TEST(RetryDelay, DeterministicCappedAndJittered) {
+  RetryPolicy policy;
+  policy.base_delay_s = 0.05;
+  policy.max_delay_s = 2.0;
+  policy.seed = 9;
+  double prev_cap = 0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const double a = retry_delay_seconds(policy, "Cori-S1/BBSched", attempt);
+    const double b = retry_delay_seconds(policy, "Cori-S1/BBSched", attempt);
+    EXPECT_DOUBLE_EQ(a, b) << "same (policy, key, attempt) -> same delay";
+    // Jitter is in [0.5, 1.5) around min(max, base * 2^k).
+    const double nominal =
+        std::min(policy.max_delay_s, policy.base_delay_s * (1 << attempt));
+    EXPECT_GE(a, nominal * 0.5);
+    EXPECT_LT(a, nominal * 1.5);
+    EXPECT_LE(a, policy.max_delay_s * 1.5);
+    prev_cap = std::max(prev_cap, a);
+  }
+  // Different keys draw different jitter somewhere in 10 attempts.
+  bool differs = false;
+  for (int attempt = 0; attempt < 10 && !differs; ++attempt) {
+    differs = retry_delay_seconds(policy, "keyA", attempt) !=
+              retry_delay_seconds(policy, "keyB", attempt);
+  }
+  EXPECT_TRUE(differs);
+}
+
+class AtomicWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("bbsched_fault_test_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    set_global_fault_plan(FaultPlan{});
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(AtomicWriteTest, WritesAndReplacesWholeFiles) {
+  const std::string path = dir_ + "/out.txt";
+  atomic_write_file(path, "first\n");
+  EXPECT_EQ(slurp(path), "first\n");
+  atomic_write_file(path, "second\n");
+  EXPECT_EQ(slurp(path), "second\n");
+  // No temp droppings left behind.
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir_), fs::directory_iterator{}), 1);
+}
+
+TEST_F(AtomicWriteTest, PartialWriteFaultLeavesDestinationUntouched) {
+  const std::string path = dir_ + "/out.txt";
+  atomic_write_file(path, "intact payload\n");
+  set_global_fault_plan(
+      FaultPlan::parse("seed=3;test.write:partial=1@0.5"));
+  EXPECT_THROW(atomic_write_file(path, "replacement that tears", "test.write",
+                                 path),
+               InjectedFault);
+  // The old content survives; the torn temp file is left for post-mortem.
+  EXPECT_EQ(slurp(path), "intact payload\n");
+  bool saw_temp = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      saw_temp = true;
+      EXPECT_LT(fs::file_size(entry.path()),
+                std::string("replacement that tears").size());
+    }
+  }
+  EXPECT_TRUE(saw_temp);
+}
+
+TEST_F(AtomicWriteTest, EnospcFaultLeavesDestinationUntouched) {
+  const std::string path = dir_ + "/out.txt";
+  atomic_write_file(path, "intact\n");
+  set_global_fault_plan(FaultPlan::parse("seed=3;test.write:enospc=1"));
+  EXPECT_THROW(atomic_write_file(path, "never lands", "test.write", path),
+               InjectedFault);
+  EXPECT_EQ(slurp(path), "intact\n");
+}
+
+TEST_F(AtomicWriteTest, QuarantineMovesFileAside) {
+  const std::string path = dir_ + "/bad.csv";
+  atomic_write_file(path, "corrupt\n");
+  const std::string moved = quarantine_file(path, "checksum mismatch");
+  ASSERT_FALSE(moved.empty());
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(moved));
+  EXPECT_EQ(fs::path(moved).parent_path().filename().string(), "quarantine");
+  EXPECT_EQ(slurp(moved), "corrupt\n");
+  // Quarantining a same-named file again must not clobber the first.
+  atomic_write_file(path, "second corpse\n");
+  const std::string moved2 = quarantine_file(path, "checksum mismatch");
+  ASSERT_FALSE(moved2.empty());
+  EXPECT_NE(moved2, moved);
+  EXPECT_EQ(slurp(moved), "corrupt\n");
+  EXPECT_EQ(slurp(moved2), "second corpse\n");
+}
+
+TEST(AbandonedThreads, ReaperJoinsFinishedThreads) {
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread t([done] { done->store(true); });
+  AbandonedThreadReaper::instance().park(std::move(t), done);
+  // The thread finishes immediately; reap until it is joined.
+  for (int i = 0; i < 1000 && AbandonedThreadReaper::instance().reap() > 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(AbandonedThreadReaper::instance().pending(), 0u);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -1,0 +1,24 @@
+// campaign_resume_helper — child process of the kill-and-resume property
+// test (test_campaign_resilience.cpp).  Runs the SSD campaign with the same
+// tiny configuration the test uses, journaling each finished cell; the test
+// SIGKILLs this process mid-campaign and then resumes from the journal
+// in-process.  Not a test itself: the name must not match the test_*.cpp
+// glob in tests/CMakeLists.txt.
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "exp/grid.hpp"
+
+int main() {
+  using namespace bbsched;
+  ExperimentConfig config;
+  // Mirror tiny_config() in test_campaign_resilience.cpp exactly — the
+  // digest (and so the journal path) must match the resuming test process.
+  config.jobs_per_workload = 40;
+  config.window_size = 6;
+  config.ga.generations = 6;
+  config.ga.population_size = 6;
+  config.cache_dir = env_string("BBSCHED_CACHE_DIR", config.cache_dir);
+  (void)ensure_ssd_grid(config);
+  return 0;
+}

@@ -1,0 +1,357 @@
+// Property tests for the fault-tolerant campaign runtime (DESIGN.md §12):
+// retry/quarantine determinism across thread counts, cache CRC validation,
+// journal resume, and the kill-and-resume property (SIGKILL a campaign
+// mid-flight under fault injection, resume, and require the merged grid to
+// be byte-identical to an uninterrupted run).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/fault.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/grid.hpp"
+
+#if defined(__linux__)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace bbsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+ExperimentConfig tiny_config(const std::string& cache_dir) {
+  ExperimentConfig config;
+  config.jobs_per_workload = 40;
+  config.window_size = 6;
+  config.ga.generations = 6;
+  config.ga.population_size = 6;
+  config.cache_dir = cache_dir;
+  return config;
+}
+
+/// Canonical byte rendering of a grid's deterministic content — the "grid
+/// digest" the resilience properties compare.  Covers every simulated
+/// metric at full precision; the wall-clock telemetry columns
+/// (cell_wall_s, *_solve_s) are measurements, not results, and are
+/// excluded on purpose.
+std::string grid_digest(const std::vector<GridCell>& cells) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& cell : cells) {
+    const auto& m = cell.metrics;
+    out << cell.workload << '|' << cell.method << '|' << m.node_usage << '|'
+        << m.bb_usage << '|' << m.ssd_usage << '|' << m.ssd_waste << '|'
+        << m.avg_wait << '|' << m.avg_slowdown << '|' << m.p95_wait << '|'
+        << m.max_wait << '|' << m.jobs_measured << '|' << m.jobs_backfilled
+        << '|' << cell.mean_pareto_size << '|' << cell.forced_starts << '\n';
+  }
+  return out.str();
+}
+
+/// The deterministic columns of a finalized cache CSV, for byte-identity
+/// comparisons between a resumed and an uninterrupted campaign.
+std::string cache_digest(const std::string& path) {
+  std::string error;
+  const auto table = read_csv_file_checksummed(path, &error);
+  if (!table) return "unreadable: " + error;
+  static const char* kDeterministicCols[] = {
+      "workload",  "method",   "node_usage",   "bb_usage",
+      "ssd_usage", "ssd_waste", "avg_wait",    "avg_slowdown",
+      "p95_wait",  "max_wait", "jobs",         "backfilled",
+      "mean_pareto", "forced_starts"};
+  std::ostringstream out;
+  for (std::size_t r = 0; r < table->num_rows(); ++r) {
+    for (const char* col : kDeterministicCols) out << table->at(r, col) << '|';
+    out << '\n';
+  }
+  return out.str();
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("bbsched_resilience_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    saved_control_ = campaign_control();
+  }
+  void TearDown() override {
+    set_global_fault_plan(FaultPlan{});
+    campaign_control() = saved_control_;
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+  CampaignControl saved_control_;
+};
+
+TEST_F(ResilienceTest, RetryScheduleAndQuarantineAreThreadCountInvariant) {
+  const auto config = tiny_config(dir_ + "/cache");
+  campaign_control().max_retries = 1;
+  campaign_control().retry_base_delay_s = 0.001;  // keep the test fast
+  // p=0.35 with one retry: some cells fail once and recover, some fail
+  // twice and quarantine — both paths exercised.
+  struct Run {
+    std::string digest;
+    std::string quarantined;
+    std::size_t retries;
+  };
+  auto run_at = [&](std::size_t threads) {
+    set_global_threads(threads);
+    set_global_fault_plan(FaultPlan::parse("seed=5;grid.cell:throw=0.35"));
+    const auto results = compute_main_grid(config);
+    const auto& report = last_campaign_report();
+    std::ostringstream quarantined;
+    for (const auto& q : report.quarantined) {
+      quarantined << q.workload << '/' << q.method << '#' << q.attempts
+                  << '\n';
+    }
+    return Run{grid_digest(results.cells), quarantined.str(), report.retries};
+  };
+  const Run serial = run_at(1);
+  const Run parallel = run_at(4);
+  EXPECT_EQ(serial.digest, parallel.digest)
+      << "surviving cells must be bit-identical at any thread count";
+  EXPECT_EQ(serial.quarantined, parallel.quarantined)
+      << "same fault plan seed must quarantine the same cells";
+  EXPECT_EQ(serial.retries, parallel.retries);
+  EXPECT_FALSE(serial.quarantined.empty())
+      << "p=0.35 with 1 retry over 80 cells should quarantine something "
+         "(if not, the plan is not reaching the cells)";
+  EXPECT_GT(serial.retries, 0u);
+  set_global_threads(0);
+}
+
+TEST_F(ResilienceTest, QuarantinedCampaignCompletesAndSkipsCacheWrite) {
+  const auto config = tiny_config(dir_ + "/cache");
+  campaign_control().max_retries = 1;
+  campaign_control().retry_base_delay_s = 0.001;
+  set_global_fault_plan(
+      FaultPlan::parse("seed=1;grid.cell:throw=1"));  // every attempt dies
+  const auto results = ensure_main_grid(config);
+  EXPECT_TRUE(results.cells.empty());
+  const auto& report = last_campaign_report();
+  EXPECT_TRUE(report.degraded());
+  EXPECT_EQ(report.quarantined.size(), 80u);
+  EXPECT_EQ(report.quarantined.front().attempts, 2);
+  EXPECT_FALSE(report.quarantined.front().error.empty());
+  // Degraded: no grid cache may be finalized; the journal stays for later.
+  bool any_cache_csv = false;
+  for (const auto& entry : fs::recursive_directory_iterator(config.cache_dir)) {
+    if (entry.path().extension() == ".csv") any_cache_csv = true;
+  }
+  EXPECT_FALSE(any_cache_csv);
+
+  // Disarm and rerun: the campaign must fully recover and finalize.
+  set_global_fault_plan(FaultPlan{});
+  const auto clean = ensure_main_grid(config);
+  EXPECT_EQ(clean.cells.size(), 80u);
+  EXPECT_FALSE(last_campaign_report().degraded());
+}
+
+TEST_F(ResilienceTest, CorruptCacheIsQuarantinedAndRecomputed) {
+  const auto config = tiny_config(dir_ + "/cache");
+  const auto first = ensure_main_grid(config);
+  ASSERT_EQ(first.cells.size(), 80u);
+
+  // Find the main grid cache and flip a byte in the middle.
+  std::string grid_csv;
+  for (const auto& entry : fs::directory_iterator(config.cache_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("main_grid_", 0) == 0) grid_csv = entry.path().string();
+  }
+  ASSERT_FALSE(grid_csv.empty());
+  {
+    std::ifstream in(grid_csv, std::ios::binary);
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    std::string content = slurp.str();
+    content[content.size() / 2] ^= 0x1;
+    std::ofstream(grid_csv, std::ios::binary | std::ios::trunc) << content;
+  }
+
+  const auto second = ensure_main_grid(config);
+  EXPECT_EQ(second.cells.size(), 80u);
+  EXPECT_EQ(grid_digest(second.cells), grid_digest(first.cells))
+      << "recompute after corruption must reproduce the grid";
+  // The corrupt file must be preserved for post-mortem, not deleted.
+  const fs::path quarantine = fs::path(config.cache_dir) / "quarantine";
+  ASSERT_TRUE(fs::exists(quarantine));
+  EXPECT_GE(std::distance(fs::directory_iterator(quarantine),
+                          fs::directory_iterator{}),
+            1);
+}
+
+TEST_F(ResilienceTest, TruncatedCacheMissingTrailerIsRejected) {
+  const auto config = tiny_config(dir_ + "/cache");
+  (void)ensure_ssd_grid(config);
+  std::string grid_csv;
+  for (const auto& entry : fs::directory_iterator(config.cache_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ssd_grid_", 0) == 0) grid_csv = entry.path().string();
+  }
+  ASSERT_FALSE(grid_csv.empty());
+  // Drop the trailer line — what a torn non-atomic write would leave.
+  std::ifstream in(grid_csv, std::ios::binary);
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  in.close();
+  const std::string content = slurp.str();
+  const auto cut = content.rfind("# crc32=");
+  ASSERT_NE(cut, std::string::npos);
+  std::ofstream(grid_csv, std::ios::binary | std::ios::trunc)
+      << content.substr(0, cut);
+
+  const auto cells = ensure_ssd_grid(config);
+  EXPECT_EQ(cells.size(), 42u) << "truncated cache must recompute";
+  EXPECT_TRUE(fs::exists(fs::path(config.cache_dir) / "quarantine"));
+}
+
+TEST_F(ResilienceTest, ResumeAfterPartialCampaignIsByteIdentical) {
+  // In-process resume rehearsal: run a campaign whose journal survives (the
+  // campaign is degraded, so the cache is not finalized), then rerun with
+  // injection off — resumed cells must reproduce the uninterrupted grid.
+  const auto config = tiny_config(dir_ + "/cache");
+  campaign_control().max_retries = 0;
+  set_global_fault_plan(FaultPlan::parse("seed=9;grid.cell:throw=0.4"));
+  const auto partial = ensure_main_grid(config);
+  const auto partial_report = last_campaign_report();
+  ASSERT_TRUE(partial_report.degraded());
+  ASSERT_GT(partial.cells.size(), 0u);
+  ASSERT_LT(partial.cells.size(), 80u);
+
+  set_global_fault_plan(FaultPlan{});
+  const auto resumed = ensure_main_grid(config);
+  EXPECT_EQ(resumed.cells.size(), 80u);
+  const auto resumed_report = last_campaign_report();
+  EXPECT_EQ(resumed_report.cells_resumed, partial.cells.size())
+      << "every journaled cell must be adopted, not re-run";
+
+  // Reference: the same config computed uninterrupted in a fresh cache dir
+  // (cache_dir is not part of the digest, so the cells are comparable).
+  auto reference_config = tiny_config(dir_ + "/cache_ref");
+  const auto reference = ensure_main_grid(reference_config);
+  EXPECT_EQ(grid_digest(resumed.cells), grid_digest(reference.cells))
+      << "resumed grid must be byte-identical to an uninterrupted one";
+
+  // The journal is consumed by the successful finalize.
+  EXPECT_FALSE(fs::exists(fs::path(config.cache_dir) / "journal") &&
+               !fs::is_empty(fs::path(config.cache_dir) / "journal"));
+}
+
+#if defined(__linux__)
+
+std::string helper_path() {
+  // The helper binary is built next to bbsched_tests.
+  return (fs::read_symlink("/proc/self/exe").parent_path() /
+          "campaign_resume_helper")
+      .string();
+}
+
+/// Launch the helper (which runs the SSD campaign and journals each cell),
+/// SIGKILL it once the journal holds at least one committed bundle, and
+/// return true if we managed to kill it mid-campaign.
+bool run_and_kill(const std::string& cache_dir, const std::string& plan) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    ::setenv("BBSCHED_CACHE_DIR", cache_dir.c_str(), 1);
+    ::setenv("BBSCHED_FAULT_PLAN", plan.c_str(), 1);
+    const std::string helper = helper_path();
+    ::execl(helper.c_str(), helper.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  // Poll for a committed bundle ("done|" marker) in any journal file, then
+  // kill hard: the child gets no chance to flush or clean up.
+  const fs::path journal_dir = fs::path(cache_dir) / "journal";
+  bool killed_midway = false;
+  for (int i = 0; i < 20000; ++i) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      return false;  // finished before we could kill it
+    }
+    bool has_bundle = false;
+    if (fs::exists(journal_dir)) {
+      for (const auto& entry : fs::directory_iterator(journal_dir)) {
+        std::ifstream in(entry.path());
+        std::string line;
+        while (std::getline(in, line)) {
+          if (line.find("|done|") != std::string::npos) has_bundle = true;
+        }
+      }
+    }
+    if (has_bundle) {
+      ::kill(pid, SIGKILL);
+      killed_midway = true;
+      break;
+    }
+    ::usleep(1000);
+  }
+  if (!killed_midway) ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return killed_midway;
+}
+
+TEST_F(ResilienceTest, KillAndResumeProducesByteIdenticalGrid) {
+  if (!fs::exists(helper_path())) {
+    GTEST_SKIP() << "campaign_resume_helper not built";
+  }
+  const std::string cache_dir = dir_ + "/cache";
+  // Partial-write injection on the journal itself plus throw-retries in the
+  // cells: the kill lands while recovery machinery is genuinely exercised.
+  const std::string plan = "seed=13;journal.append:partial=0.05@0.6";
+  bool killed = false;
+  for (int round = 0; round < 5 && !killed; ++round) {
+    killed = run_and_kill(cache_dir, plan);
+  }
+  if (!killed) {
+    GTEST_SKIP() << "campaign finished faster than the kill every time";
+  }
+
+  // Resume in-process with injection off and finish the campaign.
+  const auto config = tiny_config(cache_dir);
+  const auto resumed = ensure_ssd_grid(config);
+  ASSERT_EQ(resumed.size(), 42u);
+  const auto report = last_campaign_report();
+  EXPECT_GT(report.cells_resumed, 0u)
+      << "the killed run journaled at least one bundle";
+
+  // Uninterrupted reference in a fresh cache dir.
+  auto reference_config = tiny_config(dir_ + "/cache_ref");
+  const auto reference = ensure_ssd_grid(reference_config);
+  EXPECT_EQ(grid_digest(resumed), grid_digest(reference))
+      << "kill-and-resume must be byte-identical to an uninterrupted run";
+
+  // And the finalized caches agree on every deterministic column (the
+  // wall-clock telemetry columns are measurements and legitimately differ).
+  auto cache_path = [](const std::string& dir, const char* prefix) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) == 0) return entry.path().string();
+    }
+    return std::string();
+  };
+  const std::string resumed_cache = cache_path(cache_dir, "ssd_grid_");
+  const std::string reference_cache =
+      cache_path(reference_config.cache_dir, "ssd_grid_");
+  ASSERT_FALSE(resumed_cache.empty());
+  ASSERT_FALSE(reference_cache.empty());
+  EXPECT_EQ(cache_digest(resumed_cache), cache_digest(reference_cache));
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+}  // namespace bbsched

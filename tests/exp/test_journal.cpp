@@ -1,0 +1,174 @@
+#include "exp/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault.hpp"
+
+namespace bbsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+JournalBundle make_bundle(const std::string& workload,
+                          const std::string& method) {
+  JournalBundle bundle;
+  bundle.workload = workload;
+  bundle.method = method;
+  bundle.cell_row = workload + "," + method + ",0.5,1,2,3";
+  bundle.breakdown_rows = {workload + "," + method + ",job_size,1-8,4.5,10",
+                           workload + "," + method + ",runtime,<1h,2.25,3"};
+  return bundle;
+}
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("bbsched_journal_test_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ + "/test.journal";
+  }
+  void TearDown() override {
+    set_global_fault_plan(FaultPlan{});
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, LoadOfMissingJournalIsEmpty) {
+  CellJournal journal(path_);
+  EXPECT_TRUE(journal.load().empty());
+  EXPECT_FALSE(fs::exists(path_));
+}
+
+TEST_F(JournalTest, AppendAndLoadRoundTrip) {
+  CellJournal journal(path_);
+  ASSERT_TRUE(journal.append(make_bundle("Cori-S1", "BBSched")));
+  ASSERT_TRUE(journal.append(make_bundle("Theta-S4", "Baseline")));
+
+  CellJournal reader(path_);
+  const auto bundles = reader.load();
+  ASSERT_EQ(bundles.size(), 2u);
+  EXPECT_EQ(bundles[0].workload, "Cori-S1");
+  EXPECT_EQ(bundles[0].method, "BBSched");
+  EXPECT_EQ(bundles[0].cell_row, make_bundle("Cori-S1", "BBSched").cell_row);
+  ASSERT_EQ(bundles[0].breakdown_rows.size(), 2u);
+  EXPECT_EQ(bundles[1].workload, "Theta-S4");
+}
+
+TEST_F(JournalTest, TornTailIsDropped) {
+  CellJournal journal(path_);
+  ASSERT_TRUE(journal.append(make_bundle("Cori-S1", "BBSched")));
+  ASSERT_TRUE(journal.append(make_bundle("Cori-S2", "BBSched")));
+  // Simulate a crash mid-append: truncate the file inside the last bundle.
+  const std::string content = slurp(path_);
+  std::ofstream(path_, std::ios::binary | std::ios::trunc)
+      << content.substr(0, content.size() - 7);
+
+  CellJournal reader(path_);
+  const auto bundles = reader.load();
+  ASSERT_EQ(bundles.size(), 1u) << "torn bundle must not be recovered";
+  EXPECT_EQ(bundles[0].workload, "Cori-S1");
+}
+
+TEST_F(JournalTest, UncommittedBundleWithoutDoneMarkerIsDropped) {
+  CellJournal journal(path_);
+  ASSERT_TRUE(journal.append(make_bundle("Cori-S1", "BBSched")));
+  // Chop off the final (done) line entirely — frames stay valid.
+  std::string content = slurp(path_);
+  ASSERT_FALSE(content.empty());
+  content.pop_back();  // trailing '\n'
+  const auto cut = content.rfind('\n');
+  ASSERT_NE(cut, std::string::npos);
+  std::ofstream(path_, std::ios::binary | std::ios::trunc)
+      << content.substr(0, cut + 1);
+
+  CellJournal reader(path_);
+  EXPECT_TRUE(reader.load().empty());
+}
+
+TEST_F(JournalTest, CorruptRecordEndsValidPrefix) {
+  CellJournal journal(path_);
+  ASSERT_TRUE(journal.append(make_bundle("Cori-S1", "BBSched")));
+  const std::string good = slurp(path_);
+  // A bit flip in the middle of the second bundle's bytes.
+  ASSERT_TRUE(journal.append(make_bundle("Cori-S2", "BBSched")));
+  std::string content = slurp(path_);
+  content[good.size() + 12] ^= 0x1;
+  std::ofstream(path_, std::ios::binary | std::ios::trunc) << content;
+
+  CellJournal reader(path_);
+  const auto bundles = reader.load();
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0].workload, "Cori-S1");
+}
+
+TEST_F(JournalTest, InvalidHeaderQuarantinesJournal) {
+  std::ofstream(path_, std::ios::binary)
+      << "deadbeef|journal|not-a-real-version\n";
+  CellJournal reader(path_);
+  EXPECT_TRUE(reader.load().empty());
+  EXPECT_FALSE(fs::exists(path_)) << "corrupt journal must be moved aside";
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "quarantine"));
+}
+
+TEST_F(JournalTest, InjectedTornAppendPoisonsJournal) {
+  set_global_fault_plan(
+      FaultPlan::parse("seed=11;journal.append:partial=1@0.3"));
+  CellJournal journal(path_);
+  EXPECT_FALSE(journal.append(make_bundle("Cori-S1", "BBSched")));
+  EXPECT_TRUE(journal.poisoned());
+  // Poisoned: later appends are dropped even with injection disarmed.
+  set_global_fault_plan(FaultPlan{});
+  EXPECT_FALSE(journal.append(make_bundle("Cori-S2", "BBSched")));
+
+  // The torn bytes behave like a crashed writer's tail: recovery drops them.
+  CellJournal reader(path_);
+  EXPECT_TRUE(reader.load().empty());
+}
+
+TEST_F(JournalTest, RemoveDeletesFile) {
+  CellJournal journal(path_);
+  ASSERT_TRUE(journal.append(make_bundle("Cori-S1", "BBSched")));
+  ASSERT_TRUE(fs::exists(path_));
+  journal.remove();
+  EXPECT_FALSE(fs::exists(path_));
+  journal.remove();  // idempotent
+}
+
+TEST_F(JournalTest, CommasAndQuotesInPayloadSurvive) {
+  JournalBundle bundle;
+  bundle.workload = "Cori-S1";
+  bundle.method = "BBSched";
+  bundle.cell_row = "Cori-S1,BBSched,\"a,quoted\nfield\",1";
+  CellJournal journal(path_);
+  // Embedded newlines cannot survive a line-framed journal; the writer must
+  // refuse (return false) rather than corrupt the file.
+  EXPECT_FALSE(journal.append(bundle));
+
+  bundle.cell_row = "Cori-S1,BBSched,\"a,quoted field\",1";
+  CellJournal journal2(dir_ + "/clean.journal");
+  ASSERT_TRUE(journal2.append(bundle));
+  CellJournal reader(dir_ + "/clean.journal");
+  const auto bundles = reader.load();
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0].cell_row, bundle.cell_row);
+}
+
+}  // namespace
+}  // namespace bbsched
