@@ -243,6 +243,7 @@ void NaivePlanner::remove_span(SpanId id) {
 std::vector<double> NaivePlanner::avail_at(Time t) const {
   check_time(t, "query time");
   std::vector<double> out = capacity_;
+  // det-ok: unordered-iter (commutative subtraction; order cannot matter)
   for (const auto& [id, s] : spans_) {
     if (s.start <= t && t < s.end) {
       for (std::size_t i = 0; i < out.size(); ++i) out[i] -= s.request[i];
@@ -253,6 +254,7 @@ std::vector<double> NaivePlanner::avail_at(Time t) const {
 
 std::vector<Time> NaivePlanner::boundaries_between(Time t, Time limit) const {
   std::vector<Time> times;
+  // det-ok: unordered-iter (collection pass; sorted + uniqued below)
   for (const auto& [id, s] : spans_) {
     if (s.start > t && s.start < limit) times.push_back(s.start);
     if (s.end > t && s.end < limit && std::isfinite(s.end)) {

@@ -160,6 +160,7 @@ class NaivePlanner {
   void for_each_release(Visitor&& visit) const {
     std::vector<const std::pair<const SpanId, Planner::SpanInfo>*> order;
     order.reserve(spans_.size());
+    // det-ok: unordered-iter (collection pass only; sorted just below)
     for (const auto& entry : spans_) order.push_back(&entry);
     std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
       if (a->second.end != b->second.end) return a->second.end < b->second.end;

@@ -152,6 +152,24 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
     std::vector<Chromosome> pool = std::move(population);
     pool.insert(pool.end(), std::make_move_iterator(children.begin()),
                 std::make_move_iterator(children.end()));
+    // Survivor deduplication (the paper GA's rule): duplicate genotypes have
+    // zero crowding distance yet crowd out distinct individuals, and on
+    // near-degenerate fronts the population collapses onto a handful of
+    // copies and stalls short of the true Pareto set.  Select from distinct
+    // genotypes first; duplicates only pad the population when fewer than
+    // population_size distinct genotypes exist.
+    std::vector<Chromosome> duplicates;
+    {
+      std::vector<Chromosome> distinct;
+      distinct.reserve(pool.size());
+      for (auto& c : pool) {
+        const bool seen = std::any_of(
+            distinct.begin(), distinct.end(),
+            [&](const Chromosome& u) { return u.same_genes(c); });
+        (seen ? duplicates : distinct).push_back(std::move(c));
+      }
+      pool = std::move(distinct);
+    }
     Front points;
     points.reserve(pool.size());
     for (const auto& c : pool) points.push_back(c.objectives);
@@ -178,6 +196,9 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
            ++i) {
         next.push_back(std::move(pool[front[order[i]]]));
       }
+    }
+    for (std::size_t i = 0; next.size() < population_size; ++i) {
+      next.push_back(std::move(duplicates[i]));
     }
     population = std::move(next);
     recompute_metadata(population);

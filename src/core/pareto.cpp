@@ -33,8 +33,10 @@ std::vector<Chromosome> pareto_front(std::span<const Chromosome> population) {
   Front points;
   points.reserve(population.size());
   for (const auto& c : population) points.push_back(c.objectives);
+  const std::vector<std::size_t> keep = non_dominated_indices(points);
   std::vector<Chromosome> out;
-  for (std::size_t idx : non_dominated_indices(points)) {
+  out.reserve(keep.size());
+  for (std::size_t idx : keep) {
     out.push_back(population[idx]);
   }
   return out;

@@ -433,6 +433,7 @@ bool outcome_from_bundle(const JournalBundle& bundle, CellOutcome* out) {
     cell_table.add_row(parse_csv_line(bundle.cell_row));
     out->cell = row_to_cell(cell_table, 0);
     out->breakdowns.clear();
+    out->breakdowns.reserve(bundle.breakdown_rows.size());
     for (const std::string& row : bundle.breakdown_rows) {
       CsvTable bd_table(kBreakdownHeader);
       bd_table.add_row(parse_csv_line(row));
@@ -680,9 +681,11 @@ MainGridResults ensure_main_grid(const ExperimentConfig& config) {
     if (grid && breakdowns) {
       try {
         MainGridResults results;
+        results.cells.reserve(grid->num_rows());
         for (std::size_t r = 0; r < grid->num_rows(); ++r) {
           results.cells.push_back(row_to_cell(*grid, r));
         }
+        results.breakdowns.reserve(breakdowns->num_rows());
         for (std::size_t r = 0; r < breakdowns->num_rows(); ++r) {
           results.breakdowns.push_back(row_to_breakdown(*breakdowns, r));
         }

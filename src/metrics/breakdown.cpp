@@ -41,8 +41,9 @@ std::string range_label(const std::string& lo, const std::string& hi) {
 }  // namespace
 
 std::vector<BreakdownBin> breakdown_by_job_size(
-    const SimResult& result, std::vector<NodeCount> upper_bounds) {
+    const SimResult& result, const std::vector<NodeCount>& upper_bounds) {
   std::vector<std::string> labels;
+  labels.reserve(upper_bounds.size() + 1);
   NodeCount prev = 1;
   for (NodeCount ub : upper_bounds) {
     labels.push_back(range_label(std::to_string(prev), std::to_string(ub)));
@@ -58,8 +59,9 @@ std::vector<BreakdownBin> breakdown_by_job_size(
 }
 
 std::vector<BreakdownBin> breakdown_by_bb_request(
-    const SimResult& result, std::vector<double> upper_bounds_tb) {
+    const SimResult& result, const std::vector<double>& upper_bounds_tb) {
   std::vector<std::string> labels;
+  labels.reserve(upper_bounds_tb.size() + 2);
   labels.push_back("no-BB");
   std::ostringstream first;
   double prev = 0;
@@ -83,8 +85,9 @@ std::vector<BreakdownBin> breakdown_by_bb_request(
 }
 
 std::vector<BreakdownBin> breakdown_by_runtime(
-    const SimResult& result, std::vector<double> upper_bounds_h) {
+    const SimResult& result, const std::vector<double>& upper_bounds_h) {
   std::vector<std::string> labels;
+  labels.reserve(upper_bounds_h.size() + 1);
   double prev = 0;
   for (double ub : upper_bounds_h) {
     std::ostringstream label;

@@ -34,17 +34,18 @@ std::vector<BreakdownBin> breakdown_wait(const SimResult& result,
 /// default; custom edges supported (edges are inclusive upper bounds).
 std::vector<BreakdownBin> breakdown_by_job_size(
     const SimResult& result,
-    std::vector<NodeCount> upper_bounds = {8, 128, 1024});
+    const std::vector<NodeCount>& upper_bounds = {8, 128, 1024});
 
 /// Figure 10 bins: burst-buffer request — none, then (0, edge1], ... with
 /// TB-valued inclusive upper bounds, final bin unbounded.
 std::vector<BreakdownBin> breakdown_by_bb_request(
     const SimResult& result,
-    std::vector<double> upper_bounds_tb = {1, 100, 200});
+    const std::vector<double>& upper_bounds_tb = {1, 100, 200});
 
 /// Figure 11 bins: runtime with inclusive hour-valued upper bounds, final
 /// bin unbounded.
 std::vector<BreakdownBin> breakdown_by_runtime(
-    const SimResult& result, std::vector<double> upper_bounds_h = {1, 4, 12});
+    const SimResult& result,
+    const std::vector<double>& upper_bounds_h = {1, 4, 12});
 
 }  // namespace bbsched

@@ -28,6 +28,7 @@ WindowDecision BinPackingPolicy::select(const WindowContext& context) const {
   auto demand_of = [&](std::size_t pos) {
     const JobRecord* job = context.window[pos];
     std::vector<double> d;
+    d.reserve(ssd ? 3 : 2);
     d.push_back(static_cast<double>(job->nodes) / node_cap);
     d.push_back(job->bb_gb / bb_cap);
     if (ssd) {

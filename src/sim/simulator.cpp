@@ -485,7 +485,7 @@ SimResult Simulator::run() {
   for (const auto& slot : slots_) {
     JobOutcome outcome = outcome_of(slot);
     result.makespan = std::max(result.makespan, outcome.end);
-    result.outcomes.push_back(outcome);
+    result.outcomes.push_back(std::move(outcome));
   }
   const MeasureInterval interval = measurement_interval(workload_, config_);
   result.measure_begin = interval.begin;

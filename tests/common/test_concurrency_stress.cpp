@@ -1,0 +1,333 @@
+// Concurrency stress suite (DESIGN.md §13).  These tests assert only
+// count/shape invariants — never timing — so they pass identically in plain
+// builds; their real job is to hammer every cross-thread handoff hard
+// enough that the CI ThreadSanitizer job (BBSCHED_SANITIZE=thread) would
+// surface any data race: thread-pool shutdown and dispatch, campaign-
+// monitor start/stop against hammering workers, metrics gauges read by a
+// sampler while workers write, trace buffers under concurrent export and
+// thread churn, the abandoned-thread reaper, and the crash-flush path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "exp/monitor.hpp"
+
+namespace bbsched {
+namespace {
+
+TEST(ThreadPoolStress, ConstructDestroyChurn) {
+  // Pool teardown immediately after a batch: the destructor must drain the
+  // queue (leftover no-op entries of completed batches included) and join
+  // every worker without losing or double-running an index.
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(4);
+    std::atomic<std::size_t> hits{0};
+    pool.parallel_for(64, [&](std::size_t) { ++hits; });
+    ASSERT_EQ(hits.load(), 64u);
+  }
+}
+
+TEST(ThreadPoolStress, DestroyWithColdWorkers) {
+  // Teardown of a pool whose workers never received work: the stop flag and
+  // the condition variable are the only handoff.
+  for (int round = 0; round < 200; ++round) {
+    ThreadPool pool(8);
+  }
+}
+
+TEST(ThreadPoolStress, ConcurrentExternalCallers) {
+  // Several non-worker threads share one pool; each batch's cursor and
+  // completion latch are per-batch state and must not bleed across.
+  ThreadPool pool(4);
+  constexpr std::size_t callers = 6, per_batch = 200, rounds = 20;
+  std::vector<std::atomic<std::size_t>> sums(callers);
+  std::vector<std::thread> threads;
+  threads.reserve(callers);
+  for (std::size_t c = 0; c < callers; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        pool.parallel_for(per_batch, [&](std::size_t i) { sums[c] += i; });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t c = 0; c < callers; ++c) {
+    EXPECT_EQ(sums[c].load(), rounds * (per_batch * (per_batch - 1) / 2));
+  }
+}
+
+TEST(ThreadPoolStress, ExceptionsUnderContention) {
+  // Failing batches interleaved with healthy ones: the failure latch and
+  // exception slot are shared state on the hot path.
+  ThreadPool pool(4);
+  for (int round = 0; round < 30; ++round) {
+    EXPECT_THROW(pool.parallel_for(128,
+                                   [&](std::size_t i) {
+                                     if (i % 3 == 0) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    std::atomic<std::size_t> ok{0};
+    pool.parallel_for(32, [&](std::size_t) { ++ok; });
+    ASSERT_EQ(ok.load(), 32u);
+  }
+}
+
+TEST(MonitorStress, WorkersHammerAcrossStartStop) {
+  // Workers update the monitor's atomics across its whole lifecycle —
+  // before start(), racing the sampler, and racing stop().  A 1 ms period
+  // keeps the sampler thread genuinely active during the window.
+  constexpr std::size_t workers = 4, events_each = 5000;
+  CampaignMonitor monitor("stress", workers * events_each, 0.001);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < events_each; ++i) {
+        monitor.add_events(1);
+        if (i % 100 == 0) monitor.cell_done();
+        if (i % 512 == 0) monitor.cell_retried();
+      }
+    });
+  }
+  monitor.start();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (auto& t : threads) t.join();
+  monitor.stop();
+  EXPECT_EQ(monitor.events(), workers * events_each);
+  EXPECT_EQ(monitor.cells_done(), workers * (events_each / 100));
+  EXPECT_GE(monitor.samples_taken(), 2u);  // start() + stop() at minimum
+}
+
+TEST(MonitorStress, StartStopChurn) {
+  // Rapid lifecycle churn: stop() must synchronize with a sampler that may
+  // not have taken a single tick yet, and the destructor with a stopped one.
+  for (int round = 0; round < 100; ++round) {
+    CampaignMonitor monitor("churn", 10, 0.0005);
+    monitor.start();
+    monitor.add_events(3);
+    monitor.cell_done();
+    monitor.stop();
+    EXPECT_EQ(monitor.events(), 3u);
+  }
+  // Destructor-only path: never started, and started-not-stopped.
+  { CampaignMonitor never_started("idle", 1); }
+  {
+    CampaignMonitor running("dtor", 1, 0.0005);
+    running.start();
+    running.add_events(1);
+  }
+}
+
+TEST(MetricsStress, SamplerReadsWhileWorkersWrite) {
+  // The campaign sampler reads gauges/counters and snapshots CSV while pool
+  // workers update concurrently; updates are relaxed atomics and the
+  // registry lookup path takes the registry mutex.
+  set_metrics_enabled(true);
+  Counter& counter = metric_counter("stress.counter");
+  Gauge& gauge = metric_gauge("stress.gauge");
+  MetricHistogram& histogram = metric_histogram("stress.histogram");
+  counter.reset();
+  constexpr std::size_t workers = 4, updates = 20000;
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_acquire)) {
+      std::ostringstream snapshot;
+      MetricsRegistry::global().write_csv(snapshot);
+      (void)counter.value();
+      (void)gauge.value();
+      (void)histogram.count();
+      // Concurrent find-or-create against the same registry mutex.
+      (void)metric_gauge("stress.reader_gauge");
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::size_t i = 0; i < updates; ++i) {
+        counter.add(1);
+        gauge.set(static_cast<double>(i));
+        histogram.observe(static_cast<double>(w) * 1e-3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop_reader.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(counter.value(), workers * updates);
+  EXPECT_EQ(histogram.count(), workers * updates);
+  set_metrics_enabled(false);
+}
+
+TEST(TraceStress, EmitAndExportWithThreadChurn) {
+  // Emitters on long-lived threads, short-lived threads dying mid-run (the
+  // orphan handoff), and a concurrent exporter repeatedly serializing the
+  // whole buffer set.
+  trace_clear();
+  set_trace_enabled(true);
+  constexpr std::size_t emitters = 3, events_each = 500, churn_threads = 50;
+  std::atomic<bool> stop_export{false};
+  std::thread exporter([&] {
+    while (!stop_export.load(std::memory_order_acquire)) {
+      std::ostringstream out;
+      write_trace_json(out);
+      (void)trace_event_count();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(emitters);
+  for (std::size_t e = 0; e < emitters; ++e) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < events_each; ++i) {
+        TraceSpan span("stress.span", "test", {{"i", i}});
+        trace_instant("stress.instant", "test", static_cast<double>(i),
+                      kTraceWallPid);
+        trace_counter("stress.counter", static_cast<double>(i), kTraceWallPid,
+                      {{"v", i}});
+      }
+    });
+  }
+  for (std::size_t c = 0; c < churn_threads; ++c) {
+    // Emit once and exit immediately: exercises ThreadBuffer's destructor
+    // moving its events into the orphan list while the exporter runs.
+    std::thread churn([c] {
+      trace_instant("stress.churn", "test", static_cast<double>(c),
+                    kTraceWallPid);
+    });
+    churn.join();
+  }
+  for (auto& t : threads) t.join();
+  stop_export.store(true, std::memory_order_release);
+  exporter.join();
+  // 3 events per emitter iteration + one per churn thread.
+  EXPECT_EQ(trace_event_count(), emitters * events_each * 3 + churn_threads);
+  set_trace_enabled(false);
+  trace_clear();
+}
+
+TEST(ReaperStress, ParkAndReapChurn) {
+  // Park short-lived threads from several threads while two others reap
+  // concurrently; afterwards everything must be joinable and accounted for.
+  auto& reaper = AbandonedThreadReaper::instance();
+  constexpr std::size_t parkers = 3, parked_each = 20;
+  std::atomic<bool> stop_reap{false};
+  std::vector<std::thread> reapers;
+  for (int r = 0; r < 2; ++r) {
+    reapers.emplace_back([&] {
+      while (!stop_reap.load(std::memory_order_acquire)) {
+        reaper.reap();
+        (void)reaper.pending();
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(parkers);
+  for (std::size_t p = 0; p < parkers; ++p) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < parked_each; ++i) {
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::thread worker([done] {
+          done->store(true, std::memory_order_release);
+        });
+        reaper.park(std::move(worker), done);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop_reap.store(true, std::memory_order_release);
+  for (auto& t : reapers) t.join();
+  // Every parked thread has set done=true, so a final reap drains them all.
+  while (reaper.reap() != 0) std::this_thread::yield();
+  EXPECT_EQ(reaper.pending(), 0u);
+}
+
+TEST(CrashFlushStress, ConcurrentFlushAndEmit) {
+  // telemetry_flush_now is called from atexit/terminate context; here many
+  // threads call it concurrently while emitters append trace events and the
+  // main thread re-arms/disarms.  Flush must never tear a snapshot (the
+  // write path is atomic_write_file) and never deadlock (try_lock).
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "bbsched_stress_trace.json";
+  const std::string metrics_path = dir + "bbsched_stress_metrics.csv";
+  trace_clear();
+  set_trace_enabled(true);
+  set_metrics_enabled(true);
+  register_crash_flush(trace_path, metrics_path);
+  // Everything is bounded by count, not wall-clock: each flush serializes
+  // the whole trace buffer and fsyncs two files, so unbounded emit/flush
+  // loops degenerate on slow disks or a single core.
+  constexpr std::size_t flushers = 3, flushes_each = 15;
+  constexpr std::size_t emitters = 2, events_each = 500;
+  std::vector<std::thread> threads;
+  for (std::size_t f = 0; f < flushers; ++f) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < flushes_each; ++i) {
+        telemetry_flush_now();
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (std::size_t e = 0; e < emitters; ++e) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < events_each; ++i) {
+        trace_instant("flush.stress", "test", static_cast<double>(i),
+                      kTraceWallPid);
+        metric_counter("flush.stress").add(1);
+        if (i % 16 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  // Re-arm churn concurrent with the flushers and emitters above.
+  for (int round = 0; round < 20; ++round) {
+    register_crash_flush(trace_path, metrics_path);
+    std::this_thread::yield();
+  }
+  for (auto& t : threads) t.join();
+  telemetry_flush_now();
+  disarm_crash_flush();
+  set_trace_enabled(false);
+  set_metrics_enabled(false);
+  trace_clear();
+  // The final flush ran disarmed?  No: disarm came after, so both snapshot
+  // files exist and are complete JSON/CSV (atomic rename guarantees this).
+  std::FILE* f = std::fopen(trace_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(GlobalPoolStress, ResizeBetweenBatches) {
+  // set_global_threads swaps the pool between campaigns; hammer the
+  // resize/dispatch boundary from the owning thread with workers mid-flight
+  // batches in between.
+  for (const std::size_t threads : {1u, 4u, 2u, 8u, 1u}) {
+    set_global_threads(threads);
+    std::atomic<std::size_t> hits{0};
+    parallel_for(256, [&](std::size_t) { ++hits; });
+    ASSERT_EQ(hits.load(), 256u);
+  }
+  set_global_threads(0);
+}
+
+}  // namespace
+}  // namespace bbsched

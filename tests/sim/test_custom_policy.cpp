@@ -83,7 +83,11 @@ class OutOfRangePolicy : public SelectionPolicy {
 TEST(CustomPolicy, OutOfRangeSelectionThrows) {
   FcfsScheduler fcfs;
   OutOfRangePolicy policy;
-  Simulator sim(three_jobs(), fast_config(), fcfs, policy);
+  // The workload must outlive the simulator: Simulator stores a reference,
+  // so binding a temporary here dangles once this statement ends (caught by
+  // TSan as a use-after-free in run()).
+  const Workload workload = three_jobs();
+  Simulator sim(workload, fast_config(), fcfs, policy);
   EXPECT_THROW(sim.run(), std::logic_error);
 }
 

@@ -1,0 +1,449 @@
+#!/usr/bin/env python3
+"""Determinism lint for the bbsched tree (DESIGN.md §13).
+
+Every reproducibility claim this repo makes — byte-identical grids at any
+thread count, kill-and-resume equivalence, %.17g streaming-vs-batch metric
+identity — dies the day someone feeds wall-clock time, ambient randomness,
+or hash-order iteration into a sim/solver/grid path.  This lint bans those
+constructs mechanically so refactors cannot reintroduce them silently.
+
+Rule classes (see DESIGN.md §13 for the catalog and rationale):
+
+  wall-clock      std::chrono::system_clock, gettimeofday, localtime,
+                  time(nullptr)/time(0)/std::time in determinism-critical
+                  code.  The only sanctioned clock is the shared MonoClock
+                  (clock.hpp), and only for telemetry, never for decisions.
+  raw-rng         rand(), srand(), std::random_device, raw std::mt19937 /
+                  std::default_random_engine.  All randomness must flow
+                  through Rng + mix_seed (rng.hpp) so every stream is
+                  splittable and replayable.
+  unordered-iter  Iteration over a std::unordered_{map,set,...} variable.
+                  Hash order is not part of the determinism contract; every
+                  such loop must either be order-insensitive (sum/max over
+                  the values, results sorted afterwards) or iterate a sorted
+                  copy — and must say which via a `det-ok:` marker.
+  raw-print       std::cout, printf/fprintf(stdout, ...), puts in library
+                  code under src/.  Human-facing output goes through the
+                  logger (log.hpp) or an explicit std::ostream& parameter;
+                  stdout belongs to the bench/example mains.
+  raw-ofstream    std::ofstream / fopen("w") in campaign-output code
+                  (src/exp/) or any write whose path mentions a cache or
+                  journal directory.  Cache, journal, trace and metrics
+                  files must go through atomic_write_file /
+                  write_csv_file_checksummed (fault.hpp) so a crash can
+                  never leave a torn file that later resumes corrupt.
+
+Suppression:
+
+  * Inline:                // det-ok: <rule> (<reason>)
+    On the flagged line or on the line directly above it, naming the rule.
+    A marker that suppresses nothing is itself an error (stale markers rot).
+  * Allowlist file:        tools/determinism_allowlist.txt
+    Lines of the form `<rule> <path-glob> <reason...>`; '#' comments.
+
+Exit status: 0 clean, 1 violations (or stale markers), 2 usage error.
+
+Self-test: `lint_determinism.py --self-test` runs the lint over the planted
+fixtures in tools/lint_selftest/, asserting every rule class fires where
+planted and that both suppression mechanisms silence it.  CI runs the
+self-test before trusting a clean tree.
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Rule definitions
+
+
+class Rule:
+    def __init__(self, name, pattern, dirs, message, exclude_files=()):
+        self.name = name
+        self.pattern = re.compile(pattern) if pattern is not None else None
+        self.dirs = dirs  # path prefixes (relative, '/'-separated) in scope
+        self.message = message
+        self.exclude_files = exclude_files
+
+    def in_scope(self, relpath):
+        if any(fnmatch.fnmatch(relpath, pat) for pat in self.exclude_files):
+            return False
+        return any(relpath.startswith(d) for d in self.dirs)
+
+
+# Directories whose code feeds scheduling decisions or serialized results.
+DETERMINISM_DIRS = (
+    "src/sim/", "src/core/", "src/exp/", "src/policies/", "src/workload/",
+    "src/metrics/", "src/common/",
+)
+# Campaign-output code: everything here writes caches/journals/results.
+CAMPAIGN_OUTPUT_DIRS = ("src/exp/",)
+ALL_SRC = ("src/",)
+
+RULES = [
+    Rule(
+        "wall-clock",
+        r"\bsystem_clock\b|\bgettimeofday\b|\blocaltime\b|\bgmtime\b"
+        r"|\bstd::time\b|[^:_\w]time\(\s*(NULL|nullptr|0)\s*\)",
+        DETERMINISM_DIRS,
+        "wall-clock time in determinism-critical code; use the shared "
+        "MonoClock (clock.hpp), and only for telemetry",
+    ),
+    Rule(
+        "raw-rng",
+        r"\bstd::random_device\b|\bsrand\s*\(|[^_\w]rand\s*\(\s*\)"
+        r"|\bstd::mt19937(_64)?\b|\bstd::default_random_engine\b",
+        DETERMINISM_DIRS,
+        "ambient randomness; all streams must come from Rng + mix_seed "
+        "(rng.hpp) so runs replay bit-identically",
+    ),
+    Rule(
+        "unordered-iter",
+        None,  # structural rule, handled by UnorderedIterScanner
+        ALL_SRC,
+        "iteration over an unordered container: hash order is not "
+        "deterministic across libstdc++ versions; iterate a sorted copy or "
+        "mark the loop order-insensitive with det-ok",
+    ),
+    Rule(
+        "raw-print",
+        r"\bstd::cout\b|[^\w.:>]printf\s*\(|\bfprintf\s*\(\s*stdout\b"
+        r"|[^\w.:>]puts\s*\(",
+        ALL_SRC,
+        "raw stdout in library code; route through the logger (log.hpp) or "
+        "an explicit std::ostream& parameter",
+        exclude_files=("src/common/log.cpp",),
+    ),
+    Rule(
+        "raw-ofstream",
+        r"\bstd::ofstream\b|\bfopen\s*\([^)]*\"w",
+        CAMPAIGN_OUTPUT_DIRS,
+        "direct file write in campaign-output code; use atomic_write_file / "
+        "write_csv_file_checksummed (fault.hpp) so crashes cannot tear "
+        "results",
+    ),
+    Rule(
+        # Same hazard as raw-ofstream but tree-wide: any write whose path
+        # expression names a cache or journal location must be atomic.
+        "raw-ofstream-cache",
+        r"(\bstd::ofstream\b|\bfopen\s*\()[^;\n]*(cache|journal)",
+        ALL_SRC,
+        "non-atomic write into a cache/journal path; use atomic_write_file "
+        "(fault.hpp)",
+    ),
+]
+
+RULE_NAMES = {rule.name for rule in RULES}
+
+MARKER_RE = re.compile(r"//\s*det-ok:\s*([\w-]+)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:flat_)?(?:multi)?(?:map|set)\s*<[^;{}]*?>\s*"
+    r"(?:&\s*)?(\w+)\s*[;={(,)]"
+)
+
+
+def strip_comments(lines):
+    """Blank out // and /* */ comment text, preserving line structure and
+    det-ok markers (returned separately per line)."""
+    stripped = []
+    markers = []
+    in_block = False
+    for line in lines:
+        marker = MARKER_RE.search(line)
+        markers.append(marker.group(1) if marker else None)
+        out = []
+        i = 0
+        in_string = False
+        while i < len(line):
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < len(line) else ""
+            if in_block:
+                if ch == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                    continue
+                i += 1
+                continue
+            if in_string:
+                out.append(ch)
+                if ch == "\\":
+                    out.append(nxt)
+                    i += 2
+                    continue
+                if ch == '"':
+                    in_string = False
+                i += 1
+                continue
+            if ch == '"':
+                in_string = True
+                out.append(ch)
+                i += 1
+                continue
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            out.append(ch)
+            i += 1
+        stripped.append("".join(out))
+    return stripped, markers
+
+
+def unordered_declared_names(stripped):
+    names = set()
+    for line in stripped:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def unordered_iter_hits(stripped, extra_names=()):
+    """Line numbers (0-based) iterating a variable declared as an unordered
+    container in the same file (or, for a .cpp, in its sibling header —
+    passed via extra_names so member containers are not invisible)."""
+    names = unordered_declared_names(stripped) | set(extra_names)
+    if not names:
+        return []
+    union = "|".join(sorted(re.escape(n) for n in names))
+    # Range-for over the variable, or explicit iterator walk via begin().
+    loop_re = re.compile(
+        r"for\s*\([^;()]*:\s*(?:" + union + r")\s*\)"
+        r"|\b(?:" + union + r")\s*\.\s*c?begin\s*\(")
+    return [i for i, line in enumerate(stripped) if loop_re.search(line)]
+
+
+class Violation:
+    def __init__(self, relpath, lineno, rule, text):
+        self.relpath = relpath
+        self.lineno = lineno  # 1-based
+        self.rule = rule
+        self.text = text
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.relpath, self.lineno, self.rule.name,
+                                   self.rule.message)
+
+
+def load_allowlist(path):
+    """List of (rule, glob) pairs; unknown rules are an immediate error."""
+    entries = []
+    if not path or not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for n, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                raise SystemExit(
+                    "%s:%d: expected '<rule> <glob> <reason>', got %r"
+                    % (path, n, line))
+            rule, glob = parts[0], parts[1]
+            if rule not in RULE_NAMES:
+                raise SystemExit(
+                    "%s:%d: unknown rule %r (known: %s)"
+                    % (path, n, rule, ", ".join(sorted(RULE_NAMES))))
+            entries.append((rule, glob))
+    return entries
+
+
+def allowed(entries, rule_name, relpath):
+    return any(rule == rule_name and fnmatch.fnmatch(relpath, glob)
+               for rule, glob in entries)
+
+
+def lint_file(root, relpath, allowlist):
+    """Returns (violations, stale_marker_lines)."""
+    try:
+        with open(os.path.join(root, relpath), encoding="utf-8",
+                  errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        raise SystemExit("cannot read %s: %s" % (relpath, e))
+    stripped, markers = strip_comments(lines)
+
+    hits = {}  # lineno (0-based) -> set of rule names that fired
+    for rule in RULES:
+        if not rule.in_scope(relpath):
+            continue
+        if allowed(allowlist, rule.name, relpath):
+            continue
+        if rule.pattern is None:
+            extra = ()
+            stem, ext = os.path.splitext(relpath)
+            if ext in (".cpp", ".cc"):
+                for header_ext in (".hpp", ".h"):
+                    header = os.path.join(root, stem + header_ext)
+                    if os.path.exists(header):
+                        with open(header, encoding="utf-8",
+                                  errors="replace") as hf:
+                            header_stripped, _ = strip_comments(
+                                hf.read().splitlines())
+                        extra = unordered_declared_names(header_stripped)
+                        break
+            fired = unordered_iter_hits(stripped, extra)
+        else:
+            fired = [i for i, line in enumerate(stripped)
+                     if rule.pattern.search(line)]
+        for i in fired:
+            hits.setdefault(i, {})[rule.name] = rule
+
+    violations = []
+    used_markers = set()
+    for i in sorted(hits):
+        for name, rule in sorted(hits[i].items()):
+            if markers[i] == name:
+                used_markers.add(i)
+                continue
+            if i > 0 and markers[i - 1] == name:
+                used_markers.add(i - 1)
+                continue
+            violations.append(Violation(relpath, i + 1, rule, lines[i]))
+
+    stale = []
+    for i, marker in enumerate(markers):
+        if marker is None or i in used_markers:
+            continue
+        if marker not in RULE_NAMES:
+            stale.append((relpath, i + 1,
+                          "det-ok names unknown rule %r" % marker))
+        else:
+            stale.append((relpath, i + 1,
+                          "stale det-ok: no %r violation on this line"
+                          % marker))
+    return violations, stale
+
+
+SOURCE_EXTS = (".cpp", ".hpp", ".cc", ".h")
+
+
+def iter_source_files(root, subdirs):
+    for sub in subdirs:
+        top = os.path.join(root, sub)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def run_lint(root, subdirs, allowlist_path, out=sys.stdout):
+    allowlist = load_allowlist(allowlist_path)
+    all_violations = []
+    all_stale = []
+    for relpath in iter_source_files(root, subdirs):
+        violations, stale = lint_file(root, relpath, allowlist)
+        all_violations.extend(violations)
+        all_stale.extend(stale)
+    for v in all_violations:
+        print(v, file=out)
+    for relpath, lineno, msg in all_stale:
+        print("%s:%d: [stale-marker] %s" % (relpath, lineno, msg), file=out)
+    if all_violations or all_stale:
+        print("determinism lint: %d violation(s), %d stale marker(s)"
+              % (len(all_violations), len(all_stale)), file=out)
+        return 1
+    print("determinism lint: clean (%d rule classes over %s)"
+          % (len(RULES), ", ".join(subdirs)), file=out)
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Self-test: every rule class must fire on its planted fixture, and both
+# suppression mechanisms must silence it.
+
+
+def self_test(root):
+    fixture_dir = os.path.join(root, "tools", "lint_selftest")
+    if not os.path.isdir(fixture_dir):
+        print("self-test: missing fixtures at %s" % fixture_dir,
+              file=sys.stderr)
+        return 1
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    # Planted violations: one file per rule class under a fake src/ tree.
+    planted = {
+        "wall-clock": "src/sim/planted_wall_clock.cpp",
+        "raw-rng": "src/core/planted_raw_rng.cpp",
+        "unordered-iter": "src/exp/planted_unordered_iter.cpp",
+        "raw-print": "src/policies/planted_raw_print.cpp",
+        "raw-ofstream": "src/exp/planted_raw_ofstream.cpp",
+        "raw-ofstream-cache": "src/common/planted_ofstream_cache.cpp",
+    }
+    allowlist = load_allowlist(None)
+    for rule_name, relpath in planted.items():
+        violations, _ = lint_file(fixture_dir, relpath, allowlist)
+        names = {v.rule.name for v in violations}
+        expect(rule_name in names,
+               "rule %s did not fire on %s (got %s)"
+               % (rule_name, relpath, sorted(names) or "nothing"))
+
+    # Inline det-ok markers must suppress every class, with no stale-marker
+    # complaints (each marker matches a real violation).
+    marked = "src/exp/planted_all_marked.cpp"
+    violations, stale = lint_file(fixture_dir, marked, allowlist)
+    expect(not violations,
+           "det-ok markers failed to suppress: %s"
+           % [str(v) for v in violations])
+    expect(not stale, "markers flagged stale though each suppresses: %s"
+           % stale)
+
+    # A stale marker (suppressing nothing) must itself be reported.
+    violations, stale = lint_file(
+        fixture_dir, "src/sim/planted_stale_marker.cpp", allowlist)
+    expect(bool(stale), "stale det-ok marker was not reported")
+
+    # The allowlist fixture must silence the same planted files.
+    allow = load_allowlist(os.path.join(fixture_dir, "allowlist.txt"))
+    for rule_name, relpath in planted.items():
+        violations, _ = lint_file(fixture_dir, relpath, allow)
+        names = {v.rule.name for v in violations}
+        expect(rule_name not in names,
+               "allowlist failed to suppress %s in %s" % (rule_name, relpath))
+
+    if failures:
+        for f in failures:
+            print("self-test FAIL: %s" % f, file=sys.stderr)
+        return 1
+    print("self-test: all %d rule classes fire and both suppression "
+          "mechanisms work" % len(planted))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    parser.add_argument("--paths", nargs="*", default=["src"],
+                        help="subtrees to lint, relative to --root")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: "
+                             "tools/determinism_allowlist.txt under --root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on the planted "
+                             "fixtures, then exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args.root)
+    allowlist = args.allowlist
+    if allowlist is None:
+        allowlist = os.path.join(args.root, "tools",
+                                 "determinism_allowlist.txt")
+    return run_lint(args.root, args.paths, allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

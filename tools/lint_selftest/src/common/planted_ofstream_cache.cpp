@@ -1,0 +1,8 @@
+// Self-test fixture: planted non-atomic cache write.  Never compiled.
+#include <fstream>
+#include <string>
+
+void planted_ofstream_cache(const std::string& cache_dir) {
+  std::ofstream out(cache_dir + "/grid.csv");
+  out << "torn on crash\n";
+}

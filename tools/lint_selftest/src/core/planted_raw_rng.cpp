@@ -1,0 +1,7 @@
+// Self-test fixture: planted ambient-randomness violation.  Never compiled.
+#include <random>
+
+unsigned planted_raw_rng() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,26 @@
+// Self-test fixture: one violation of each class, each suppressed by an
+// inline det-ok marker.  The lint must report nothing here — and must not
+// call any of these markers stale.  Never compiled.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+void planted_all_marked(std::ostream& out, const std::string& path,
+                        const std::string& journal_dir) {
+  auto t = std::chrono::system_clock::now();  // det-ok: wall-clock (fixture)
+  (void)t;
+  std::random_device device;  // det-ok: raw-rng (fixture)
+  (void)device;
+  std::unordered_map<int, int> table;
+  for (const auto& [k, v] : table) {  // det-ok: unordered-iter (fixture)
+    out << k << v;
+  }
+  std::cout << "done\n";  // det-ok: raw-print (fixture)
+  std::ofstream f(path);  // det-ok: raw-ofstream (fixture)
+  std::FILE* j = std::fopen(journal_dir.c_str(), "ab");  // det-ok: raw-ofstream-cache (fixture)
+  if (j != nullptr) std::fclose(j);
+}

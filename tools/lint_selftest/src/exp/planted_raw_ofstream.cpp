@@ -1,0 +1,9 @@
+// Self-test fixture: planted direct-write violation in campaign-output
+// code.  Never compiled.
+#include <fstream>
+#include <string>
+
+void planted_raw_ofstream(const std::string& path) {
+  std::ofstream out(path);
+  out << "workload,method\n";
+}

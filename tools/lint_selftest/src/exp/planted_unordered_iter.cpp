@@ -1,0 +1,12 @@
+// Self-test fixture: planted unordered-iteration violation.  Never compiled.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void planted_unordered_iter(std::ostream& out) {
+  std::unordered_map<std::string, double> cells;
+  cells["a"] = 1.0;
+  for (const auto& [name, value] : cells) {
+    out << name << ',' << value << '\n';
+  }
+}

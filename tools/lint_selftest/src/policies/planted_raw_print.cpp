@@ -1,0 +1,6 @@
+// Self-test fixture: planted raw-stdout violation.  Never compiled.
+#include <iostream>
+
+void planted_raw_print(int cells) {
+  std::cout << "cells done: " << cells << '\n';
+}

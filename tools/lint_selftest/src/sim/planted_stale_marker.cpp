@@ -1,0 +1,6 @@
+// Self-test fixture: a det-ok marker with no violation on its line.  The
+// lint must report it as stale.  Never compiled.
+
+int planted_stale_marker() {
+  return 42;  // det-ok: wall-clock (nothing here needs suppressing)
+}

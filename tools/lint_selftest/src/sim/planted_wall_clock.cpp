@@ -1,0 +1,7 @@
+// Self-test fixture: planted wall-clock violation.  Never compiled.
+#include <chrono>
+
+double planted_wall_clock() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
