@@ -41,7 +41,7 @@ std::unique_ptr<DecisionRule> make_rule(const std::string& kind) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_ablation_decision");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_ablation_decision");
   if (!cli.ok()) return 0;
   ExperimentConfig config = ExperimentConfig::from_env();
   const auto workloads = build_main_workloads(config);
@@ -69,6 +69,12 @@ int main(int argc, char** argv) {
                      ConsoleTable::pct(m.bb_usage),
                      ConsoleTable::num(as_hours(m.avg_wait)),
                      ConsoleTable::num(m.avg_slowdown)});
+      const std::vector<std::pair<std::string, std::string>> params{
+          {"workload", entry.label}, {"rule", kind}};
+      cli.bench().add_value("node_usage", params, m.node_usage, "frac",
+                            "higher");
+      cli.bench().add_value("bb_usage", params, m.bb_usage, "frac", "higher");
+      cli.bench().add_value("avg_wait_s", params, m.avg_wait, "s", "lower");
     }
     table.print(std::cout);
   }

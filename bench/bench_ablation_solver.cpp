@@ -54,7 +54,7 @@ Front front_of(const std::vector<Chromosome>& chromosomes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_ablation_solver");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_ablation_solver");
   if (!cli.ok()) return 0;
   const auto samples =
       static_cast<std::size_t>(env_int("BBSCHED_ABLATION_SAMPLES", 4));
@@ -108,6 +108,12 @@ int main(int argc, char** argv) {
     table.add_row({variant.name, ConsoleTable::num(gd / n, 4),
                    ConsoleTable::num(hv / n, 4),
                    ConsoleTable::num(time / n, 4)});
+    const std::vector<std::pair<std::string, std::string>> series_params{
+        {"variant", variant.name}};
+    cli.bench().add_value("gd", series_params, gd / n, "distance", "lower");
+    cli.bench().add_value("hypervolume", series_params, hv / n, "area",
+                          "higher");
+    cli.bench().add_value("solve_s", series_params, time / n, "s", "info");
   }
   {
     GaParams params;
@@ -125,6 +131,12 @@ int main(int argc, char** argv) {
     table.add_row({"NSGA-II (crowding selection)",
                    ConsoleTable::num(gd / n, 4), ConsoleTable::num(hv / n, 4),
                    ConsoleTable::num(time / n, 4)});
+    const std::vector<std::pair<std::string, std::string>> series_params{
+        {"variant", "nsga2"}};
+    cli.bench().add_value("gd", series_params, gd / n, "distance", "lower");
+    cli.bench().add_value("hypervolume", series_params, hv / n, "area",
+                          "higher");
+    cli.bench().add_value("solve_s", series_params, time / n, "s", "info");
   }
   table.print(std::cout);
   return cli.exit_code();

@@ -11,11 +11,12 @@
 #include "policies/factory.hpp"
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig12_slowdown");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig12_slowdown");
   if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto results = ensure_main_grid(config);
+  benchutil::record_grid_cells(cli.bench(), "main_grid", results.cells);
   const auto slowdown = [](const GridCell& c) {
     return c.metrics.avg_slowdown;
   };

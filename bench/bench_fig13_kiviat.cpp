@@ -16,11 +16,12 @@
 #include "policies/factory.hpp"
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig13_kiviat");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig13_kiviat");
   if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto results = ensure_main_grid(config);
+  benchutil::record_grid_cells(cli.bench(), "main_grid", results.cells);
   const auto methods = standard_method_names();
 
   std::cout << "Figure 13: Kiviat normalization (axes: node usage, BB usage,"

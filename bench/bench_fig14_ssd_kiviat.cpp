@@ -15,11 +15,12 @@
 #include "policies/factory.hpp"
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig14_ssd_kiviat");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig14_ssd_kiviat");
   if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto cells = ensure_ssd_grid(config);
+  benchutil::record_grid_cells(cli.bench(), "ssd_grid", cells);
   const auto methods = ssd_method_names();
 
   std::cout << "Figure 14: SSD case-study Kiviat normalization (axes: node,"

@@ -25,7 +25,7 @@
 using namespace bbsched;
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig2_window_time");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig2_window_time");
   if (!cli.ok()) return 0;
   const double exhaustive_budget =
       env_double("BBSCHED_FIG2_EXHAUSTIVE_BUDGET", 20.0);
@@ -73,6 +73,13 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(w), exhaustive_repr,
                    ConsoleTable::num(ga_avg, 4),
                    ratio > 0 ? ConsoleTable::num(ratio, 1) : "-"});
+    cli.bench().add_value("ga_solve_s", {{"window", std::to_string(w)}},
+                          ga_avg, "s", "info");
+    if (exhaustive_repr != "-") {
+      cli.bench().add_value("exhaustive_solve_s",
+                            {{"window", std::to_string(w)}}, last_exhaustive,
+                            "s", "info");
+    }
   }
   table.print(std::cout);
   std::cout << "\n(exhaustive column '-' = projected beyond the "

@@ -11,11 +11,12 @@
 #include "policies/factory.hpp"
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig7_bb_usage");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig7_bb_usage");
   if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto results = ensure_main_grid(config);
+  benchutil::record_grid_cells(cli.bench(), "main_grid", results.cells);
   std::cout << "Figure 7: burst-buffer usage by workload and method\n\n";
   benchutil::print_matrix(results.cells, benchutil::main_workload_labels(),
                           standard_method_names(),

@@ -13,11 +13,12 @@
 #include "policies/factory.hpp"
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig8_wait_time");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig8_wait_time");
   if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto results = ensure_main_grid(config);
+  benchutil::record_grid_cells(cli.bench(), "main_grid", results.cells);
   const auto wait_hours = [](const GridCell& c) {
     return as_hours(c.metrics.avg_wait);
   };

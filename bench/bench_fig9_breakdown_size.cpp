@@ -9,11 +9,12 @@
 #include "policies/factory.hpp"
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig9_breakdown_size");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_fig9_breakdown_size");
   if (!cli.ok()) return 0;
   using namespace bbsched;
   const auto config = ExperimentConfig::from_env();
   const auto results = ensure_main_grid(config);
+  benchutil::record_grid_cells(cli.bench(), "main_grid", results.cells);
   benchutil::print_breakdown(
       results, standard_method_names(), "job_size",
       "Figure 9: Theta-S4 average wait time (hours) by job size (nodes)");

@@ -56,7 +56,7 @@ std::string job_set_label(const std::vector<std::size_t>& positions) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_table1_example");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_table1_example");
   if (!cli.ok()) return 0;
   const auto jobs = table1_jobs();
   std::vector<const JobRecord*> window;
@@ -89,6 +89,12 @@ int main(int argc, char** argv) {
     table.add_row({name, job_set_label(decision.selected),
                    ConsoleTable::pct(nodes / 100.0, 0),
                    ConsoleTable::pct(bb / tb(100), 0)});
+    // Deterministic per-method utilizations: bit-stable for the fixed
+    // Table 1 instance, so bench_compare can gate on them.
+    cli.bench().add_value("node_util", {{"method", name}}, nodes / 100.0,
+                          "frac", "higher");
+    cli.bench().add_value("bb_util", {{"method", name}}, bb / tb(100), "frac",
+                          "higher");
   }
   table.print(std::cout);
 
@@ -111,5 +117,8 @@ int main(int argc, char** argv) {
                     ConsoleTable::pct(c.objectives[1], 0)});
   }
   pareto.print(std::cout);
+  cli.bench().add_value("pareto_size", {},
+                        static_cast<double>(truth.pareto_set.size()), "count",
+                        "info");
   return cli.exit_code();
 }

@@ -14,7 +14,7 @@
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
-  const bbsched::benchutil::CampaignCli cli(argc, argv, "bench_table3_window_size");
+  bbsched::benchutil::CampaignCli cli(argc, argv, "bench_table3_window_size");
   if (!cli.ok()) return 0;
   using namespace bbsched;
   ExperimentConfig config = ExperimentConfig::from_env();
@@ -37,6 +37,13 @@ int main(int argc, char** argv) {
                    window_sizes[w]);
       const SimResult result = run_single(run, entry.workload, "BBSched");
       metrics[row][w] = compute_metrics(result);
+      const std::vector<std::pair<std::string, std::string>> params{
+          {"workload", entry.label},
+          {"window", std::to_string(window_sizes[w])}};
+      cli.bench().add_value("node_usage", params, metrics[row][w].node_usage,
+                            "frac", "higher");
+      cli.bench().add_value("avg_wait_s", params, metrics[row][w].avg_wait,
+                            "s", "lower");
     }
     ++wl_index;
   }

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "common/argparse.hpp"
+#include "common/bench_report.hpp"
+#include "common/clock.hpp"
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
@@ -26,10 +29,19 @@ namespace bbsched::benchutil {
 /// metrics outputs.  When --help was requested, ok() is false and the bench
 /// should exit without running.  Return exit_code() from main so a degraded
 /// campaign fails the process under --strict.
+///
+/// Structured results: every bench owns a BenchReport named after itself;
+/// record series through bench() and pass --bench-out <dir-or-file> (env
+/// fallback BBSCHED_BENCH_DIR) to write BENCH_<name>.json on exit.  The
+/// report always carries a whole-process "bench_wall_s" series, and the
+/// profiler's top phases when --profile is on.
 class CampaignCli {
  public:
   CampaignCli(int argc, const char* const* argv,
-              const std::string& description) {
+              const std::string& description)
+      : bench_(description.rfind("bench_", 0) == 0 ? description.substr(6)
+                                                   : description) {
+    start_s_ = mono_seconds();
     CampaignControl& control = campaign_control();
     resume_ = control.resume;
     max_retries_ = control.max_retries;
@@ -50,8 +62,12 @@ class CampaignCli {
                       "off)");
     parser.add_bool("strict", &strict_,
                     "exit nonzero when the campaign is degraded");
+    parser.add_string("bench-out", &bench_out_,
+                      "write structured BENCH_<name>.json results to this "
+                      "directory (or .json file)");
     run_ = parser.parse(argc, argv);
     if (!run_) return;
+    if (bench_out_.empty()) bench_out_ = env_string("BBSCHED_BENCH_DIR", "");
     telemetry_.apply();
     if (threads_ > 0) set_global_threads(static_cast<std::size_t>(threads_));
     control.resume = resume_ && !no_resume_;
@@ -60,13 +76,25 @@ class CampaignCli {
     control.strict = strict_;
   }
   ~CampaignCli() {
-    if (run_) telemetry_.finish();
+    if (!run_) return;
+    if (!bench_out_.empty()) {
+      // Written before telemetry_.finish() so write_file can still capture
+      // the live profiler tree as top_phases.
+      bench_.add_value("bench_wall_s", {}, mono_seconds() - start_s_, "s",
+                       "info");
+      bench_.write_file(bench_out_path(bench_out_, bench_.name()));
+    }
+    telemetry_.finish();
   }
   CampaignCli(const CampaignCli&) = delete;
   CampaignCli& operator=(const CampaignCli&) = delete;
 
   /// False when --help was requested: print-and-exit, nothing armed.
   bool ok() const { return run_; }
+
+  /// The bench's structured-results report; add series freely, the
+  /// destructor writes the JSON when --bench-out / BBSCHED_BENCH_DIR is set.
+  BenchReport& bench() { return bench_; }
 
   /// Process exit code honoring --strict: 1 when the last campaign was
   /// degraded (quarantined cells -> partial results) and strict is on.
@@ -77,6 +105,9 @@ class CampaignCli {
 
  private:
   TelemetryOptions telemetry_;
+  BenchReport bench_;
+  std::string bench_out_;
+  double start_s_ = 0;
   std::int64_t threads_ = 0;
   bool resume_ = true;
   bool no_resume_ = false;
@@ -85,6 +116,35 @@ class CampaignCli {
   bool strict_ = false;
   bool run_ = true;
 };
+
+/// Fold a computed grid into the bench report: per-cell timing
+/// distributions (machine-local, never gated) plus the deterministic
+/// average-wait distribution, which is bit-stable for a fixed config/seed
+/// and therefore safe to gate against a committed baseline.
+inline void record_grid_cells(BenchReport& report, const std::string& prefix,
+                              const std::vector<GridCell>& cells) {
+  if (cells.empty()) return;
+  // One add_series at a time: the returned reference is invalidated by the
+  // next add_series call.
+  {
+    auto& s = report.add_series(prefix + ".cell_wall_s", {}, "s", "info");
+    for (const auto& cell : cells) s.add_sample(cell.cell_wall_seconds);
+  }
+  {
+    auto& s = report.add_series(prefix + ".mean_solve_s", {}, "s", "info");
+    for (const auto& cell : cells) s.add_sample(cell.mean_solve_seconds);
+  }
+  {
+    auto& s =
+        report.add_series(prefix + ".avg_wait_s", {}, "s", "lower");
+    for (const auto& cell : cells) s.add_sample(cell.metrics.avg_wait);
+  }
+  {
+    auto& s = report.add_series(prefix + ".mean_pareto_size", {}, "count",
+                                "info");
+    for (const auto& cell : cells) s.add_sample(cell.mean_pareto_size);
+  }
+}
 
 /// Extracts the plotted value from one grid cell.
 using CellValue = std::function<double(const GridCell&)>;

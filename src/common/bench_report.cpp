@@ -1,0 +1,211 @@
+#include "common/bench_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/build_info.hpp"
+#include "common/fault.hpp"
+
+namespace bbsched {
+
+namespace {
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void append_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  json_escape(out, s);
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; demote to a string
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\"%g\"", v);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_params_object(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& params) {
+  out.push_back('{');
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i) out.push_back(',');
+    append_string(out, params[i].first);
+    out.push_back(':');
+    append_string(out, params[i].second);
+  }
+  out.push_back('}');
+}
+
+}  // namespace
+
+double bench_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+void BenchReport::set_param(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : params_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  params_.emplace_back(key, value);
+}
+
+BenchSeries& BenchReport::add_series(
+    std::string series_name,
+    std::vector<std::pair<std::string, std::string>> params, std::string unit,
+    std::string direction) {
+  BenchSeries series;
+  series.name = std::move(series_name);
+  series.params = std::move(params);
+  series.unit = std::move(unit);
+  series.direction = std::move(direction);
+  series_.push_back(std::move(series));
+  return series_.back();
+}
+
+void BenchReport::add_value(
+    const std::string& series_name,
+    std::vector<std::pair<std::string, std::string>> params, double value,
+    const std::string& unit, const std::string& direction) {
+  add_series(series_name, std::move(params), unit, direction)
+      .add_sample(value);
+}
+
+void BenchReport::set_top_phases(std::vector<PhaseRow> phases) {
+  top_phases_ = std::move(phases);
+  have_top_phases_ = true;
+}
+
+std::string BenchReport::to_json() const {
+  std::string out;
+  out += "{\n  \"schema\": ";
+  append_string(out, kBenchSchema);
+  out += ",\n  \"name\": ";
+  append_string(out, name_);
+  out += ",\n  \"provenance\": {";
+  const auto provenance = provenance_pairs();
+  for (std::size_t i = 0; i < provenance.size(); ++i) {
+    if (i) out.push_back(',');
+    append_string(out, provenance[i].first);
+    out.push_back(':');
+    append_string(out, provenance[i].second);
+  }
+  out += "},\n  \"params\": ";
+  append_params_object(out, params_);
+  out += ",\n  \"series\": [";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const BenchSeries& s = series_[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"name\": ";
+    append_string(out, s.name);
+    out += ", \"params\": ";
+    append_params_object(out, s.params);
+    out += ", \"unit\": ";
+    append_string(out, s.unit);
+    out += ", \"direction\": ";
+    append_string(out, s.direction);
+    out += ", \"repeats\": ";
+    out += std::to_string(s.repeats.size());
+    const double mn =
+        s.repeats.empty()
+            ? 0.0
+            : *std::min_element(s.repeats.begin(), s.repeats.end());
+    const double mx =
+        s.repeats.empty()
+            ? 0.0
+            : *std::max_element(s.repeats.begin(), s.repeats.end());
+    double sum = 0;
+    for (double v : s.repeats) sum += v;
+    out += ", \"median\": ";
+    append_number(out, bench_quantile(s.repeats, 0.5));
+    out += ", \"p10\": ";
+    append_number(out, bench_quantile(s.repeats, 0.1));
+    out += ", \"p90\": ";
+    append_number(out, bench_quantile(s.repeats, 0.9));
+    out += ", \"mean\": ";
+    append_number(out, s.repeats.empty()
+                           ? 0.0
+                           : sum / static_cast<double>(s.repeats.size()));
+    out += ", \"min\": ";
+    append_number(out, mn);
+    out += ", \"max\": ";
+    append_number(out, mx);
+    out += "}";
+  }
+  out += "\n  ],\n  \"profile_top_phases\": [";
+  for (std::size_t i = 0; i < top_phases_.size(); ++i) {
+    const PhaseRow& row = top_phases_[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"phase\": ";
+    append_string(out, row.path);
+    out += ", \"count\": ";
+    out += std::to_string(row.count);
+    out += ", \"total_s\": ";
+    append_number(out, row.total_s);
+    out += ", \"self_s\": ";
+    append_number(out, row.self_s);
+    out += "}";
+  }
+  out += top_phases_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void BenchReport::write_file(const std::string& path) {
+  if (!have_top_phases_ && profiler_enabled()) {
+    set_top_phases(profile_top_phases(profiler_report(), 10));
+  }
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;  // best effort; atomic_write_file reports failures
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  atomic_write_file(path, to_json(), "bench.write", path);
+}
+
+std::string bench_out_path(const std::string& out, const std::string& name) {
+  const bool is_file =
+      out.size() >= 5 && out.compare(out.size() - 5, 5, ".json") == 0;
+  if (is_file) return out;
+  std::string path = out;
+  if (!path.empty() && path.back() != '/') path.push_back('/');
+  return path + "BENCH_" + name + ".json";
+}
+
+}  // namespace bbsched

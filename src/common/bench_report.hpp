@@ -1,0 +1,97 @@
+// bench_report.hpp — structured benchmark results (DESIGN.md §14).
+//
+// Every bench binary can emit a machine-readable BENCH_<name>.json next to
+// its console tables: a set of named series (each with ordered string
+// params, a unit, and one or more repeat samples summarized as
+// median/p10/p90), stamped with build/run provenance (git SHA, compiler,
+// flags, CPU count, worker threads) and the profiler's top phases when
+// profiling is on.  tools/bench_compare.py diffs two trees of these files
+// and the CI perf-smoke job gates on the result.
+//
+// Series carry a gating direction so machine-portable quantities (event
+// counts, solver evaluations, on/off overhead ratios) can fail CI while
+// raw wall-times — which do not transfer across machines — stay
+// informational:
+//   "lower"  — smaller is better; bench_compare fails on a >threshold rise
+//   "higher" — larger is better; fails on a >threshold drop
+//   "info"   — recorded and reported, never gated
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/profiler.hpp"
+
+namespace bbsched {
+
+/// Schema tag written into every bench JSON (bump on breaking change).
+inline constexpr const char* kBenchSchema = "bbsched-bench-v1";
+
+/// One measured series: `repeats` holds every sample; the writer derives
+/// median/p10/p90/mean/min/max.  A single-shot measurement is a one-sample
+/// series (median == the value).
+struct BenchSeries {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::string unit = "s";
+  std::string direction = "info";
+  std::vector<double> repeats;
+
+  void add_sample(double v) { repeats.push_back(v); }
+};
+
+/// Linear-interpolation quantile of `values` (q in [0,1]); 0 when empty.
+/// Exposed for tests and to keep bench_compare.py's math identical.
+double bench_quantile(std::vector<double> values, double q);
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Set a top-level param (bench-wide configuration: jobs, window, ...).
+  /// Re-setting a key overwrites its value in place.
+  void set_param(const std::string& key, const std::string& value);
+
+  /// Append a series and return it for sample recording.  The reference is
+  /// invalidated by the next add_series call.
+  BenchSeries& add_series(std::string series_name,
+                          std::vector<std::pair<std::string, std::string>>
+                              params = {},
+                          std::string unit = "s",
+                          std::string direction = "info");
+
+  /// Convenience: a one-sample series.
+  void add_value(const std::string& series_name,
+                 std::vector<std::pair<std::string, std::string>> params,
+                 double value, const std::string& unit = "s",
+                 const std::string& direction = "info");
+
+  /// Attach the profiler's top phases (taken automatically by write_file
+  /// when the profiler is enabled and none were set explicitly).
+  void set_top_phases(std::vector<PhaseRow> phases);
+
+  const std::vector<BenchSeries>& series() const { return series_; }
+
+  /// Render the full bbsched-bench-v1 JSON document.
+  std::string to_json() const;
+
+  /// Atomically write to `path` (write-temp → fsync → rename).
+  void write_file(const std::string& path);
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<BenchSeries> series_;
+  std::vector<PhaseRow> top_phases_;
+  bool have_top_phases_ = false;
+};
+
+/// Resolve where a bench's JSON goes: `out` may be a directory (gets
+/// "/BENCH_<name>.json" appended) or a full file path (used verbatim when
+/// it ends in ".json").
+std::string bench_out_path(const std::string& out, const std::string& name);
+
+}  // namespace bbsched

@@ -1,0 +1,37 @@
+// build_info.hpp — build and run provenance for exported artifacts.
+//
+// The build half (git SHA, compiler, flags, build type) is captured at CMake
+// configure time into a generated build_info.cpp; the run half (CPU count,
+// configured worker threads) is read at call time.  Exporters stamp both
+// onto their artifacts so a metrics CSV, trace JSON or bench result can be
+// attributed long after the run: CSV-like files get "# key=value" comment
+// lines (provenance_comment_lines), JSON files embed a provenance object.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bbsched {
+
+/// Configure-time build facts; empty fields mean "unknown" (e.g. a source
+/// tree exported without .git).
+struct BuildInfo {
+  std::string git_sha;     ///< full HEAD SHA, "+dirty" suffix when modified
+  std::string compiler;    ///< "GNU 13.2.0"-style id + version
+  std::string flags;       ///< CXX flags incl. the build-type set
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+};
+
+/// The build this binary came from.
+const BuildInfo& build_info();
+
+/// Ordered key=value provenance pairs: build facts plus the runtime CPU
+/// count and the configured global worker-thread count.
+std::vector<std::pair<std::string, std::string>> provenance_pairs();
+
+/// The same pairs rendered as "# key=value" comment lines (newline
+/// terminated), for CSV-style artifacts.
+std::string provenance_comment_lines();
+
+}  // namespace bbsched

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/build_info.hpp"
 #include "common/fault.hpp"
 
 namespace bbsched {
@@ -153,8 +154,12 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
 void MetricsRegistry::write_csv_file(const std::string& path) const {
   // Render in memory, then write-temp -> fsync -> rename: the crash-flush
   // hook calls this from signal cleanup, and an in-place write there could
-  // tear the previous (complete) snapshot.
+  // tear the previous (complete) snapshot.  Exported snapshots lead with
+  // "# key=value" provenance comments (git SHA, compiler, CPUs, threads)
+  // so an artifact is attributable after the fact; CsvTable::read and the
+  // CI smoke greps skip '#' lines.
   std::ostringstream out;
+  out << provenance_comment_lines();
   write_csv(out);
   atomic_write_file(path, out.str(), "metrics.write", path);
 }

@@ -1,0 +1,330 @@
+#include "common/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/trace.hpp"
+
+namespace bbsched {
+
+namespace telemetry_detail {
+std::atomic<bool> g_profiler_enabled{false};
+}  // namespace telemetry_detail
+
+namespace {
+
+/// Live recording node.  Owned by one thread; the reporter copies it under
+/// the owning buffer's mutex.
+struct ProfNode {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0;
+  double min_s = std::numeric_limits<double>::infinity();
+  double max_s = 0;
+  ProfNode* parent = nullptr;
+  std::vector<std::unique_ptr<ProfNode>> children;
+};
+
+/// Owned by one thread for enter/exit; the reporter (and clear) lock
+/// `mutex` to read or reset.  Same discipline as trace.hpp's ThreadBuffer.
+struct ThreadTree {
+  std::mutex mutex;
+  ProfNode root;
+  ProfNode* current = &root;
+
+  ThreadTree();
+  ~ThreadTree();
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadTree*> trees;  ///< live threads
+  PhaseStats orphans;              ///< merged trees of exited threads
+  std::size_t orphan_threads = 0;  ///< exited threads that had recorded phases
+  double window_start_s = 0;       ///< observation-window origin (mono secs)
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives thread_locals
+  return *r;
+}
+
+PhaseStats snapshot_node(const ProfNode& node) {
+  PhaseStats stats;
+  stats.name = node.name;
+  stats.count = node.count;
+  stats.total_s = node.total_s;
+  stats.min_s = node.min_s;
+  stats.max_s = node.max_s;
+  stats.children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    stats.children.push_back(snapshot_node(*child));
+  }
+  return stats;
+}
+
+bool tree_nonempty(const ProfNode& root) { return !root.children.empty(); }
+
+ThreadTree::ThreadTree() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.trees.push_back(this);
+}
+
+ThreadTree::~ThreadTree() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (tree_nonempty(root)) {
+    const PhaseStats mine = snapshot_node(root);
+    for (const PhaseStats& child : mine.children) {
+      bool merged = false;
+      for (PhaseStats& existing : r.orphans.children) {
+        if (existing.name == child.name) {
+          merge_phase(existing, child);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) r.orphans.children.push_back(child);
+    }
+    ++r.orphan_threads;
+  }
+  for (auto it = r.trees.begin(); it != r.trees.end(); ++it) {
+    if (*it == this) {
+      r.trees.erase(it);
+      break;
+    }
+  }
+}
+
+ThreadTree& thread_tree() {
+  thread_local ThreadTree tree;
+  return tree;
+}
+
+void sort_children(PhaseStats& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const PhaseStats& a, const PhaseStats& b) {
+              if (a.total_s != b.total_s) return a.total_s > b.total_s;
+              return a.name < b.name;
+            });
+  for (PhaseStats& child : node.children) sort_children(child);
+}
+
+void flatten(const PhaseStats& node, const std::string& prefix, int depth,
+             std::vector<PhaseRow>& rows) {
+  PhaseRow row;
+  row.path = prefix.empty() ? node.name : prefix + "/" + node.name;
+  row.depth = depth;
+  row.count = node.count;
+  row.total_s = node.total_s;
+  row.self_s = node.self_s();
+  row.min_s = node.count ? node.min_s : 0.0;
+  row.max_s = node.max_s;
+  rows.push_back(row);
+  for (const PhaseStats& child : node.children) {
+    flatten(child, rows.back().path, depth + 1, rows);
+  }
+}
+
+std::string prof_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+double PhaseStats::self_s() const {
+  double child_total = 0;
+  for (const PhaseStats& child : children) child_total += child.total_s;
+  return std::max(0.0, total_s - child_total);
+}
+
+void merge_phase(PhaseStats& into, const PhaseStats& from) {
+  into.count += from.count;
+  into.total_s += from.total_s;
+  into.min_s = std::min(into.min_s, from.min_s);
+  into.max_s = std::max(into.max_s, from.max_s);
+  for (const PhaseStats& child : from.children) {
+    bool merged = false;
+    for (PhaseStats& existing : into.children) {
+      if (existing.name == child.name) {
+        merge_phase(existing, child);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) into.children.push_back(child);
+  }
+}
+
+void set_profiler_enabled(bool enabled) {
+  const bool was =
+      telemetry_detail::g_profiler_enabled.exchange(enabled,
+                                                    std::memory_order_relaxed);
+  if (enabled && !was) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.window_start_s = mono_seconds();
+  }
+}
+
+void profiler_clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (ThreadTree* tree : r.trees) {
+    std::lock_guard<std::mutex> tree_lock(tree->mutex);
+    tree->root.children.clear();
+    tree->root.count = 0;
+    tree->root.total_s = 0;
+    // Open ProfPhase scopes on that thread unwind against the fresh root;
+    // exit() discards their samples (current == root below).
+    tree->current = &tree->root;
+  }
+  r.orphans = PhaseStats{};
+  r.orphan_threads = 0;
+  r.window_start_s = mono_seconds();
+}
+
+void ProfPhase::enter(const char* name) {
+  ThreadTree& tree = thread_tree();
+  std::lock_guard<std::mutex> lock(tree.mutex);
+  ProfNode* parent = tree.current;
+  for (const auto& child : parent->children) {
+    if (child->name == name) {
+      tree.current = child.get();
+      return;
+    }
+  }
+  auto node = std::make_unique<ProfNode>();
+  node->name = name;
+  node->parent = parent;
+  tree.current = node.get();
+  parent->children.push_back(std::move(node));
+}
+
+void ProfPhase::exit(double elapsed_s) {
+  ThreadTree& tree = thread_tree();
+  std::lock_guard<std::mutex> lock(tree.mutex);
+  ProfNode* node = tree.current;
+  // A clear() between enter and exit reset the stack; drop the sample.
+  if (node == &tree.root) return;
+  node->count += 1;
+  node->total_s += elapsed_s;
+  node->min_s = std::min(node->min_s, elapsed_s);
+  node->max_s = std::max(node->max_s, elapsed_s);
+  tree.current = node->parent;
+}
+
+ProfileReport profiler_report() {
+  Registry& r = registry();
+  ProfileReport report;
+  report.root.name = "total";
+  report.root.count = 1;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    report.root.total_s = std::max(0.0, mono_seconds() - r.window_start_s);
+    for (const PhaseStats& child : r.orphans.children) {
+      report.root.children.push_back(child);
+    }
+    report.threads = r.orphan_threads;
+    for (ThreadTree* tree : r.trees) {
+      std::lock_guard<std::mutex> tree_lock(tree->mutex);
+      if (!tree_nonempty(tree->root)) continue;
+      ++report.threads;
+      for (const auto& child : tree->root.children) {
+        const PhaseStats stats = snapshot_node(*child);
+        bool merged = false;
+        for (PhaseStats& existing : report.root.children) {
+          if (existing.name == stats.name) {
+            merge_phase(existing, stats);
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) report.root.children.push_back(stats);
+      }
+    }
+  }
+  report.root.min_s = report.root.total_s;
+  report.root.max_s = report.root.total_s;
+  sort_children(report.root);
+  return report;
+}
+
+std::vector<PhaseRow> profile_rows(const ProfileReport& report) {
+  std::vector<PhaseRow> rows;
+  flatten(report.root, "", 0, rows);
+  return rows;
+}
+
+std::vector<PhaseRow> profile_top_phases(const ProfileReport& report,
+                                         std::size_t n) {
+  std::vector<PhaseRow> rows = profile_rows(report);
+  if (!rows.empty()) rows.erase(rows.begin());  // drop the synthetic root
+  std::sort(rows.begin(), rows.end(), [](const PhaseRow& a, const PhaseRow& b) {
+    if (a.self_s != b.self_s) return a.self_s > b.self_s;
+    return a.path < b.path;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+void write_profile_text(std::ostream& out, const ProfileReport& report) {
+  const double window = report.root.total_s;
+  out << "profile: phase tree (" << report.threads << " thread"
+      << (report.threads == 1 ? "" : "s") << ", window " << prof_num(window)
+      << "s; totals are thread-seconds, children may exceed the root under "
+         "parallelism)\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-44s %10s %12s %12s %7s %12s %12s\n",
+                "phase", "count", "total_s", "self_s", "self%", "min_s",
+                "max_s");
+  out << line;
+  for (const PhaseRow& row : profile_rows(report)) {
+    std::string name(static_cast<std::size_t>(row.depth) * 2, ' ');
+    const auto slash = row.path.rfind('/');
+    name += slash == std::string::npos ? row.path : row.path.substr(slash + 1);
+    const double self_pct = window > 0 ? 100.0 * row.self_s / window : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-44s %10llu %12.6f %12.6f %6.1f%% %12.6f %12.6f\n",
+                  name.c_str(), static_cast<unsigned long long>(row.count),
+                  row.total_s, row.self_s, self_pct, row.min_s, row.max_s);
+    out << line;
+  }
+}
+
+void write_profile_csv(std::ostream& out, const ProfileReport& report) {
+  out << "phase,depth,count,total_s,self_s,min_s,max_s\n";
+  for (const PhaseRow& row : profile_rows(report)) {
+    out << row.path << ',' << row.depth << ',' << row.count << ','
+        << prof_num(row.total_s) << ',' << prof_num(row.self_s) << ','
+        << prof_num(row.min_s) << ',' << prof_num(row.max_s) << '\n';
+  }
+}
+
+void write_profile_csv_file(const std::string& path,
+                            const ProfileReport& report) {
+  std::ostringstream out;
+  write_profile_csv(out, report);
+  atomic_write_file(path, out.str(), "profile.write", path);
+}
+
+void profile_trace_counters(double ts_s, std::size_t top_n) {
+  if (!profiler_enabled() || !trace_enabled()) return;
+  const ProfileReport report = profiler_report();
+  for (const PhaseRow& row : profile_top_phases(report, top_n)) {
+    trace_counter("prof." + row.path, ts_s, kTraceWallPid,
+                  {{"self_s", row.self_s}});
+  }
+}
+
+}  // namespace bbsched

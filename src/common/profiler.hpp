@@ -1,0 +1,171 @@
+// profiler.hpp — low-overhead hierarchical phase profiler (DESIGN.md §14).
+//
+// Scoped RAII timers attribute wall-clock to a call-tree of named phases:
+//
+//   void Nsga2Solver::solve(...) {
+//     PROF_PHASE("nsga2.solve");
+//     for (...) {
+//       { PROF_PHASE("nsga2.eval"); evaluate_population(...); }
+//       { PROF_PHASE("nsga2.sort"); non_dominated_sort(...); }
+//     }
+//   }
+//
+// Each thread owns its own tree (an uncontended mutex per thread, same
+// buffering discipline as trace.hpp), so recording a phase costs two
+// MonoClock reads plus one uncontended lock per enter/exit.  At report time
+// the per-thread trees are merged by phase path — counts and totals sum,
+// min/max combine — under a synthetic root whose total is the observation
+// window (profiler_clear()/enable → report), so on a single-threaded run
+// the root total matches campaign wall time and under parallelism the
+// children may sum beyond it (they are thread-seconds).
+//
+// Off by default: PROF_PHASE costs one relaxed atomic load when disabled
+// (bench_overhead's profiler series pins this), and compiling with
+// -DBBSCHED_PROFILER_DISABLED turns the macro into `((void)0)` for a
+// provably zero-cost build.  Determinism: the profiler consumes no RNG and
+// never feeds back into scheduling decisions; SimResult is byte-identical
+// with profiling on vs off (test_telemetry_regression).
+//
+// Enabled via --profile / BBSCHED_PROFILE (see TelemetryOptions); the phase
+// tree prints to stderr at exit and can be exported as CSV (--profile-out)
+// and as per-phase Perfetto counter lanes (sampled by CampaignMonitor).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace bbsched {
+
+namespace telemetry_detail {
+extern std::atomic<bool> g_profiler_enabled;
+}  // namespace telemetry_detail
+
+/// Whether phase recording is on; one relaxed atomic load.
+inline bool profiler_enabled() {
+  return telemetry_detail::g_profiler_enabled.load(std::memory_order_relaxed);
+}
+
+/// Toggle recording.  Enabling (re)starts the observation window that the
+/// report's root total measures.
+void set_profiler_enabled(bool enabled);
+
+/// Drop every recorded phase on every thread and restart the observation
+/// window (tests, or between campaigns when reusing one process).
+void profiler_clear();
+
+/// One node of a phase tree: aggregate statistics for every execution of
+/// this phase at this position in the call tree.
+struct PhaseStats {
+  std::string name;         ///< phase label, e.g. "nsga2.crowding"
+  std::uint64_t count = 0;  ///< completed executions
+  double total_s = 0;       ///< inclusive wall seconds
+  double min_s = std::numeric_limits<double>::infinity();  ///< fastest call
+  double max_s = 0;                                        ///< slowest call
+  std::vector<PhaseStats> children;  ///< nested phases, merged by name
+
+  /// Exclusive time: total minus instrumented children, clamped at 0
+  /// (children of a still-open phase can momentarily exceed it).
+  double self_s() const;
+};
+
+/// Merge `from` into `into` recursively: counts/totals sum, min/max
+/// combine, same-name children merge.  Exposed for the associativity test —
+/// merge order across threads must not change the result.
+void merge_phase(PhaseStats& into, const PhaseStats& from);
+
+/// The merged cross-thread phase tree.  `root` is a synthetic node named
+/// "total" whose total_s is the observation window and whose children are
+/// every thread's top-level phases; `threads` is how many thread trees
+/// (live + exited) were merged.
+struct ProfileReport {
+  PhaseStats root;
+  std::size_t threads = 0;
+
+  bool empty() const { return root.children.empty(); }
+};
+
+/// Snapshot and merge all per-thread trees.  Safe to call while phases are
+/// being recorded (open phases simply have not contributed yet).
+ProfileReport profiler_report();
+
+/// One row of the flattened tree, depth-first with dot-joined paths
+/// ("grid.cell/nsga2.solve/nsga2.eval").
+struct PhaseRow {
+  std::string path;
+  int depth = 0;
+  std::uint64_t count = 0;
+  double total_s = 0;
+  double self_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+};
+
+/// Flatten a report depth-first; children sorted by total time descending.
+std::vector<PhaseRow> profile_rows(const ProfileReport& report);
+
+/// The `n` phases with the largest self time across the whole tree,
+/// descending (for bench JSON top-phase summaries).
+std::vector<PhaseRow> profile_top_phases(const ProfileReport& report,
+                                         std::size_t n);
+
+/// Render the sorted text tree (what --profile prints at exit).
+void write_profile_text(std::ostream& out, const ProfileReport& report);
+
+/// phase,depth,count,total_s,self_s,min_s,max_s CSV of the flattened tree.
+void write_profile_csv(std::ostream& out, const ProfileReport& report);
+void write_profile_csv_file(const std::string& path,
+                            const ProfileReport& report);
+
+/// Emit one Perfetto counter sample per top phase (cumulative self
+/// seconds, lane "prof.<path>") at `ts_s`; no-op unless both the profiler
+/// and tracing are enabled.  CampaignMonitor calls this every sample tick,
+/// turning the counters into a time series.
+void profile_trace_counters(double ts_s, std::size_t top_n = 12);
+
+/// Scoped phase timer.  Arms itself only if the profiler was enabled at
+/// construction; a disabled construction costs one relaxed atomic load.
+/// `name` must outlive the profiler (string literals only — PROF_PHASE
+/// enforces this by construction).
+class ProfPhase {
+ public:
+  explicit ProfPhase(const char* name) {
+    if (!profiler_enabled()) return;
+    armed_ = true;
+    start_ = mono_now();
+    enter(name);
+  }
+  ~ProfPhase() {
+    if (armed_) exit(seconds_between(start_, mono_now()));
+  }
+
+  ProfPhase(const ProfPhase&) = delete;
+  ProfPhase& operator=(const ProfPhase&) = delete;
+
+ private:
+  static void enter(const char* name);
+  static void exit(double elapsed_s);
+
+  bool armed_ = false;
+  MonoClock::time_point start_;
+};
+
+}  // namespace bbsched
+
+// PROF_PHASE("name") — time the rest of the enclosing scope as phase
+// "name".  Expands to nothing under -DBBSCHED_PROFILER_DISABLED so a
+// production build can prove the instrumentation costs zero.
+#define BBSCHED_PROF_CAT2(a, b) a##b
+#define BBSCHED_PROF_CAT(a, b) BBSCHED_PROF_CAT2(a, b)
+#ifdef BBSCHED_PROFILER_DISABLED
+#define PROF_PHASE(name) ((void)0)
+#else
+#define PROF_PHASE(name) \
+  ::bbsched::ProfPhase BBSCHED_PROF_CAT(bbsched_prof_phase_, __LINE__)(name)
+#endif

@@ -1,14 +1,17 @@
 #include "common/telemetry.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <sstream>
 
 #include "common/argparse.hpp"
 #include "common/env.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/profiler.hpp"
 #include "common/trace.hpp"
 
 namespace bbsched {
@@ -102,6 +105,12 @@ void TelemetryOptions::register_flags(ArgParser& parser) {
   parser.add_bool("progress", &progress,
                   "print a [progress] heartbeat line with RSS/throughput/ETA "
                   "while a campaign runs (default BBSCHED_PROGRESS or off)");
+  parser.add_bool("profile", &profile,
+                  "record the hierarchical phase profile and print the phase "
+                  "tree at exit (default BBSCHED_PROFILE or off)");
+  parser.add_string("profile-out", &profile_out,
+                    "write the phase tree as CSV here (implies --profile; "
+                    "default BBSCHED_PROFILE_OUT or off)");
 }
 
 void TelemetryOptions::apply() {
@@ -109,8 +118,11 @@ void TelemetryOptions::apply() {
   if (trace_out.empty()) trace_out = env_string("BBSCHED_TRACE", "");
   if (metrics_out.empty()) metrics_out = env_string("BBSCHED_METRICS", "");
   if (!progress) progress = env_int("BBSCHED_PROGRESS", 0) != 0;
+  if (!profile) profile = env_int("BBSCHED_PROFILE", 0) != 0;
+  if (profile_out.empty()) profile_out = env_string("BBSCHED_PROFILE_OUT", "");
   if (!trace_out.empty()) set_trace_enabled(true);
   if (!metrics_out.empty()) set_metrics_enabled(true);
+  if (profile || !profile_out.empty()) set_profiler_enabled(true);
   set_progress_enabled(progress);
   register_crash_flush(trace_out, metrics_out);
 }
@@ -124,6 +136,19 @@ void TelemetryOptions::finish() const {
   if (!metrics_out.empty()) {
     MetricsRegistry::global().write_csv_file(metrics_out);
     log_info("telemetry", "metrics snapshot written", {{"path", metrics_out}});
+  }
+  if (profiler_enabled()) {
+    const ProfileReport report = profiler_report();
+    if (!profile_out.empty()) {
+      write_profile_csv_file(profile_out, report);
+      log_info("telemetry", "profile written", {{"path", profile_out}});
+    }
+    // The tree goes to stderr so bench tables on stdout stay parseable.
+    if (profile && !report.empty()) {
+      std::ostringstream tree;
+      write_profile_text(tree, report);
+      std::fputs(tree.str().c_str(), stderr);
+    }
   }
   disarm_crash_flush();
 }

@@ -46,8 +46,11 @@ struct TelemetryOptions {
   std::string trace_out;    ///< empty: BBSCHED_TRACE or tracing off
   std::string metrics_out;  ///< empty: BBSCHED_METRICS or collection off
   bool progress = false;    ///< heartbeat; default BBSCHED_PROGRESS or off
+  bool profile = false;     ///< phase profiler; default BBSCHED_PROFILE or off
+  std::string profile_out;  ///< phase-tree CSV; empty: BBSCHED_PROFILE_OUT
 
-  /// Register --log-level, --trace-out, --metrics-out and --progress.
+  /// Register --log-level, --trace-out, --metrics-out, --progress,
+  /// --profile and --profile-out.
   void register_flags(ArgParser& parser);
 
   /// Resolve env fallbacks and arm the requested subsystems (including the
@@ -55,7 +58,8 @@ struct TelemetryOptions {
   /// be observed.  Throws std::invalid_argument on a malformed log level.
   void apply();
 
-  /// Write the trace / metrics outputs that were requested and disarm the
+  /// Write the trace / metrics outputs that were requested, print/export
+  /// the profiler phase tree when profiling is on, and disarm the
   /// crash-flush hook; no-op otherwise.
   void finish() const;
 };

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/build_info.hpp"
 #include "common/fault.hpp"
 
 namespace bbsched {
@@ -293,8 +294,24 @@ void write_trace_json(std::ostream& out) {
   }
   for (const TraceEvent& event : events) seen_tids[event.tid] = true;
 
+  // Run provenance rides in the Chrome-trace top-level "metadata" object
+  // (not comment lines: the file must stay valid JSON for Perfetto and the
+  // CI `python3 -m json.tool` smoke).
   std::string line;
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"displayTimeUnit\":\"ms\",\"metadata\":{";
+  {
+    bool first_pair = true;
+    for (const auto& [key, value] : provenance_pairs()) {
+      if (!first_pair) out << ',';
+      first_pair = false;
+      line.clear();
+      append_json_string(line, key);
+      line.push_back(':');
+      append_json_string(line, value);
+      out << line;
+    }
+  }
+  out << "},\"traceEvents\":[\n";
   bool first = true;
   auto emit = [&](const TraceEvent& event) {
     line.clear();

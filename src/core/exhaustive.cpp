@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/profiler.hpp"
+
 namespace bbsched {
 
 ExhaustiveResult ExhaustiveSolver::solve(const MooProblem& problem) const {
+  PROF_PHASE("exhaustive.solve");
   const std::size_t w = problem.num_vars();
   if (w > max_vars_) {
     throw std::invalid_argument(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/profiler.hpp"
 #include "common/stopwatch.hpp"
 #include "core/solver_telemetry.hpp"
 
@@ -67,6 +68,7 @@ MooResult MooGaSolver::solve(const MooProblem& problem) const {
 
 MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
   MooResult result;
+  PROF_PHASE("moo_ga.solve");
   TraceSpan solve_span("moo_ga.solve", "solver",
                        {{"vars", problem.num_vars()},
                         {"objectives", problem.num_objectives()}});
@@ -81,15 +83,22 @@ MooResult MooGaSolver::solve(const MooProblem& problem, Rng& rng) const {
   for (int g = 0; g < params_.generations; ++g) {
     const double gen_start = tracing ? mono_seconds() : 0.0;
     const std::size_t repairs_before = result.repairs;
-    auto children = make_children(problem, population, population_size,
-                                  params_.mutation_rate, rng,
-                                  &result.repairs);
+    auto children = [&] {
+      // Offspring phase folds crossover/mutate/repair and the fitness
+      // evaluations make_children performs into one per-generation span.
+      PROF_PHASE("moo_ga.offspring");
+      return make_children(problem, population, population_size,
+                           params_.mutation_rate, rng, &result.repairs);
+    }();
     result.evaluations += children.size();
     std::vector<Chromosome> pool = std::move(population);
     pool.insert(pool.end(), std::make_move_iterator(children.begin()),
                 std::make_move_iterator(children.end()));
-    population = select_next_generation(std::move(pool), population_size,
-                                        params_.dedupe_survivors);
+    {
+      PROF_PHASE("moo_ga.select");
+      population = select_next_generation(std::move(pool), population_size,
+                                          params_.dedupe_survivors);
+    }
     for (auto& c : population) ++c.age;
     ++result.generations;
     if (tracing) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "common/profiler.hpp"
 #include "common/stopwatch.hpp"
 #include "core/solver_telemetry.hpp"
 
@@ -80,6 +81,7 @@ MooResult Nsga2Solver::solve(const MooProblem& problem) const {
 
 MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
   MooResult result;
+  PROF_PHASE("nsga2.solve");
   TraceSpan solve_span("nsga2.solve", "solver",
                        {{"vars", problem.num_vars()},
                         {"objectives", problem.num_objectives()}});
@@ -98,9 +100,13 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
     Front points;
     points.reserve(pop.size());
     for (const auto& c : pop) points.push_back(c.objectives);
-    const auto fronts = non_dominated_sort(points);
+    const auto fronts = [&] {
+      PROF_PHASE("nsga2.sort");
+      return non_dominated_sort(points);
+    }();
     rank.assign(pop.size(), 0);
     crowding.assign(pop.size(), 0.0);
+    PROF_PHASE("nsga2.crowding");
     for (std::size_t f = 0; f < fronts.size(); ++f) {
       Front sub;
       sub.reserve(fronts[f].size());
@@ -133,74 +139,89 @@ MooResult Nsga2Solver::solve(const MooProblem& problem, Rng& rng) const {
     // identical at any thread count.
     std::vector<Chromosome> children;
     children.reserve(population_size);
-    while (children.size() < population_size) {
-      auto [x, y] = crossover(tournament_pick(), tournament_pick(), rng);
-      for (Genes* genes : {&x, &y}) {
-        if (children.size() >= population_size) break;
-        mutate(*genes, problem, params_.mutation_rate, rng);
-        if (problem.repair(*genes, rng)) ++result.repairs;
-        Chromosome c;
-        c.genes = std::move(*genes);
-        children.push_back(std::move(c));
+    {
+      // The repair phase spans the whole offspring loop: crossover/mutate
+      // are inseparable from the repair they trigger, and per-chromosome
+      // phases would blow the <3% enabled-overhead budget.
+      PROF_PHASE("nsga2.repair");
+      while (children.size() < population_size) {
+        auto [x, y] = crossover(tournament_pick(), tournament_pick(), rng);
+        for (Genes* genes : {&x, &y}) {
+          if (children.size() >= population_size) break;
+          mutate(*genes, problem, params_.mutation_rate, rng);
+          if (problem.repair(*genes, rng)) ++result.repairs;
+          Chromosome c;
+          c.genes = std::move(*genes);
+          children.push_back(std::move(c));
+        }
       }
     }
-    evaluate_population(problem, children);
+    {
+      PROF_PHASE("nsga2.eval");
+      evaluate_population(problem, children);
+    }
     result.evaluations += children.size();
 
     // Environmental selection: fill by front, truncate the splitting front
     // by crowding distance.
-    std::vector<Chromosome> pool = std::move(population);
-    pool.insert(pool.end(), std::make_move_iterator(children.begin()),
-                std::make_move_iterator(children.end()));
-    // Survivor deduplication (the paper GA's rule): duplicate genotypes have
-    // zero crowding distance yet crowd out distinct individuals, and on
-    // near-degenerate fronts the population collapses onto a handful of
-    // copies and stalls short of the true Pareto set.  Select from distinct
-    // genotypes first; duplicates only pad the population when fewer than
-    // population_size distinct genotypes exist.
-    std::vector<Chromosome> duplicates;
     {
-      std::vector<Chromosome> distinct;
-      distinct.reserve(pool.size());
-      for (auto& c : pool) {
-        const bool seen = std::any_of(
-            distinct.begin(), distinct.end(),
-            [&](const Chromosome& u) { return u.same_genes(c); });
-        (seen ? duplicates : distinct).push_back(std::move(c));
+      PROF_PHASE("nsga2.select");
+      std::vector<Chromosome> pool = std::move(population);
+      pool.insert(pool.end(), std::make_move_iterator(children.begin()),
+                  std::make_move_iterator(children.end()));
+      // Survivor deduplication (the paper GA's rule): duplicate genotypes
+      // have zero crowding distance yet crowd out distinct individuals, and
+      // on near-degenerate fronts the population collapses onto a handful of
+      // copies and stalls short of the true Pareto set.  Select from distinct
+      // genotypes first; duplicates only pad the population when fewer than
+      // population_size distinct genotypes exist.
+      std::vector<Chromosome> duplicates;
+      {
+        std::vector<Chromosome> distinct;
+        distinct.reserve(pool.size());
+        for (auto& c : pool) {
+          const bool seen = std::any_of(
+              distinct.begin(), distinct.end(),
+              [&](const Chromosome& u) { return u.same_genes(c); });
+          (seen ? duplicates : distinct).push_back(std::move(c));
+        }
+        pool = std::move(distinct);
       }
-      pool = std::move(distinct);
-    }
-    Front points;
-    points.reserve(pool.size());
-    for (const auto& c : pool) points.push_back(c.objectives);
-    const auto fronts = non_dominated_sort(points);
-    std::vector<Chromosome> next;
-    next.reserve(population_size);
-    for (const auto& front : fronts) {
-      if (next.size() >= population_size) break;
-      if (next.size() + front.size() <= population_size) {
-        for (std::size_t idx : front) next.push_back(std::move(pool[idx]));
-        continue;
+      Front points;
+      points.reserve(pool.size());
+      for (const auto& c : pool) points.push_back(c.objectives);
+      const auto fronts = [&] {
+        PROF_PHASE("nsga2.sort");
+        return non_dominated_sort(points);
+      }();
+      std::vector<Chromosome> next;
+      next.reserve(population_size);
+      for (const auto& front : fronts) {
+        if (next.size() >= population_size) break;
+        if (next.size() + front.size() <= population_size) {
+          for (std::size_t idx : front) next.push_back(std::move(pool[idx]));
+          continue;
+        }
+        Front sub;
+        sub.reserve(front.size());
+        for (std::size_t idx : front) sub.push_back(points[idx]);
+        const auto dist = crowding_distances(sub);
+        std::vector<std::size_t> order(front.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return dist[a] > dist[b];
+                  });
+        for (std::size_t i = 0;
+             i < order.size() && next.size() < population_size; ++i) {
+          next.push_back(std::move(pool[front[order[i]]]));
+        }
       }
-      Front sub;
-      sub.reserve(front.size());
-      for (std::size_t idx : front) sub.push_back(points[idx]);
-      const auto dist = crowding_distances(sub);
-      std::vector<std::size_t> order(front.size());
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b) {
-                  return dist[a] > dist[b];
-                });
-      for (std::size_t i = 0; i < order.size() && next.size() < population_size;
-           ++i) {
-        next.push_back(std::move(pool[front[order[i]]]));
+      for (std::size_t i = 0; next.size() < population_size; ++i) {
+        next.push_back(std::move(duplicates[i]));
       }
+      population = std::move(next);
     }
-    for (std::size_t i = 0; next.size() < population_size; ++i) {
-      next.push_back(std::move(duplicates[i]));
-    }
-    population = std::move(next);
     recompute_metadata(population);
     ++result.generations;
     if (tracing) {

@@ -16,6 +16,7 @@
 #include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/profiler.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/telemetry.hpp"
@@ -213,6 +214,7 @@ void require_header(const CsvTable& table, const CsvRow& expected,
 std::optional<CsvTable> load_cache_csv(const std::string& path,
                                        const CsvRow& expected_header) {
   if (!fs::exists(path)) return std::nullopt;
+  PROF_PHASE("grid.cache_load");
   std::string error;
   auto table = read_csv_file_checksummed(path, &error);
   if (!table) {
@@ -339,6 +341,7 @@ AttemptResult run_attempt_body(const ExperimentConfig& config,
   fault_point("grid.cell", attempt_key);
   // One wall-clock span per attempt — the unit of the parallel speedup
   // accounting — labeled so Perfetto shows which cell ran on which worker.
+  PROF_PHASE("grid.cell");
   TraceSpan cell_span("grid.cell", "exp",
                       {{"workload", entry.label}, {"method", method}});
   Stopwatch cell_watch;
@@ -348,7 +351,10 @@ AttemptResult run_attempt_body(const ExperimentConfig& config,
   const SimResult result =
       run_single(config, entry.workload, method, &observer);
   AttemptResult attempt;
-  attempt.cell = cell_from_result(result, observer.metrics().finalize());
+  attempt.cell = cell_from_result(result, [&] {
+    PROF_PHASE("grid.score");
+    return observer.metrics().finalize();
+  }());
   attempt.cell.cell_wall_seconds = cell_watch.elapsed_seconds();
   // Figures 9-11 break down the Theta-S4 runs.
   if (collect_breakdowns && entry.label == "Theta-S4") {
@@ -470,6 +476,7 @@ std::vector<CellOutcome> compute_cells(
     const char* campaign_label, CellJournal* journal,
     CampaignReport* report_out) {
   const CampaignControl control = campaign_control();
+  PROF_PHASE("grid.campaign");
   const std::size_t total = workloads.size() * methods.size();
   std::vector<CellOutcome> outcomes(total);
 
@@ -519,6 +526,14 @@ std::vector<CellOutcome> compute_cells(
   CampaignMonitor monitor(campaign_label, total);
   if (monitoring) monitor.start();
   monitor.add_resumed(resumed);
+  // Resumed cells carry the wall/solve timings of the run that computed
+  // them; feed those into the summary averages alongside fresh cells.
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    if (outcomes[idx].ok) {
+      monitor.add_cell_stats(outcomes[idx].cell.cell_wall_seconds,
+                             outcomes[idx].cell.mean_solve_seconds);
+    }
+  }
   RetryPolicy retry_policy;
   retry_policy.max_retries = control.max_retries;
   retry_policy.base_delay_s = control.retry_base_delay_s;
@@ -580,6 +595,8 @@ std::vector<CellOutcome> compute_cells(
     }
     report.computed.fetch_add(1, std::memory_order_relaxed);
     monitor.cell_done();
+    monitor.add_cell_stats(out.cell.cell_wall_seconds,
+                           out.cell.mean_solve_seconds);
     if (journal != nullptr) journal->append(bundle_from_outcome(out));
     if (metrics_enabled()) {
       // Folds the per-cell solver-timing data (the *_solver_timing_*.csv
@@ -718,16 +735,19 @@ MainGridResults ensure_main_grid(const ExperimentConfig& config) {
     log_degraded("main_grid", report);
     return results;
   }
-  CsvTable grid(kGridHeader);
-  for (const auto& cell : results.cells) grid.add_row(cell_to_row(cell));
-  write_csv_file_checksummed(grid, grid_path);
-  CsvTable breakdowns(kBreakdownHeader);
-  for (const auto& cell : results.breakdowns) {
-    breakdowns.add_row(breakdown_to_row(cell));
+  {
+    PROF_PHASE("grid.cache_write");
+    CsvTable grid(kGridHeader);
+    for (const auto& cell : results.cells) grid.add_row(cell_to_row(cell));
+    write_csv_file_checksummed(grid, grid_path);
+    CsvTable breakdowns(kBreakdownHeader);
+    for (const auto& cell : results.breakdowns) {
+      breakdowns.add_row(breakdown_to_row(cell));
+    }
+    write_csv_file_checksummed(breakdowns, breakdown_path);
+    write_solver_timing(grid_cache_path(config, "main_solver_timing"),
+                        results.cells);
   }
-  write_csv_file_checksummed(breakdowns, breakdown_path);
-  write_solver_timing(grid_cache_path(config, "main_solver_timing"),
-                      results.cells);
   journal.remove();
   return results;
 }
@@ -768,10 +788,13 @@ std::vector<GridCell> ensure_ssd_grid(const ExperimentConfig& config) {
     log_degraded("ssd_grid", report);
     return cells;
   }
-  CsvTable grid(kGridHeader);
-  for (const auto& cell : cells) grid.add_row(cell_to_row(cell));
-  write_csv_file_checksummed(grid, path);
-  write_solver_timing(grid_cache_path(config, "ssd_solver_timing"), cells);
+  {
+    PROF_PHASE("grid.cache_write");
+    CsvTable grid(kGridHeader);
+    for (const auto& cell : cells) grid.add_row(cell_to_row(cell));
+    write_csv_file_checksummed(grid, path);
+    write_solver_timing(grid_cache_path(config, "ssd_solver_timing"), cells);
+  }
   journal.remove();
   return cells;
 }

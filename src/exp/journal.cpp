@@ -8,6 +8,7 @@
 
 #include "common/fault.hpp"
 #include "common/log.hpp"
+#include "common/profiler.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -38,6 +39,7 @@ bool unframe(const std::string& line, std::string* payload) {
 CellJournal::CellJournal(std::string path) : path_(std::move(path)) {}
 
 std::vector<JournalBundle> CellJournal::load() {
+  PROF_PHASE("journal.load");
   std::vector<JournalBundle> bundles;
   std::ifstream in(path_);
   if (!in) return bundles;
@@ -120,6 +122,7 @@ std::vector<JournalBundle> CellJournal::load() {
 }
 
 bool CellJournal::append(const JournalBundle& bundle) {
+  PROF_PHASE("journal.append");
   std::lock_guard<std::mutex> lock(mutex_);
   if (poisoned_) return false;
 

@@ -5,6 +5,7 @@
 
 #include "common/clock.hpp"
 #include "common/metrics.hpp"
+#include "common/profiler.hpp"
 #include "common/table.hpp"
 #include "common/telemetry.hpp"
 #include "common/trace.hpp"
@@ -66,17 +67,19 @@ void CampaignMonitor::stop() {
     const double wall = mono_seconds() - start_s_;
     const auto ev = events();
     ConsoleTable summary({"campaign", "cells", "resumed", "retries",
-                          "quarantined", "events", "wall_s", "events_per_s",
-                          "peak_rss_mb"},
+                          "quarantined", "events", "wall_s", "avg_cell_s",
+                          "avg_solve_s", "events_per_s", "peak_rss_mb"},
                          {Align::kLeft, Align::kRight, Align::kRight,
                           Align::kRight, Align::kRight, Align::kRight,
-                          Align::kRight, Align::kRight, Align::kRight});
+                          Align::kRight, Align::kRight, Align::kRight,
+                          Align::kRight, Align::kRight});
     summary.add_row(
         {label_,
          std::to_string(cells_done()) + "/" + std::to_string(cells_total_),
          std::to_string(cells_resumed()), std::to_string(retries()),
          std::to_string(quarantined()), std::to_string(ev),
-         ConsoleTable::num(wall, 2),
+         ConsoleTable::num(wall, 2), ConsoleTable::num(avg_cell_seconds(), 3),
+         ConsoleTable::num(avg_solve_seconds(), 4),
          ConsoleTable::num(wall > 0 ? static_cast<double>(ev) / wall : 0.0, 0),
          ConsoleTable::num(peak_rss_mb(), 1)});
     summary.print(std::cerr);
@@ -148,6 +151,9 @@ void CampaignMonitor::sample(bool heartbeat) {
                    {"cells_done", done},
                    {"events_per_s", events_per_s},
                    {"eta_s", eta_s}});
+    // One counter lane per hot profiler phase, so Perfetto shows where the
+    // campaign's self-time accumulates as it runs (no-op unless --profile).
+    profile_trace_counters(now_s);
   }
   if (heartbeat && progress_enabled()) {
     std::fprintf(stderr,

@@ -61,6 +61,15 @@ class CampaignMonitor {
     quarantined_.fetch_add(1, std::memory_order_relaxed);
     cells_done_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Per-cell timings feeding the summary averages: `cell_wall_s` is the
+  /// cell's wall clock, `mean_solve_s` its mean per-window solve time
+  /// (worker threads; lock-free).  Resumed cells count too — their stored
+  /// timings are from the run that computed them.
+  void add_cell_stats(double cell_wall_s, double mean_solve_s) {
+    atomic_add(cell_wall_sum_s_, cell_wall_s);
+    atomic_add(solve_sum_s_, mean_solve_s);
+    cell_stats_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::size_t cells_done() const {
     return cells_done_.load(std::memory_order_relaxed);
@@ -83,8 +92,29 @@ class CampaignMonitor {
   double peak_rss_mb() const {
     return peak_rss_mb_.load(std::memory_order_relaxed);
   }
+  /// Mean cell wall time over cells reported via add_cell_stats; 0 if none.
+  double avg_cell_seconds() const {
+    const auto n = cell_stats_.load(std::memory_order_relaxed);
+    return n > 0 ? cell_wall_sum_s_.load(std::memory_order_relaxed) /
+                       static_cast<double>(n)
+                 : 0.0;
+  }
+  /// Mean of the cells' mean per-window solve times; 0 if none reported.
+  double avg_solve_seconds() const {
+    const auto n = cell_stats_.load(std::memory_order_relaxed);
+    return n > 0 ? solve_sum_s_.load(std::memory_order_relaxed) /
+                       static_cast<double>(n)
+                 : 0.0;
+  }
 
  private:
+  static void atomic_add(std::atomic<double>& target, double value) {
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
   void sampler_loop();
   /// Record one sample (gauges + trace counters) and optionally heartbeat.
   void sample(bool heartbeat);
@@ -100,6 +130,9 @@ class CampaignMonitor {
   std::atomic<std::size_t> quarantined_{0};
   std::atomic<std::size_t> samples_{0};
   std::atomic<double> peak_rss_mb_{0.0};
+  std::atomic<std::size_t> cell_stats_{0};
+  std::atomic<double> cell_wall_sum_s_{0.0};
+  std::atomic<double> solve_sum_s_{0.0};
   std::size_t last_events_ = 0;    ///< sampler-thread only
   double last_sample_s_ = 0;       ///< sampler-thread only
   double start_s_ = 0;

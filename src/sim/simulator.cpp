@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/profiler.hpp"
 #include "common/stopwatch.hpp"
 #include "common/trace.hpp"
 
@@ -280,6 +281,7 @@ std::size_t Simulator::schedule_pass(Time now) {
   // --- window selection (§3.2) ---------------------------------------------
   WindowDecision decision;
   if (any_fits) {
+    PROF_PHASE("sim.select");
     WindowContext context;
     context.window = window_jobs;
     context.free = machine_.free_state();
@@ -380,11 +382,13 @@ std::size_t Simulator::schedule_pass(Time now) {
   if (head == nullptr) return started;
   // Planner path: the timeline already holds every running job's walltime
   // span in release order, so skip materializing running_infos() entirely.
-  const BackfillResult backfill =
-      config_.use_planner
-          ? plan_easy_backfill(machine_, head, candidates, now)
-          : plan_easy_backfill(machine_, head, running_infos(), candidates,
-                               now);
+  const BackfillResult backfill = [&] {
+    PROF_PHASE("sim.backfill");
+    return config_.use_planner
+               ? plan_easy_backfill(machine_, head, candidates, now)
+               : plan_easy_backfill(machine_, head, running_infos(),
+                                    candidates, now);
+  }();
   for (const auto& start : backfill.started) {
     start_job(start.key, now, start.alloc, /*backfilled=*/true);
     ++stats_.backfill_starts;
@@ -394,6 +398,7 @@ std::size_t Simulator::schedule_pass(Time now) {
 }
 
 SimResult Simulator::run() {
+  PROF_PHASE("sim.run");
   // Latch telemetry once: runs are all-or-nothing traced, and a run with
   // telemetry off takes exactly one atomic load extra per emission site.
   tracing_ = trace_enabled();

@@ -1,0 +1,110 @@
+// test_bench_report.cpp — structured bench results (DESIGN.md §14): the
+// quantile math bench_compare.py mirrors, JSON shape/escaping, param
+// overwrite semantics, output-path resolution, and the atomic file write
+// with automatic top-phase capture.
+#include "common/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace bbsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(BenchQuantile, MatchesLinearInterpolation) {
+  EXPECT_DOUBLE_EQ(bench_quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(bench_quantile({7.0}, 0.1), 7.0);
+  EXPECT_DOUBLE_EQ(bench_quantile({7.0}, 0.9), 7.0);
+  // Sorted {1,2,3,4}: median interpolates between the middle pair.
+  EXPECT_DOUBLE_EQ(bench_quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(bench_quantile({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(bench_quantile({4.0, 1.0, 3.0, 2.0}, 1.0), 4.0);
+  // p10 of {10,20,...,100}: index 0.9 → 10 + 0.9*(20-10).
+  std::vector<double> deciles;
+  for (int i = 1; i <= 10; ++i) deciles.push_back(10.0 * i);
+  EXPECT_NEAR(bench_quantile(deciles, 0.1), 19.0, 1e-12);
+  EXPECT_NEAR(bench_quantile(deciles, 0.9), 91.0, 1e-12);
+}
+
+TEST(BenchReport, JsonCarriesSchemaSeriesAndSummaries) {
+  BenchReport report("unit_test");
+  report.set_param("jobs", "40");
+  report.set_param("jobs", "80");  // overwrite, not duplicate
+  BenchSeries& s = report.add_series(
+      "solve_s", {{"method", "nsga2"}, {"window", "5"}}, "s", "lower");
+  s.add_sample(2.0);
+  s.add_sample(1.0);
+  s.add_sample(3.0);
+  report.add_value("gd", {}, 0.125, "distance", "lower");
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\": \"bbsched-bench-v1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":\"80\""), std::string::npos);
+  EXPECT_EQ(json.find("\"jobs\":\"40\""), std::string::npos)
+      << "set_param must overwrite in place: " << json;
+  EXPECT_NE(json.find("\"method\":\"nsga2\""), std::string::npos);
+  EXPECT_NE(json.find("\"direction\": \"lower\""), std::string::npos);
+  EXPECT_NE(json.find("\"repeats\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"median\": 2"), std::string::npos);
+  // Provenance block is always present.
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\""), std::string::npos);
+}
+
+TEST(BenchReport, JsonEscapesStrings) {
+  BenchReport report("esc");
+  report.add_value("weird", {{"label", "a\"b\\c\n"}}, 1.0);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\n"), std::string::npos) << json;
+}
+
+TEST(BenchOutPath, DirectoryVsExplicitFile) {
+  EXPECT_EQ(bench_out_path("results", "fig6"),
+            std::string("results/BENCH_fig6.json"));
+  EXPECT_EQ(bench_out_path("results/", "fig6"),
+            std::string("results/BENCH_fig6.json"));
+  EXPECT_EQ(bench_out_path("out/custom.json", "fig6"),
+            std::string("out/custom.json"));
+}
+
+TEST(BenchReport, WriteFileCreatesParentsAndCapturesTopPhases) {
+  const fs::path dir =
+      fs::temp_directory_path() / "bbsched_bench_report_test" / "nested";
+  fs::remove_all(dir.parent_path());
+
+  set_profiler_enabled(true);
+  profiler_clear();
+  {
+    PROF_PHASE("bench.phase");
+  }
+  BenchReport report("writer");
+  report.add_value("x", {}, 1.0);
+  const std::string path = bench_out_path(dir.string(), report.name());
+  report.write_file(path);
+  set_profiler_enabled(false);
+  profiler_clear();
+
+  ASSERT_TRUE(fs::exists(path)) << path;
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"name\": \"writer\""), std::string::npos);
+  // The profiler was live, so write_file snapshots its top phases.
+  EXPECT_NE(json.find("bench.phase"), std::string::npos) << json;
+  fs::remove_all(dir.parent_path());
+}
+
+}  // namespace
+}  // namespace bbsched

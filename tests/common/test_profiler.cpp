@@ -1,0 +1,280 @@
+// test_profiler.cpp — hierarchical phase profiler (DESIGN.md §14): RAII
+// nesting and self-time arithmetic, cross-thread merge associativity,
+// enable/disable gating, clear semantics, and the flattened row /
+// top-phases exports that feed the text tree, CSV, and bench JSON.
+#include "common/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bbsched {
+namespace {
+
+// Every test owns the global profiler state: reset it on entry and exit so
+// ordering (and other suites) cannot leak phases across tests.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_profiler_enabled(false);
+    profiler_clear();
+  }
+  void TearDown() override {
+    set_profiler_enabled(false);
+    profiler_clear();
+  }
+};
+
+void spin_for_us(int us) {
+  const auto start = mono_now();
+  while (seconds_between(start, mono_now()) * 1e6 < us) {
+  }
+}
+
+const PhaseStats* find_child(const PhaseStats& node, const std::string& name) {
+  for (const auto& child : node.children) {
+    if (child.name == name) return &child;
+  }
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(profiler_enabled());
+  {
+    PROF_PHASE("never.seen");
+    spin_for_us(50);
+  }
+  EXPECT_TRUE(profiler_report().empty());
+}
+
+TEST_F(ProfilerTest, NestingBuildsTreeAndSelfTimeExcludesChildren) {
+  set_profiler_enabled(true);
+  {
+    PROF_PHASE("outer");
+    spin_for_us(200);
+    for (int i = 0; i < 3; ++i) {
+      PROF_PHASE("inner");
+      spin_for_us(100);
+    }
+  }
+  const ProfileReport report = profiler_report();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.root.name, "total");
+  EXPECT_EQ(report.threads, 1u);
+
+  const PhaseStats* outer = find_child(report.root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  const PhaseStats* inner = find_child(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 3u);
+  // "inner" nests under "outer", never at top level.
+  EXPECT_EQ(find_child(report.root, "inner"), nullptr);
+
+  // Inclusive time covers the children; exclusive time strips them out.
+  EXPECT_GE(outer->total_s, inner->total_s);
+  EXPECT_NEAR(outer->self_s(), outer->total_s - inner->total_s, 1e-12);
+  EXPECT_GE(outer->self_s(), 0.0);
+  // min <= mean <= max across the three inner executions.
+  EXPECT_LE(inner->min_s, inner->total_s / 3.0);
+  EXPECT_GE(inner->max_s, inner->total_s / 3.0);
+}
+
+TEST_F(ProfilerTest, RootTotalTracksObservationWindow) {
+  set_profiler_enabled(true);
+  {
+    PROF_PHASE("work");
+    spin_for_us(2000);
+  }
+  const ProfileReport report = profiler_report();
+  const PhaseStats* work = find_child(report.root, "work");
+  ASSERT_NE(work, nullptr);
+  // The synthetic root measures enable→report wall time, so it bounds any
+  // single-threaded child from above.
+  EXPECT_GE(report.root.total_s, work->total_s);
+  EXPECT_GE(report.root.total_s, 2e-3);
+}
+
+TEST_F(ProfilerTest, ClearDropsPhasesAndRestartsWindow) {
+  set_profiler_enabled(true);
+  {
+    PROF_PHASE("stale");
+    spin_for_us(1000);
+  }
+  ASSERT_FALSE(profiler_report().empty());
+  profiler_clear();
+  const ProfileReport cleared = profiler_report();
+  EXPECT_TRUE(cleared.empty());
+  // The window restarted at clear, not at the original enable.
+  EXPECT_LT(cleared.root.total_s, 0.5);
+  {
+    PROF_PHASE("fresh");
+  }
+  const ProfileReport after = profiler_report();
+  EXPECT_EQ(find_child(after.root, "stale"), nullptr);
+  EXPECT_NE(find_child(after.root, "fresh"), nullptr);
+}
+
+TEST_F(ProfilerTest, ThreadsMergeByPath) {
+  set_profiler_enabled(true);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      PROF_PHASE("worker");
+      for (int i = 0; i < 2; ++i) {
+        PROF_PHASE("step");
+        spin_for_us(50);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const ProfileReport report = profiler_report();
+  const PhaseStats* worker = find_child(report.root, "worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->count, 4u);
+  const PhaseStats* step = find_child(*worker, "step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->count, 8u);
+  // Exited threads still count toward the merge.
+  EXPECT_GE(report.threads, 4u);
+}
+
+// merge_phase must be associative so the cross-thread merge order cannot
+// change the report.  Binary-exact doubles (powers of two) make the
+// comparison exact, not approximate.
+TEST_F(ProfilerTest, MergeIsAssociativeAndCombinesExtrema) {
+  auto leaf = [](const char* name, std::uint64_t count, double total,
+                 double min_s, double max_s) {
+    PhaseStats s;
+    s.name = name;
+    s.count = count;
+    s.total_s = total;
+    s.min_s = min_s;
+    s.max_s = max_s;
+    return s;
+  };
+  PhaseStats a = leaf("solve", 2, 1.0, 0.25, 0.75);
+  a.children.push_back(leaf("eval", 4, 0.5, 0.0625, 0.25));
+  PhaseStats b = leaf("solve", 1, 2.0, 2.0, 2.0);
+  b.children.push_back(leaf("sort", 1, 0.125, 0.125, 0.125));
+  PhaseStats c = leaf("solve", 3, 4.0, 0.5, 2.0);
+  c.children.push_back(leaf("eval", 2, 0.25, 0.125, 0.125));
+
+  PhaseStats left = a;  // (a ⊕ b) ⊕ c
+  merge_phase(left, b);
+  merge_phase(left, c);
+  PhaseStats bc = b;  // a ⊕ (b ⊕ c)
+  merge_phase(bc, c);
+  PhaseStats right = a;
+  merge_phase(right, bc);
+
+  EXPECT_EQ(left.count, 6u);
+  EXPECT_EQ(left.total_s, 7.0);
+  EXPECT_EQ(left.min_s, 0.25);
+  EXPECT_EQ(left.max_s, 2.0);
+  ASSERT_EQ(left.children.size(), 2u);
+
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.total_s, right.total_s);
+  EXPECT_EQ(left.min_s, right.min_s);
+  EXPECT_EQ(left.max_s, right.max_s);
+  const PhaseStats* left_eval = find_child(left, "eval");
+  const PhaseStats* right_eval = find_child(right, "eval");
+  ASSERT_NE(left_eval, nullptr);
+  ASSERT_NE(right_eval, nullptr);
+  EXPECT_EQ(left_eval->count, 6u);
+  EXPECT_EQ(left_eval->total_s, right_eval->total_s);
+  EXPECT_EQ(left_eval->min_s, right_eval->min_s);
+  EXPECT_EQ(left_eval->max_s, right_eval->max_s);
+}
+
+TEST_F(ProfilerTest, RowsFlattenDepthFirstWithSlashPaths) {
+  set_profiler_enabled(true);
+  {
+    PROF_PHASE("grid.cell");
+    {
+      PROF_PHASE("nsga2.solve");
+      PROF_PHASE("nsga2.eval");
+      spin_for_us(20);
+    }
+  }
+  const std::vector<PhaseRow> rows = profile_rows(profiler_report());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].path, "total");
+  EXPECT_EQ(rows[0].depth, 0);
+  EXPECT_EQ(rows[1].path, "total/grid.cell");
+  EXPECT_EQ(rows[1].depth, 1);
+  EXPECT_EQ(rows[2].path, "total/grid.cell/nsga2.solve");
+  EXPECT_EQ(rows[2].depth, 2);
+  EXPECT_EQ(rows[3].path, "total/grid.cell/nsga2.solve/nsga2.eval");
+  EXPECT_EQ(rows[3].depth, 3);
+}
+
+TEST_F(ProfilerTest, TopPhasesRankBySelfTimeDescending) {
+  set_profiler_enabled(true);
+  {
+    PROF_PHASE("parent");
+    spin_for_us(100);
+    {
+      PROF_PHASE("hot");
+      spin_for_us(1500);
+    }
+    {
+      PROF_PHASE("cold");
+      spin_for_us(100);
+    }
+  }
+  const ProfileReport report = profiler_report();
+  const std::vector<PhaseRow> top = profile_top_phases(report, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, "total/parent/hot");
+  EXPECT_GE(top[0].self_s, top[1].self_s);
+  // Asking for more than exist returns every real phase (root dropped).
+  EXPECT_EQ(profile_top_phases(report, 99).size(), 3u);
+}
+
+TEST_F(ProfilerTest, TextAndCsvRenderTheTree) {
+  set_profiler_enabled(true);
+  {
+    PROF_PHASE("render.outer");
+    PROF_PHASE("render.inner");
+    spin_for_us(20);
+  }
+  const ProfileReport report = profiler_report();
+  std::ostringstream text;
+  write_profile_text(text, report);
+  EXPECT_NE(text.str().find("render.outer"), std::string::npos) << text.str();
+  EXPECT_NE(text.str().find("render.inner"), std::string::npos);
+  EXPECT_NE(text.str().find("total"), std::string::npos);
+
+  std::ostringstream csv;
+  write_profile_csv(csv, report);
+  std::string header;
+  std::istringstream lines(csv.str());
+  std::getline(lines, header);
+  EXPECT_EQ(header, "phase,depth,count,total_s,self_s,min_s,max_s");
+  EXPECT_NE(csv.str().find("total/render.outer/render.inner,2,"),
+            std::string::npos)
+      << csv.str();
+}
+
+TEST_F(ProfilerTest, DisableMidStreamKeepsCompletedPhases) {
+  set_profiler_enabled(true);
+  {
+    PROF_PHASE("kept");
+  }
+  set_profiler_enabled(false);
+  {
+    PROF_PHASE("dropped");
+  }
+  const ProfileReport report = profiler_report();
+  EXPECT_NE(find_child(report.root, "kept"), nullptr);
+  EXPECT_EQ(find_child(report.root, "dropped"), nullptr);
+}
+
+}  // namespace
+}  // namespace bbsched

@@ -113,10 +113,13 @@ TEST(CrashFlush, FlushNowWritesArmedOutputsAndDisarmStops) {
   EXPECT_TRUE(fs::exists(trace_path)) << "armed trace must be written";
 
   // The partial snapshot must be well-formed enough to load: the metrics
-  // CSV starts with its header, the trace with a JSON array.
+  // CSV starts with its header (after any '#' provenance comments), the
+  // trace with a JSON array.
   std::ifstream metrics_in(metrics_path);
   std::string header;
-  std::getline(metrics_in, header);
+  while (std::getline(metrics_in, header) &&
+         (header.empty() || header[0] == '#')) {
+  }
   EXPECT_EQ(header.rfind("metric,", 0), 0u) << header;
   std::ifstream trace_in(trace_path);
   EXPECT_EQ(trace_in.get(), '{');

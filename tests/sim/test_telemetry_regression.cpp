@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/metrics.hpp"
+#include "common/profiler.hpp"
 #include "common/trace.hpp"
 #include "policies/factory.hpp"
 #include "sim/simulator.hpp"
@@ -51,6 +52,44 @@ TEST(TelemetryRegression, EnabledRunIsByteIdentical) {
   // Note solve_seconds_total/max are intentionally excluded from
   // serialize(): they measure wall time, which varies run to run with or
   // without telemetry.
+}
+
+// The phase profiler is likewise a pure observer (DESIGN.md §14): it reads
+// clocks, never RNG, and feeds nothing back into scheduling.  --profile
+// on/off must serialize to the same SimResult byte for byte.
+TEST(TelemetryRegression, ProfilerOnIsByteIdentical) {
+  const Workload workload = generate_workload(theta_model(120), 11);
+  SimConfig config;
+  config.window_size = 8;
+  GaParams ga;
+  ga.generations = 40;
+  ga.population_size = 12;
+  const auto base = make_base_scheduler("FCFS");
+  const auto policy = make_policy("BBSched", ga);
+
+  set_profiler_enabled(false);
+  profiler_clear();
+  const std::string off =
+      serialize(simulate(workload, config, *base, *policy));
+
+  set_profiler_enabled(true);
+  profiler_clear();
+  const std::string on =
+      serialize(simulate(workload, config, *base, *policy));
+  const ProfileReport report = profiler_report();
+  set_profiler_enabled(false);
+  profiler_clear();
+
+  // The instrumented hot paths really recorded phases...
+  ASSERT_FALSE(report.empty());
+  bool saw_sim_phase = false;
+  for (const PhaseRow& row : profile_rows(report)) {
+    if (row.path.find("sim.run") != std::string::npos) saw_sim_phase = true;
+  }
+  EXPECT_TRUE(saw_sim_phase) << "sim.run phase missing from profile";
+
+  // ...without perturbing the schedule by a single byte.
+  EXPECT_EQ(off, on);
 }
 
 }  // namespace

@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""Compare two trees of BENCH_*.json files and gate on regressions.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--threshold 0.25] [--abs-floor SECONDS]
+    bench_compare.py --self-test
+
+BASELINE and CURRENT are directories holding BENCH_<name>.json files (the
+bbsched-bench-v1 schema written by the bench binaries via --bench-out /
+BBSCHED_BENCH_DIR), or single .json files.  Series are matched by
+(bench name, series name, params) and compared on their medians.
+
+Gating follows each series' declared direction:
+  "lower"  — regression when the current median rises more than --threshold
+             relative to baseline (and by more than --abs-floor absolutely);
+  "higher" — regression when it drops by the same margins;
+  "info"   — reported, never gated (raw wall-clock times are machine-local
+             and belong here).
+
+Exit status: 0 when no gated series regressed, 1 otherwise.  A gated series
+present in the baseline but missing from the current tree also fails — a
+silently dropped gate would hide exactly the regressions it was meant to
+catch.  Series new in the current tree are reported and pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+
+SCHEMA = "bbsched-bench-v1"
+
+PASS = "pass"
+REGRESS = "REGRESS"
+IMPROVE = "improve"
+INFO = "info"
+NEW = "new"
+MISSING = "MISSING"
+
+# Statuses that fail the comparison.
+FAILING = {REGRESS, MISSING}
+
+
+class BenchFormatError(RuntimeError):
+    """A bench JSON file does not follow the bbsched-bench-v1 schema."""
+
+
+def load_report(path):
+    """Parse one bench JSON file into {(series, params): series-dict}."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != SCHEMA:
+        raise BenchFormatError(
+            f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        raise BenchFormatError(f"{path}: missing bench name")
+    series = {}
+    for entry in doc.get("series", []):
+        params = tuple(
+            (str(k), str(v)) for k, v in sorted(entry.get("params", {}).items()))
+        key = (str(entry["name"]), params)
+        series[key] = entry
+    return name, series
+
+
+def load_tree(root):
+    """Load every BENCH_*.json under `root` (a dir or one file)."""
+    paths = []
+    if os.path.isfile(root):
+        paths = [root]
+    elif os.path.isdir(root):
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if filename.startswith("BENCH_") and filename.endswith(".json"):
+                    paths.append(os.path.join(dirpath, filename))
+    else:
+        raise BenchFormatError(f"{root}: not a file or directory")
+    tree = {}
+    for path in sorted(paths):
+        name, series = load_report(path)
+        tree.setdefault(name, {}).update(series)
+    return tree
+
+
+def fmt_value(value):
+    if value is None or (isinstance(value, float) and not math.isfinite(value)):
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.001:
+        return f"{value:.3e}"
+    return f"{value:.6g}"
+
+
+def classify(direction, base, cur, threshold, abs_floor):
+    """Status of one matched series given its gating direction."""
+    if direction not in ("lower", "higher"):
+        return INFO
+    if base is None or cur is None:
+        return INFO
+    delta = cur - base
+    if direction == "higher":
+        delta = -delta  # normalize: positive delta = worse
+    rel = delta / abs(base) if base else (math.inf if delta > 0 else 0.0)
+    if delta > abs_floor and rel > threshold:
+        return REGRESS
+    if delta < -abs_floor and rel < -threshold:
+        return IMPROVE
+    return PASS
+
+
+def compare(baseline_root, current_root, threshold, abs_floor, out=sys.stdout):
+    """Compare the two trees; return the list of result rows."""
+    baseline = load_tree(baseline_root)
+    current = load_tree(current_root)
+    rows = []
+    for bench in sorted(set(baseline) | set(current)):
+        base_series = baseline.get(bench, {})
+        cur_series = current.get(bench, {})
+        for key in sorted(set(base_series) | set(cur_series)):
+            series_name, params = key
+            base = base_series.get(key)
+            cur = cur_series.get(key)
+            direction = (base or cur).get("direction", "info")
+            base_median = base.get("median") if base else None
+            cur_median = cur.get("median") if cur else None
+            if base is None:
+                status = NEW
+            elif cur is None:
+                # Dropping a gated series silently would hide regressions.
+                status = MISSING if direction in ("lower", "higher") else INFO
+            else:
+                status = classify(direction, base_median, cur_median,
+                                  threshold, abs_floor)
+            rows.append({
+                "bench": bench,
+                "series": series_name,
+                "params": ",".join(f"{k}={v}" for k, v in params),
+                "direction": direction,
+                "base": base_median,
+                "current": cur_median,
+                "status": status,
+            })
+    print_table(rows, out)
+    return rows
+
+
+def print_table(rows, out):
+    header = ["bench", "series", "params", "dir", "baseline", "current",
+              "delta%", "status"]
+    table = [header]
+    for row in rows:
+        delta = "-"
+        if row["base"] and row["current"] is not None:
+            delta = f"{100.0 * (row['current'] - row['base']) / abs(row['base']):+.1f}"
+        table.append([
+            row["bench"], row["series"], row["params"], row["direction"],
+            fmt_value(row["base"]), fmt_value(row["current"]), delta,
+            row["status"],
+        ])
+    widths = [max(len(line[i]) for line in table) for i in range(len(header))]
+    for line in table:
+        out.write("  ".join(cell.ljust(width)
+                            for cell, width in zip(line, widths)).rstrip())
+        out.write("\n")
+    failing = [row for row in rows if row["status"] in FAILING]
+    regressed = sum(1 for row in rows if row["status"] == REGRESS)
+    improved = sum(1 for row in rows if row["status"] == IMPROVE)
+    out.write(f"\n{len(rows)} series compared: {regressed} regressed, "
+              f"{improved} improved, {len(failing)} failing\n")
+
+
+def write_fixture(path, name, series):
+    """Write one schema-valid bench JSON for the self-test."""
+    doc = {
+        "schema": SCHEMA,
+        "name": name,
+        "provenance": {"git_sha": "selftest", "compiler": "none"},
+        "params": {},
+        "series": [
+            {
+                "name": series_name,
+                "params": params,
+                "unit": "s",
+                "direction": direction,
+                "repeats": 1,
+                "median": value,
+                "p10": value,
+                "p90": value,
+                "mean": value,
+                "min": value,
+                "max": value,
+            }
+            for (series_name, params, direction, value) in series
+        ],
+    }
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+
+
+def run_compare(base_dir, cur_dir, threshold=0.25, abs_floor=0.0):
+    """compare() wrapped to an exit code, output captured for the self-test."""
+    import io
+
+    sink = io.StringIO()
+    rows = compare(base_dir, cur_dir, threshold, abs_floor, out=sink)
+    failed = any(row["status"] in FAILING for row in rows)
+    return (1 if failed else 0), rows, sink.getvalue()
+
+
+def self_test():
+    """Planted fixtures: identical trees pass, a 2x slowdown on a gated
+    series fails, the same slowdown on an info series passes, and a dropped
+    gated series fails."""
+    failures = []
+
+    def check(label, ok):
+        if not ok:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory(prefix="bench_compare_selftest_") as tmp:
+        base = os.path.join(tmp, "base")
+        fixture = [
+            ("solve_s", {"window": "20"}, "lower", 0.5),
+            ("hypervolume", {}, "higher", 0.9),
+            ("wall_s", {}, "info", 3.0),
+        ]
+        write_fixture(os.path.join(base, "BENCH_demo.json"), "demo", fixture)
+
+        same = os.path.join(tmp, "same")
+        write_fixture(os.path.join(same, "BENCH_demo.json"), "demo", fixture)
+        code, _, _ = run_compare(base, same)
+        check("identical trees must pass", code == 0)
+
+        slow = os.path.join(tmp, "slow")
+        write_fixture(os.path.join(slow, "BENCH_demo.json"), "demo", [
+            ("solve_s", {"window": "20"}, "lower", 1.0),  # 2x slowdown
+            ("hypervolume", {}, "higher", 0.9),
+            ("wall_s", {}, "info", 3.0),
+        ])
+        code, rows, _ = run_compare(base, slow)
+        check("2x slowdown on a gated series must fail", code == 1)
+        check("the slow series is the one flagged",
+              any(row["series"] == "solve_s" and row["status"] == REGRESS
+                  for row in rows))
+
+        info_slow = os.path.join(tmp, "info_slow")
+        write_fixture(os.path.join(info_slow, "BENCH_demo.json"), "demo", [
+            ("solve_s", {"window": "20"}, "lower", 0.5),
+            ("hypervolume", {}, "higher", 0.9),
+            ("wall_s", {}, "info", 30.0),  # 10x, but info is never gated
+        ])
+        code, _, _ = run_compare(base, info_slow)
+        check("info series never gate", code == 0)
+
+        worse_hv = os.path.join(tmp, "worse_hv")
+        write_fixture(os.path.join(worse_hv, "BENCH_demo.json"), "demo", [
+            ("solve_s", {"window": "20"}, "lower", 0.5),
+            ("hypervolume", {}, "higher", 0.4),  # >25% drop on higher-better
+            ("wall_s", {}, "info", 3.0),
+        ])
+        code, _, _ = run_compare(base, worse_hv)
+        check("drop on a higher-is-better series must fail", code == 1)
+
+        improved = os.path.join(tmp, "improved")
+        write_fixture(os.path.join(improved, "BENCH_demo.json"), "demo", [
+            ("solve_s", {"window": "20"}, "lower", 0.2),
+            ("hypervolume", {}, "higher", 0.95),
+            ("wall_s", {}, "info", 3.0),
+        ])
+        code, rows, _ = run_compare(base, improved)
+        check("improvements must pass", code == 0)
+        check("improvement is reported",
+              any(row["status"] == IMPROVE for row in rows))
+
+        dropped = os.path.join(tmp, "dropped")
+        write_fixture(os.path.join(dropped, "BENCH_demo.json"), "demo", [
+            ("hypervolume", {}, "higher", 0.9),
+            ("wall_s", {}, "info", 3.0),
+        ])
+        code, _, _ = run_compare(base, dropped)
+        check("dropping a gated series must fail", code == 1)
+
+        noise = os.path.join(tmp, "noise")
+        write_fixture(os.path.join(noise, "BENCH_demo.json"), "demo", [
+            ("solve_s", {"window": "20"}, "lower", 0.55),  # +10% < threshold
+            ("hypervolume", {}, "higher", 0.9),
+            ("wall_s", {}, "info", 3.0),
+        ])
+        code, _, _ = run_compare(base, noise)
+        check("within-threshold drift must pass", code == 0)
+
+        floor = os.path.join(tmp, "floor")
+        write_fixture(os.path.join(floor, "BENCH_demo.json"), "demo", [
+            ("solve_s", {"window": "20"}, "lower", 1.0),
+            ("hypervolume", {}, "higher", 0.9),
+            ("wall_s", {}, "info", 3.0),
+        ])
+        code, _, _ = run_compare(base, floor, abs_floor=10.0)
+        check("deltas under --abs-floor must pass", code == 0)
+
+    if failures:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("bench_compare self-test passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline dir or .json")
+    parser.add_argument("current", nargs="?", help="current dir or .json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative change that counts as a regression "
+                             "(default 0.25)")
+    parser.add_argument("--abs-floor", type=float, default=0.0,
+                        help="ignore absolute deltas at or below this value")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the planted-fixture self-test and exit")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("baseline and current are required (or --self-test)")
+    try:
+        rows = compare(args.baseline, args.current, args.threshold,
+                       args.abs_floor)
+    except (BenchFormatError, json.JSONDecodeError, OSError) as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+    return 1 if any(row["status"] in FAILING for row in rows) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,11 @@ Rule classes (see DESIGN.md §13 for the catalog and rationale):
                   time(nullptr)/time(0)/std::time in determinism-critical
                   code.  The only sanctioned clock is the shared MonoClock
                   (clock.hpp), and only for telemetry, never for decisions.
+  raw-clock       std::chrono::steady_clock / high_resolution_clock anywhere
+                  under src/ outside clock.hpp.  Monotonic time must flow
+                  through MonoClock (mono_now / mono_seconds), Stopwatch, or
+                  the phase profiler, so every timing read shares one origin
+                  and stays mockable.
   raw-rng         rand(), srand(), std::random_device, raw std::mt19937 /
                   std::default_random_engine.  All randomness must flow
                   through Rng + mix_seed (rng.hpp) so every stream is
@@ -90,6 +95,14 @@ RULES = [
         DETERMINISM_DIRS,
         "wall-clock time in determinism-critical code; use the shared "
         "MonoClock (clock.hpp), and only for telemetry",
+    ),
+    Rule(
+        "raw-clock",
+        r"\bsteady_clock\b|\bhigh_resolution_clock\b",
+        ALL_SRC,
+        "raw monotonic clock; route timing through MonoClock (clock.hpp), "
+        "Stopwatch, or the phase profiler so every read shares one origin",
+        exclude_files=("src/common/clock.hpp",),
     ),
     Rule(
         "raw-rng",
@@ -375,6 +388,7 @@ def self_test(root):
     # Planted violations: one file per rule class under a fake src/ tree.
     planted = {
         "wall-clock": "src/sim/planted_wall_clock.cpp",
+        "raw-clock": "src/sim/planted_raw_clock.cpp",
         "raw-rng": "src/core/planted_raw_rng.cpp",
         "unordered-iter": "src/exp/planted_unordered_iter.cpp",
         "raw-print": "src/policies/planted_raw_print.cpp",

@@ -13,6 +13,8 @@ void planted_all_marked(std::ostream& out, const std::string& path,
                         const std::string& journal_dir) {
   auto t = std::chrono::system_clock::now();  // det-ok: wall-clock (fixture)
   (void)t;
+  auto m = std::chrono::steady_clock::now();  // det-ok: raw-clock (fixture)
+  (void)m;
   std::random_device device;  // det-ok: raw-rng (fixture)
   (void)device;
   std::unordered_map<int, int> table;

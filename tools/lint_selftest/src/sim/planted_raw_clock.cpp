@@ -1,0 +1,7 @@
+// Self-test fixture: planted raw monotonic-clock violation.  Never compiled.
+#include <chrono>
+
+double planted_raw_clock() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
